@@ -1,0 +1,35 @@
+//! Combinational ATPG (PODEM) and redundancy identification on the
+//! scan-expanded circuit.
+//!
+//! With full scan, a stuck-at fault is detectable if and only if it is
+//! detectable in the scan-expanded combinational view ([`rls_netlist::CombView`]):
+//! flip-flop outputs are freely controllable (scan-in) and flip-flop data
+//! inputs are freely observable (scan-out). The paper declares "complete
+//! fault coverage" over exactly these detectable faults; this crate
+//! computes that reference set:
+//!
+//! - [`podem::Podem`] — the classic PODEM algorithm over a two-plane
+//!   (good/faulty) three-valued simulation, with a backtrack limit;
+//! - [`DetectableSet`] — per-fault classification
+//!   (detectable / redundant / aborted) for a whole collapsed fault list,
+//!   with a [`ScanTest`] witness for every detectable fault.
+//!
+//! # Example
+//!
+//! ```
+//! use rls_atpg::DetectableSet;
+//!
+//! let c = rls_benchmarks::s27();
+//! let set = DetectableSet::compute(&c, 1000);
+//! // Every collapsed fault of s27 is detectable.
+//! assert_eq!(set.detectable().len(), 32);
+//! assert!(set.redundant().is_empty());
+//! ```
+
+pub mod podem;
+pub mod reference;
+pub mod v3;
+
+pub use podem::{Podem, PodemOutcome};
+pub use reference::DetectableSet;
+pub use v3::V3;

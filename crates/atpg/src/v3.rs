@@ -1,0 +1,167 @@
+//! Three-valued logic for test generation.
+
+use rls_netlist::GateKind;
+
+/// A three-valued logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum V3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl V3 {
+    /// Converts a boolean.
+    pub fn from_bool(b: bool) -> V3 {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    /// The boolean value, if known.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    /// Whether the value is unknown.
+    pub fn is_x(self) -> bool {
+        self == V3::X
+    }
+}
+
+impl std::ops::Not for V3 {
+    type Output = V3;
+
+    /// Three-valued NOT (`X` stays `X`).
+    fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+}
+
+/// Evaluates a gate over three-valued inputs.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or a unary gate gets several inputs.
+pub fn eval_v3(kind: GateKind, inputs: &[V3]) -> V3 {
+    assert!(!inputs.is_empty(), "gate must have at least one fanin");
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let v = if inputs.contains(&V3::Zero) {
+                V3::Zero
+            } else if inputs.iter().all(|&v| v == V3::One) {
+                V3::One
+            } else {
+                V3::X
+            };
+            if kind == GateKind::Nand {
+                !v
+            } else {
+                v
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let v = if inputs.contains(&V3::One) {
+                V3::One
+            } else if inputs.iter().all(|&v| v == V3::Zero) {
+                V3::Zero
+            } else {
+                V3::X
+            };
+            if kind == GateKind::Nor {
+                !v
+            } else {
+                v
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            if inputs.iter().any(|v| v.is_x()) {
+                V3::X
+            } else {
+                let parity = inputs
+                    .iter()
+                    .fold(false, |acc, v| acc ^ v.known().expect("checked"));
+                let v = V3::from_bool(parity);
+                if kind == GateKind::Xnor {
+                    !v
+                } else {
+                    v
+                }
+            }
+        }
+        GateKind::Not => {
+            assert_eq!(inputs.len(), 1, "NOT takes exactly one fanin");
+            !inputs[0]
+        }
+        GateKind::Buf => {
+            assert_eq!(inputs.len(), 1, "BUF takes exactly one fanin");
+            inputs[0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_match_boolean_semantics() {
+        for kind in GateKind::ALL {
+            let arity = if kind.is_unary() { 1 } else { 3 };
+            for combo in 0..(1u32 << arity) {
+                let bools: Vec<bool> = (0..arity).map(|i| combo >> i & 1 == 1).collect();
+                let v3s: Vec<V3> = bools.iter().map(|&b| V3::from_bool(b)).collect();
+                assert_eq!(
+                    eval_v3(kind, &v3s),
+                    V3::from_bool(kind.eval_bool(&bools)),
+                    "{kind} {bools:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        assert_eq!(eval_v3(GateKind::And, &[V3::Zero, V3::X]), V3::Zero);
+        assert_eq!(eval_v3(GateKind::Nand, &[V3::Zero, V3::X]), V3::One);
+        assert_eq!(eval_v3(GateKind::Or, &[V3::One, V3::X]), V3::One);
+        assert_eq!(eval_v3(GateKind::Nor, &[V3::One, V3::X]), V3::Zero);
+    }
+
+    #[test]
+    fn x_propagates_when_undetermined() {
+        assert_eq!(eval_v3(GateKind::And, &[V3::One, V3::X]), V3::X);
+        assert_eq!(eval_v3(GateKind::Or, &[V3::Zero, V3::X]), V3::X);
+        assert_eq!(eval_v3(GateKind::Xor, &[V3::One, V3::X]), V3::X);
+        assert_eq!(eval_v3(GateKind::Not, &[V3::X]), V3::X);
+    }
+
+    #[test]
+    fn not_algebra() {
+        assert_eq!(!V3::Zero, V3::One);
+        assert_eq!(!V3::One, V3::Zero);
+        assert_eq!(!V3::X, V3::X);
+    }
+
+    #[test]
+    fn default_is_x() {
+        assert_eq!(V3::default(), V3::X);
+        assert!(V3::X.is_x());
+        assert_eq!(V3::X.known(), None);
+        assert_eq!(V3::One.known(), Some(true));
+    }
+}

@@ -1,0 +1,46 @@
+//! Extension experiment: random limited scan on the multiple-scan-chain
+//! architecture of the reference methods \[5\]/\[6\] (chains of length at
+//! most 10).
+//!
+//! Short chains make complete scan operations nearly free *and* make each
+//! limited-scan cycle observe one bit per chain — the cost side of the
+//! paper's comparison discussion, quantified.
+//!
+//! Usage: `multichain [circuit...]` (default: s298 b03 s1423).
+
+use rls_core::report::{kilo, TextTable};
+use rls_core::{extension, RlsConfig};
+use rls_scan::MultiChain;
+
+fn main() {
+    let names = rls_bench::circuits_from_args(&["s298", "b03", "s1423"]);
+    for name in &names {
+        let c = rls_bench::circuit(name);
+        let n_sv = c.num_dffs();
+        println!("\nMultichain on {name} ({n_sv} flip-flops):\n");
+        let mut t = TextTable::new(vec![
+            "chains", "scan op", "base det", "pairs", "det", "coverage", "cycles",
+        ]);
+        for mc in [
+            MultiChain::new(n_sv, 1),
+            MultiChain::with_max_length(n_sv, 10),
+            MultiChain::with_max_length(n_sv, 4),
+        ] {
+            let cfg = RlsConfig::new(8, 16, 64);
+            let out = extension::run_multichain(&c, &mc, &cfg);
+            t.row(vec![
+                out.chains.to_string(),
+                format!("{} cyc", out.scan_op_cycles),
+                out.initial_detected.to_string(),
+                out.pairs.len().to_string(),
+                out.total_detected.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * out.total_detected as f64 / out.total_faults as f64
+                ),
+                kilo(out.total_cycles),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

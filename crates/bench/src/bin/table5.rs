@@ -1,0 +1,29 @@
+//! Reproduces the paper's Table 5: the first 10 `(L_A, L_B, N)`
+//! combinations by increasing `N_cyc0`, for `N_SV = 21` and `N_SV = 74`.
+//!
+//! This table is a pure closed-form computation and reproduces the paper's
+//! numbers **exactly** (asserted by unit tests in `rls-core::params`).
+
+use rls_core::rank_combinations;
+use rls_core::report::TextTable;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("N_SV arguments must be integers"))
+        .collect();
+    let nsvs = if args.is_empty() { vec![21, 74] } else { args };
+    for n_sv in nsvs {
+        println!("Table 5: N_cyc0 ranking for N_SV = {n_sv}");
+        let mut t = TextTable::new(vec!["LA", "LB", "N", "Ncyc0"]);
+        for combo in rank_combinations(n_sv).into_iter().take(10) {
+            t.row(vec![
+                combo.la.to_string(),
+                combo.lb.to_string(),
+                combo.n.to_string(),
+                combo.ncyc0.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,34 @@
+//! Reproduces the paper's Table 7: the Table 6 experiment with `D1` tried
+//! in decreasing order (`10, 9, …, 1`), which prefers fewer limited scan
+//! operations and therefore longer at-speed runs.
+//!
+//! The reproduction target: `n̄_ls` drops relative to Table 6 while the
+//! pair count (`app`) tends to rise, with the same final coverage.
+//!
+//! Usage: `table7 [circuit...]`.
+
+use rls_bench::{combo_row, render_results, table6_row};
+use rls_core::D1Order;
+
+fn main() {
+    let names = rls_bench::circuits_from_args(&rls_benchmarks::table6_names());
+    let mut rows = Vec::new();
+    for name in &names {
+        eprintln!("[table7] running {name}…");
+        // The paper uses the same (L_A, L_B, N) as Table 6: find it with
+        // the increasing-order run, then re-run decreasing on it.
+        let chosen = table6_row(name, D1Order::Increasing, 20);
+        let c = rls_bench::circuit(name);
+        let info = rls_bench::target_for(&c, name);
+        rows.push(combo_row(
+            name,
+            chosen.combo,
+            D1Order::Decreasing,
+            &info.target,
+        ));
+    }
+    println!(
+        "{}",
+        render_results("Table 7: D1 tried in decreasing order (10..1)", &rows)
+    );
+}

@@ -1,0 +1,166 @@
+//! Shared harness code for the table-reproduction binaries.
+//!
+//! Each binary `tableN` regenerates the corresponding table of the paper:
+//!
+//! | Binary   | Paper table | Contents |
+//! |----------|-------------|----------|
+//! | `table1` | Tables 1–2  | The s27 worked example, with and without limited scan |
+//! | `table3` | Table 3     | `N_cyc` / `N_cyc0` grids for s208 |
+//! | `table4` | Table 4     | `N_cyc` / `N_cyc0` grids for s420 |
+//! | `table5` | Table 5     | `(L_A, L_B, N)` ranking by `N_cyc0` |
+//! | `table6` | Table 6     | Main results, first complete combination per circuit |
+//! | `table7` | Table 7     | Same with decreasing `D1` order |
+//! | `table8` | Table 8     | Several combinations per circuit |
+//!
+//! Run e.g. `cargo run --release -p rls-bench --bin table6 -- s208 s298`.
+//! With no arguments the binaries use their default circuit lists; `table6`
+//! through `table8` accept circuit names to restrict the run.
+
+use rls_core::experiment::{detectable_target, CircuitResult, TargetInfo};
+use rls_core::report::{kilo, TextTable};
+use rls_core::{CoverageTarget, D1Order};
+use rls_netlist::Circuit;
+
+/// Default PODEM backtrack limit for computing detectable targets.
+pub const DEFAULT_BACKTRACK_LIMIT: usize = 10_000;
+
+/// Resolves a benchmark circuit, panicking with a helpful message for
+/// unknown names.
+pub fn circuit(name: &str) -> Circuit {
+    rls_benchmarks::by_name(name).unwrap_or_else(|| {
+        panic!(
+            "unknown circuit `{name}`; known: {}",
+            rls_benchmarks::all_names().join(", ")
+        )
+    })
+}
+
+/// Computes the detectable-fault target for a circuit, logging the
+/// classification.
+///
+/// Very large circuits get a reduced PODEM backtrack limit: hard-to-prove
+/// faults land in `aborted` (excluded from the target and reported) instead
+/// of stalling the run for hours.
+pub fn target_for(c: &Circuit, name: &str) -> TargetInfo {
+    let limit = if c.num_gates() > 5000 {
+        200
+    } else if c.num_gates() > 600 {
+        1000
+    } else {
+        DEFAULT_BACKTRACK_LIMIT
+    };
+    let info = detectable_target(c, limit);
+    eprintln!(
+        "[{name}] faults: {} detectable, {} redundant, {} aborted",
+        info.detectable, info.redundant, info.aborted
+    );
+    info
+}
+
+/// Circuit names from argv, or the given default list.
+pub fn circuits_from_args(default: &[&str]) -> Vec<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        default.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    }
+}
+
+/// Renders Table 6/7/8-style rows.
+pub fn render_results(title: &str, rows: &[CircuitResult]) -> String {
+    let mut t = TextTable::new(vec![
+        "circuit", "LA,LB,N", "det", "cycles", "app", "det", "cycles", "ls", "complete",
+    ]);
+    for r in rows {
+        let (la, lb, n) = r.combo;
+        let (app_det, app_cycles, ls) = if r.app > 0 {
+            (
+                r.total_detected.to_string(),
+                kilo(r.total_cycles),
+                r.ls.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            )
+        } else {
+            (String::new(), String::new(), String::new())
+        };
+        t.row(vec![
+            r.name.clone(),
+            format!("{la},{lb},{n}"),
+            r.initial_detected.to_string(),
+            kilo(r.initial_cycles),
+            r.app.to_string(),
+            app_det,
+            app_cycles,
+            ls,
+            if r.complete { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    format!(
+        "{title}\n(initial: det/cycles of TS0; with lim. scan: app/det/cycles/ls)\n\n{}",
+        t.render()
+    )
+}
+
+/// Runs one circuit the Table 6 way: detectable target, ranked
+/// combinations, first complete one reported (falls back to the last tried
+/// row when none completes within `max_tries`).
+pub fn table6_row(name: &str, order: D1Order, max_tries: usize) -> CircuitResult {
+    let c = circuit(name);
+    let info = target_for(&c, name);
+    let outcome =
+        rls_core::experiment::first_complete_combo(&c, name, order, &info.target, max_tries);
+    outcome
+        .chosen()
+        .cloned()
+        .or_else(|| outcome.tried.last().cloned())
+        .expect("at least one combination is always tried")
+}
+
+/// Runs one circuit on an explicit combination (Table 7/8 style, where the
+/// combination is given rather than searched).
+pub fn combo_row(
+    name: &str,
+    combo: (usize, usize, usize),
+    order: D1Order,
+    target: &CoverageTarget,
+) -> CircuitResult {
+    let c = circuit(name);
+    rls_core::experiment::run_combo(&c, name, combo, order, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_resolves_known_names() {
+        assert_eq!(circuit("s27").num_dffs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown circuit")]
+    fn circuit_panics_on_unknown() {
+        circuit("nope");
+    }
+
+    #[test]
+    fn render_includes_headers_and_rows() {
+        let rows = vec![CircuitResult {
+            name: "s27".into(),
+            combo: (4, 8, 8),
+            initial_detected: 30,
+            initial_cycles: 147,
+            app: 1,
+            total_detected: 32,
+            total_cycles: 500,
+            ls: Some(0.41),
+            complete: true,
+            target_faults: 32,
+        }];
+        let s = render_results("Table X", &rows);
+        assert!(s.contains("circuit"));
+        assert!(s.contains("s27"));
+        assert!(s.contains("0.41"));
+        assert!(s.contains("yes"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Small hand-written parametric circuit families.
+//!
+//! Used throughout the test suites where a circuit with *known* functional
+//! behaviour is needed (the synthetic stand-ins are deliberately random).
+
+use rls_netlist::{Circuit, GateKind, NetId};
+
+/// An `n`-bit binary up-counter with enable.
+///
+/// Inputs: `en`. Outputs: every counter bit. The carry chain makes the
+/// high bits hard to toggle functionally (bit `i` toggles every `2^i`
+/// enabled cycles) — a natural source of sequence-length-sensitive faults.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn counter(n: usize) -> Circuit {
+    assert!(n > 0, "counter needs at least one bit");
+    let mut c = Circuit::new(format!("counter{n}"));
+    let en = c.add_input("en");
+    let bits: Vec<NetId> = (0..n)
+        .map(|i| c.add_dff_placeholder(format!("q{i}")))
+        .collect();
+    // carry[0] = en; carry[i] = carry[i-1] & q[i-1]; next q[i] = q[i] ^ carry[i].
+    let mut carry = en;
+    for (i, &q) in bits.iter().enumerate() {
+        let next = c.add_gate(format!("nx{i}"), GateKind::Xor, vec![q, carry]);
+        c.connect_dff(q, next).expect("fresh placeholder");
+        if i + 1 < n {
+            carry = c.add_gate(format!("cy{i}"), GateKind::And, vec![carry, q]);
+        }
+    }
+    for &q in &bits {
+        c.add_output(q);
+    }
+    c.validated().expect("counter is well-formed")
+}
+
+/// An `n`-bit serial-in shift register observing only the last stage.
+///
+/// Inputs: `sin`. Output: the final stage. Faults near the input need `n`
+/// functional cycles to propagate — the canonical motivation for longer
+/// at-speed sequences.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn shift_register(n: usize) -> Circuit {
+    assert!(n > 0, "shift register needs at least one stage");
+    let mut c = Circuit::new(format!("shiftreg{n}"));
+    let sin = c.add_input("sin");
+    let mut prev = sin;
+    let mut last = None;
+    for i in 0..n {
+        // A buffer between stages gives each stage testable gate faults.
+        let buf = c.add_gate(format!("b{i}"), GateKind::Buf, vec![prev]);
+        let q = c.add_dff(format!("q{i}"), buf);
+        prev = q;
+        last = Some(q);
+    }
+    c.add_output(last.expect("n > 0"));
+    c.validated().expect("shift register is well-formed")
+}
+
+/// A comparator-gated toggle: an `n`-bit state that only toggles its flag
+/// flip-flop when the state equals a magic constant.
+///
+/// This is the classic random-pattern-resistant structure: the flag's
+/// faults require the state to hit one specific value. With full scan the
+/// value can be scanned in; functionally it is nearly unreachable.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 63`.
+pub fn magic_toggle(n: usize, magic: u64) -> Circuit {
+    assert!(n > 0 && n < 64, "state width must be 1..=63");
+    let mut c = Circuit::new(format!("magic{n}"));
+    let din = c.add_input("din");
+    let state: Vec<NetId> = (0..n)
+        .map(|i| c.add_dff_placeholder(format!("s{i}")))
+        .collect();
+    let flag = c.add_dff_placeholder("flag");
+    // State shifts in din.
+    let mut prev = din;
+    for (i, &s) in state.iter().enumerate() {
+        let buf = c.add_gate(format!("sb{i}"), GateKind::Buf, vec![prev]);
+        c.connect_dff(s, buf).expect("fresh placeholder");
+        prev = s;
+    }
+    // match = AND over (s_i XNOR magic_i).
+    let mut terms = Vec::with_capacity(n);
+    for (i, &s) in state.iter().enumerate() {
+        let bit = magic >> i & 1 == 1;
+        let term = if bit {
+            c.add_gate(format!("m{i}"), GateKind::Buf, vec![s])
+        } else {
+            c.add_gate(format!("m{i}"), GateKind::Not, vec![s])
+        };
+        terms.push(term);
+    }
+    let matched = if terms.len() == 1 {
+        terms[0]
+    } else {
+        c.add_gate("match", GateKind::And, terms)
+    };
+    let toggled = c.add_gate("toggled", GateKind::Xor, vec![flag, matched]);
+    c.connect_dff(flag, toggled).expect("fresh placeholder");
+    c.add_output(flag);
+    c.validated().expect("magic toggle is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shape() {
+        let c = counter(4);
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_dffs(), 4);
+        assert_eq!(c.num_outputs(), 4);
+        // n XORs + (n-1) ANDs.
+        assert_eq!(c.num_gates(), 4 + 3);
+    }
+
+    #[test]
+    fn counter_one_bit() {
+        let c = counter(1);
+        assert_eq!(c.num_gates(), 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn shift_register_shape() {
+        let c = shift_register(8);
+        assert_eq!(c.num_dffs(), 8);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_gates(), 8);
+    }
+
+    #[test]
+    fn magic_toggle_shape() {
+        let c = magic_toggle(6, 0b101101);
+        assert_eq!(c.num_dffs(), 7); // 6 state + flag
+        assert_eq!(c.num_outputs(), 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_counter_rejected() {
+        counter(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state width")]
+    fn oversize_magic_rejected() {
+        magic_toggle(64, 0);
+    }
+}

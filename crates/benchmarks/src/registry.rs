@@ -1,0 +1,83 @@
+//! Name-based circuit lookup.
+//!
+//! `s27` resolves to the real embedded netlist; every other circuit of the
+//! paper's tables resolves to its profile-matched synthetic stand-in (see
+//! the crate docs and DESIGN.md).
+
+use rls_netlist::Circuit;
+
+use crate::profiles::PAPER_PROFILES;
+use crate::s27::s27;
+use crate::synth::SynthConfig;
+
+/// Builds the circuit registered under `name`, or `None` for unknown names.
+///
+/// # Example
+///
+/// ```
+/// assert!(rls_benchmarks::by_name("s27").is_some());
+/// assert!(rls_benchmarks::by_name("c6288").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Circuit> {
+    if name == "s27" {
+        return Some(s27());
+    }
+    PAPER_PROFILES
+        .iter()
+        .find(|p| p.name == name)
+        .map(|p| SynthConfig::from_profile(p).build())
+}
+
+/// All registered circuit names, in the paper's table order.
+pub fn all_names() -> Vec<&'static str> {
+    PAPER_PROFILES.iter().map(|p| p.name).collect()
+}
+
+/// The circuits of the paper's Table 6, in row order.
+pub fn table6_names() -> Vec<&'static str> {
+    vec![
+        "s208", "s298", "s344", "s382", "s400", "s420", "s510", "s641", "s820", "s953", "s1196",
+        "s1423", "s5378", "s35932", "b01", "b02", "b03", "b04", "b06", "b09", "b10", "b11",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_is_the_real_netlist() {
+        let c = by_name("s27").unwrap();
+        assert_eq!(c.num_gates(), 10);
+        assert!(c.find("G17").is_some());
+    }
+
+    #[test]
+    fn stand_ins_match_nsv() {
+        for (name, nsv) in [("s208", 8), ("s420", 16), ("s1423", 74), ("b09", 28)] {
+            let c = by_name(name).unwrap();
+            assert_eq!(c.num_dffs(), nsv, "{name}");
+        }
+    }
+
+    #[test]
+    fn table6_names_are_all_registered() {
+        for name in table6_names() {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn all_names_contains_s27_and_table6() {
+        let names = all_names();
+        assert!(names.contains(&"s27"));
+        for n in table6_names() {
+            assert!(names.contains(&n), "{n}");
+        }
+    }
+
+    #[test]
+    fn unknown_is_none() {
+        assert!(by_name("s9234").is_none());
+    }
+}

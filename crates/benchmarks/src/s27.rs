@@ -1,0 +1,82 @@
+//! The ISCAS-89 circuit `s27`, embedded verbatim.
+//!
+//! `s27` is small enough to be published in full in the literature and is
+//! the circuit of the paper's worked example (Section 2, Tables 1–2): 4
+//! primary inputs, 1 primary output, 3 flip-flops, 10 gates.
+
+use rls_netlist::{parse_bench, Circuit};
+
+/// The `.bench` source of `s27`.
+pub const S27_BENCH: &str = "\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// Builds the `s27` circuit.
+///
+/// # Panics
+///
+/// Never panics in practice; the embedded source is well-formed (covered by
+/// tests).
+pub fn s27() -> Circuit {
+    parse_bench("s27", S27_BENCH).expect("embedded s27 netlist is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_has_published_shape() {
+        let c = s27();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 3);
+        assert_eq!(c.num_gates(), 10);
+    }
+
+    #[test]
+    fn s27_validates() {
+        assert!(s27().validate().is_ok());
+    }
+
+    #[test]
+    fn s27_flip_flop_order_is_g5_g6_g7() {
+        // The paper writes states as three-bit strings; the conventional
+        // ordering (and ours) is G5, G6, G7.
+        let c = s27();
+        let names: Vec<&str> = c.dffs().iter().map(|&f| c.node(f).name.as_str()).collect();
+        assert_eq!(names, ["G5", "G6", "G7"]);
+    }
+
+    #[test]
+    fn s27_output_is_g17() {
+        let c = s27();
+        assert_eq!(c.node(c.outputs()[0]).name, "G17");
+    }
+
+    #[test]
+    fn s27_depth() {
+        // Longest combinational path: G5/G9-side feedback through
+        // G14 -> G8 -> G15/G16 -> G9 -> G11 -> G10/G17.
+        let lv = s27().levelize().unwrap();
+        assert!(lv.depth() >= 4, "depth {}", lv.depth());
+    }
+}

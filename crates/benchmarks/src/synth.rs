@@ -1,0 +1,473 @@
+//! Deterministic, profile-matched synthetic circuit generation.
+//!
+//! Stand-ins for benchmark circuits whose netlists cannot be shipped. A
+//! synthesized circuit matches its profile's interface exactly (PI/PO/FF
+//! counts — `N_SV` in particular, since it enters the paper's cycle
+//! formulas) and approximates the gate count. Structure is random but
+//! seasoned to reproduce the *qualitative* behaviour the paper's method
+//! depends on:
+//!
+//! - **Random-pattern-resistant cones**: a few wide AND/NOR gates whose
+//!   outputs are rarely activated by random patterns, so the initial random
+//!   test set leaves faults undetected;
+//! - **Compressive next-state logic**: a bias toward AND/NOR gates feeding
+//!   flip-flops, so the at-speed functional walk drifts toward low-entropy
+//!   states and mid-test limited scans (which re-randomize part of the
+//!   state) add real controllability;
+//! - **Partial state observability**: only some flip-flops reach primary
+//!   outputs through shallow logic, so the scan-out bits observed during
+//!   limited scans add real observability.
+//!
+//! Generation is fully deterministic in the config (seed included): the same
+//! config always yields the same circuit, which the experiments rely on.
+
+use rls_lfsr::{RandomSource, XorShift64};
+use rls_netlist::{Circuit, GateKind, NetId};
+
+use crate::profiles::Profile;
+
+/// Configuration for the synthetic generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Name given to the generated circuit.
+    pub name: String,
+    /// Number of primary inputs (≥ 1).
+    pub inputs: usize,
+    /// Number of primary outputs (≥ 1).
+    pub outputs: usize,
+    /// Number of flip-flops.
+    pub dffs: usize,
+    /// Target number of combinational gates (the result may exceed this by
+    /// a small fix-up margin).
+    pub gates: usize,
+    /// RNG seed; the default derives it from the name so each named
+    /// stand-in is stable across runs.
+    pub seed: u64,
+    /// Number of wide random-pattern-resistant gates to inject.
+    pub resistant_gates: usize,
+    /// Maximum fanin of resistant gates.
+    pub resistant_width: usize,
+}
+
+impl SynthConfig {
+    /// A config matching a published profile, with resistance scaled to the
+    /// circuit size and a name-derived seed.
+    pub fn from_profile(profile: &Profile) -> Self {
+        let resistant_gates = (profile.gates / 40).clamp(1, 16);
+        SynthConfig {
+            name: profile.name.to_string(),
+            inputs: profile.inputs,
+            outputs: profile.outputs,
+            dffs: profile.dffs,
+            gates: profile.gates,
+            seed: seed_from_name(profile.name),
+            resistant_gates,
+            resistant_width: 7,
+        }
+    }
+
+    /// Builds the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs == 0`, `outputs == 0`, or `gates == 0`.
+    pub fn build(&self) -> Circuit {
+        assert!(self.inputs > 0, "need at least one primary input");
+        assert!(self.outputs > 0, "need at least one primary output");
+        assert!(self.gates > 0, "need at least one gate");
+        let mut rng = XorShift64::new(self.seed);
+        let mut c = Circuit::new(self.name.clone());
+        let mut pool: Vec<NetId> = Vec::new();
+        for i in 0..self.inputs {
+            pool.push(c.add_input(format!("pi{i}")));
+        }
+        let mut ffs: Vec<NetId> = Vec::new();
+        for i in 0..self.dffs {
+            let ff = c.add_dff_placeholder(format!("ff{i}"));
+            ffs.push(ff);
+            pool.push(ff);
+        }
+        // Decide where the resistant gates go (spread through the id range,
+        // but not in the first tenth so they have signals to draw from).
+        let mut resist_slots: Vec<usize> = (0..self.resistant_gates.min(self.gates))
+            .map(|k| {
+                let lo = self.gates / 10;
+                let span = self.gates - lo;
+                lo + (k * span) / self.resistant_gates.max(1)
+            })
+            .collect();
+        resist_slots.dedup();
+        let mut gate_ids: Vec<NetId> = Vec::with_capacity(self.gates);
+        for g in 0..self.gates {
+            let id = if resist_slots.contains(&g) {
+                self.make_resistant_gate(&mut c, &mut rng, &pool, g)
+            } else {
+                self.make_regular_gate(&mut c, &mut rng, &pool, g)
+            };
+            gate_ids.push(id);
+            pool.push(id);
+        }
+        self.connect_state(&mut c, &mut rng, &ffs, &gate_ids);
+        self.connect_outputs(&mut c, &mut rng, &gate_ids);
+        ensure_all_observed(&mut c, &mut rng);
+        c.validated()
+            .expect("generator maintains structural invariants")
+    }
+
+    fn pick_fanin(&self, rng: &mut XorShift64, pool: &[NetId], fanin: &mut Vec<NetId>) {
+        // Mild locality bias: some draws come from a recent window so the
+        // circuit gains depth, but most come from anywhere — heavy
+        // locality would produce long thin chains whose side conditions
+        // make propagation (and thus random-pattern detection)
+        // unrealistically hard.
+        let window = 64.min(pool.len());
+        let id = if rng.draw_mod(10) < 3 && window > 0 {
+            pool[pool.len() - 1 - rng.draw_mod(window as u32) as usize]
+        } else {
+            pool[rng.draw_mod(pool.len() as u32) as usize]
+        };
+        if !fanin.contains(&id) {
+            fanin.push(id);
+        }
+    }
+
+    fn make_regular_gate(
+        &self,
+        c: &mut Circuit,
+        rng: &mut XorShift64,
+        pool: &[NetId],
+        index: usize,
+    ) -> NetId {
+        // Kind weights: inverting-heavy like mapped benchmark logic.
+        // Inverting gates self-balance signal probabilities (NAND of two
+        // p=0.5 signals is p=0.75, then 0.44, …), which keeps internal
+        // nets non-constant — non-inverting AND/OR chains would drift to
+        // constants and flood the fault list with redundancies.
+        let kind = match rng.draw_mod(20) {
+            0..=4 => GateKind::Nand,
+            5..=9 => GateKind::Nor,
+            10 => GateKind::And,
+            11 => GateKind::Or,
+            12..=14 => GateKind::Xor,
+            15 => GateKind::Xnor,
+            16..=17 => GateKind::Not,
+            _ => GateKind::Buf,
+        };
+        let arity = if kind.is_unary() {
+            1
+        } else {
+            match rng.draw_mod(20) {
+                0..=15 => 2,
+                16..=18 => 3,
+                _ => 4,
+            }
+        };
+        let mut fanin = Vec::with_capacity(arity);
+        let mut attempts = 0;
+        while fanin.len() < arity && attempts < arity * 8 {
+            self.pick_fanin(rng, pool, &mut fanin);
+            attempts += 1;
+        }
+        if fanin.is_empty() {
+            fanin.push(pool[0]);
+        }
+        let kind = if fanin.len() == 1 && !kind.is_unary() {
+            GateKind::Buf
+        } else {
+            kind
+        };
+        c.add_gate(format!("g{index}"), kind, fanin)
+    }
+
+    fn make_resistant_gate(
+        &self,
+        c: &mut Circuit,
+        rng: &mut XorShift64,
+        pool: &[NetId],
+        index: usize,
+    ) -> NetId {
+        let kind = if rng.draw_mod(2) == 0 {
+            GateKind::And
+        } else {
+            GateKind::Nor
+        };
+        // Fanins come from sources (primary inputs and flip-flop outputs):
+        // sources are mutually independent under random patterns, so the
+        // wide gate is genuinely low-probability (2^-width) rather than
+        // accidentally constant through correlated internal logic — it is
+        // random-pattern-resistant but never redundant.
+        let sources: Vec<NetId> = pool
+            .iter()
+            .copied()
+            .filter(|&id| !c.node(id).is_gate())
+            .collect();
+        let from = if sources.len() >= 3 { &sources } else { pool };
+        let width = self.resistant_width.min(from.len()).max(1);
+        let mut fanin = Vec::with_capacity(width);
+        let mut attempts = 0;
+        while fanin.len() < width && attempts < width * 10 {
+            let id = from[rng.draw_mod(from.len() as u32) as usize];
+            if !fanin.contains(&id) {
+                fanin.push(id);
+            }
+            attempts += 1;
+        }
+        c.add_gate(format!("g{index}_hard"), kind, fanin)
+    }
+
+    fn connect_state(
+        &self,
+        c: &mut Circuit,
+        rng: &mut XorShift64,
+        ffs: &[NetId],
+        gate_ids: &[NetId],
+    ) {
+        for (i, &ff) in ffs.iter().enumerate() {
+            // Draw from the deeper half of the netlist; bias half the
+            // flip-flops toward compressive (AND/NOR) drivers.
+            let half = gate_ids.len() / 2;
+            let deep = &gate_ids[half..];
+            let compressive = i % 2 == 0;
+            let mut choice = deep[rng.draw_mod(deep.len() as u32) as usize];
+            if compressive {
+                for _ in 0..8 {
+                    let cand = deep[rng.draw_mod(deep.len() as u32) as usize];
+                    if matches!(
+                        c.node(cand).kind,
+                        rls_netlist::NodeKind::Gate {
+                            kind: GateKind::And | GateKind::Nor,
+                            ..
+                        }
+                    ) {
+                        choice = cand;
+                        break;
+                    }
+                }
+            }
+            c.connect_dff(ff, choice)
+                .expect("placeholders are unconnected");
+        }
+    }
+
+    fn connect_outputs(&self, c: &mut Circuit, rng: &mut XorShift64, gate_ids: &[NetId]) {
+        let mut used: Vec<NetId> = Vec::new();
+        for _ in 0..self.outputs {
+            let mut choice = gate_ids[rng.draw_mod(gate_ids.len() as u32) as usize];
+            // Prefer distinct outputs while possible.
+            for _ in 0..8 {
+                if !used.contains(&choice) {
+                    break;
+                }
+                choice = gate_ids[rng.draw_mod(gate_ids.len() as u32) as usize];
+            }
+            used.push(choice);
+            c.add_output(choice);
+        }
+    }
+}
+
+fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Routes every unused source and every unobserved cone tip into an XOR
+/// observation tree exposed as an extra primary output.
+///
+/// XOR propagates unconditionally (no controlling value), so attaching a
+/// cone through it never creates masking redundancies — unlike appending
+/// extra fanins to AND/OR-family hosts, which proved to flood the fault
+/// list with genuinely redundant faults. Real netlists achieve the same
+/// effect with designed observability; the XOR tree is the synthetic
+/// stand-in for it.
+fn ensure_all_observed(c: &mut Circuit, _rng: &mut XorShift64) {
+    let mut tips: Vec<NetId> = Vec::new();
+    // Unused sources.
+    let fanout = c.fanout();
+    for &src in c.inputs().iter().chain(c.dffs().iter()) {
+        if fanout[src.index()].is_empty() {
+            tips.push(src);
+        }
+    }
+    // Unobserved cone tips: walk unobserved gates from the highest id; each
+    // tip covers its whole fanin cone.
+    let observed = observed_set(c);
+    let mut covered = observed.clone();
+    for i in (0..c.len()).rev() {
+        let id = NetId(i as u32);
+        if !c.node(id).is_gate() || covered[i] {
+            continue;
+        }
+        tips.push(id);
+        // Mark the cone.
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if covered[n.index()] {
+                continue;
+            }
+            covered[n.index()] = true;
+            stack.extend(c.node(n).fanin().iter().copied());
+        }
+    }
+    if tips.is_empty() {
+        return;
+    }
+    // Build a 4-ary XOR tree over the tips and expose its root.
+    let mut layer = tips;
+    let mut counter = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(4));
+        for chunk in layer.chunks(4) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                let g = c.add_gate(format!("obs{counter}"), GateKind::Xor, chunk.to_vec());
+                counter += 1;
+                next.push(g);
+            }
+        }
+        layer = next;
+    }
+    c.add_output(layer[0]);
+}
+
+/// Computes which nets have a path to an observation point (primary output
+/// or a flip-flop data input). Exposed for tests and the registry's
+/// sanity checks.
+pub(crate) fn observed_set(c: &Circuit) -> Vec<bool> {
+    let mut observed = vec![false; c.len()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for &po in c.outputs() {
+        stack.push(po);
+    }
+    for &ff in c.dffs() {
+        if let rls_netlist::NodeKind::Dff { d: Some(d) } = c.node(ff).kind {
+            stack.push(d);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if observed[id.index()] {
+            continue;
+        }
+        observed[id.index()] = true;
+        for &f in c.node(id).fanin() {
+            stack.push(f);
+        }
+    }
+    observed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{profile, PAPER_PROFILES};
+
+    #[test]
+    fn builds_every_paper_profile() {
+        for p in PAPER_PROFILES {
+            if p.name == "s35932" {
+                continue; // exercised in the (slower) dedicated test below
+            }
+            let c = SynthConfig::from_profile(p).build();
+            assert_eq!(c.num_inputs(), p.inputs, "{}", p.name);
+            assert_eq!(c.num_dffs(), p.dffs, "{}", p.name);
+            assert!(c.num_outputs() >= p.outputs, "{}", p.name);
+            assert!(c.num_gates() >= p.gates, "{}", p.name);
+            assert!(c.validate().is_ok(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn builds_the_largest_profile() {
+        let p = profile("s35932").unwrap();
+        let c = SynthConfig::from_profile(p).build();
+        assert_eq!(c.num_dffs(), 1728);
+        assert!(c.num_gates() >= 16065);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile("s298").unwrap();
+        let a = SynthConfig::from_profile(p).build();
+        let b = SynthConfig::from_profile(p).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = profile("s298").unwrap();
+        let mut cfg = SynthConfig::from_profile(p);
+        let a = cfg.build();
+        cfg.seed ^= 1;
+        let b = cfg.build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_pi_and_ff_drives_logic() {
+        let p = profile("s641").unwrap();
+        let c = SynthConfig::from_profile(p).build();
+        let fanout = c.fanout();
+        for &pi in c.inputs() {
+            assert!(!fanout[pi.index()].is_empty(), "unused PI");
+        }
+        for &ff in c.dffs() {
+            assert!(!fanout[ff.index()].is_empty(), "unused FF");
+        }
+    }
+
+    #[test]
+    fn every_gate_reaches_an_observation_point() {
+        let p = profile("s953").unwrap();
+        let c = SynthConfig::from_profile(p).build();
+        let observed = observed_set(&c);
+        for (i, node) in c.nodes().iter().enumerate() {
+            if node.is_gate() {
+                assert!(observed[i], "gate {} unobserved", node.name);
+            }
+        }
+    }
+
+    #[test]
+    fn resistant_gates_are_present_and_wide() {
+        let p = profile("s1196").unwrap();
+        let c = SynthConfig::from_profile(p).build();
+        let wide = c
+            .nodes()
+            .iter()
+            .filter(|n| n.name.ends_with("_hard"))
+            .count();
+        assert!(wide >= 1);
+        for n in c.nodes().iter().filter(|n| n.name.ends_with("_hard")) {
+            assert!(n.fanin().len() >= 2);
+        }
+    }
+
+    #[test]
+    fn has_depth() {
+        let p = profile("s1423").unwrap();
+        let c = SynthConfig::from_profile(p).build();
+        assert!(c.levelize().unwrap().depth() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one primary input")]
+    fn zero_inputs_rejected() {
+        SynthConfig {
+            name: "bad".into(),
+            inputs: 0,
+            outputs: 1,
+            dffs: 0,
+            gates: 1,
+            seed: 0,
+            resistant_gates: 0,
+            resistant_width: 4,
+        }
+        .build();
+    }
+}

@@ -1,0 +1,26 @@
+//! Cycle-accurate BIST controller model.
+//!
+//! The paper's premise is that random limited-scan test generation "can be
+//! performed by LFSRs with minimal additional control logic". This crate
+//! *demonstrates* that premise instead of assuming it:
+//!
+//! - [`misr`]: a multiple-input signature register for response compaction
+//!   (signature comparison replaces per-bit output comparison on chip);
+//! - [`controller`]: a clock-stepped controller FSM with the counters and
+//!   comparators the paper's scheme needs (`L_A`/`L_B`/`N` counters, the
+//!   `r1 mod D1` insertion coin, the `r2 mod D2` shift counter). Stepping
+//!   the FSM reproduces, cycle for cycle, the cost formulas of `rls-core`
+//!   and, bit for bit, the test sets of Procedures 1 and 2;
+//! - [`session`]: applying a whole session (TS0 + selected pairs) through
+//!   the controller against a circuit, with MISR-compacted responses.
+//!
+//! The equivalence tests in this crate are the reproduction's proof that
+//! the software procedures and the hardware realization agree.
+
+pub mod controller;
+pub mod misr;
+pub mod session;
+
+pub use controller::{BistController, ControllerConfig, Event};
+pub use misr::Misr;
+pub use session::{run_session, SessionReport};

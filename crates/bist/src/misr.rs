@@ -1,0 +1,176 @@
+//! Multiple-input signature register (MISR).
+//!
+//! On chip, test responses are not compared bit-by-bit: they are compacted
+//! into a signature and one comparison against the fault-free ("golden")
+//! signature decides pass/fail. A MISR is a Galois LFSR whose state is
+//! additionally XORed with a parallel input word every cycle.
+
+use rls_lfsr::{primitive_taps, LfsrError};
+
+/// A multiple-input signature register of up to 64 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    state: u64,
+    taps: u64,
+    width: u32,
+}
+
+impl Misr {
+    /// Creates a MISR with the built-in primitive polynomial of `width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError::UnsupportedDegree`] outside 2–64.
+    pub fn new(width: u32) -> Result<Self, LfsrError> {
+        let taps = primitive_taps(width)?;
+        Ok(Misr {
+            state: 0,
+            taps,
+            width,
+        })
+    }
+
+    /// The register width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> u64 {
+        self.state
+    }
+
+    /// Resets the signature to zero.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// Compacts one parallel input word (low `width` bits used).
+    pub fn shift_word(&mut self, word: u64) {
+        let mask = if self.width == 64 {
+            !0u64
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if out {
+            self.state ^= self.taps;
+        }
+        self.state ^= word & mask;
+        self.state &= mask;
+    }
+
+    /// Compacts a bit slice (packed little-endian into one word per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bits than the register width are given.
+    pub fn shift_bits(&mut self, bits: &[bool]) {
+        assert!(
+            bits.len() <= self.width as usize,
+            "input wider than the register"
+        );
+        let mut word = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            word |= u64::from(b) << i;
+        }
+        self.shift_word(word);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_stream_same_signature() {
+        let mut a = Misr::new(16).unwrap();
+        let mut b = Misr::new(16).unwrap();
+        for w in [3u64, 99, 0xFFFF, 0, 42] {
+            a.shift_word(w);
+            b.shift_word(w);
+        }
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = Misr::new(16).unwrap();
+        let mut b = Misr::new(16).unwrap();
+        a.shift_word(1);
+        b.shift_word(2);
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn single_bit_error_always_changes_signature_within_window() {
+        // A MISR is linear: a single flipped input bit flips the signature
+        // unless shifted out... within width cycles it must differ.
+        let stream = [0u64, 0, 0, 0];
+        let mut clean = Misr::new(16).unwrap();
+        for &w in &stream {
+            clean.shift_word(w);
+        }
+        for err_pos in 0..stream.len() {
+            let mut dirty = Misr::new(16).unwrap();
+            for (i, &w) in stream.iter().enumerate() {
+                dirty.shift_word(if i == err_pos { w ^ 1 } else { w });
+            }
+            assert_ne!(dirty.signature(), clean.signature(), "pos {err_pos}");
+        }
+    }
+
+    #[test]
+    fn aliasing_is_rare() {
+        // Random double-bit errors across a 32-bit MISR should almost never
+        // alias back to the clean signature.
+        use rls_lfsr::{RandomSource, XorShift64};
+        let mut rng = XorShift64::new(5);
+        let mut aliases = 0;
+        for _ in 0..2000 {
+            let stream: Vec<u64> = (0..8).map(|_| rng.next_bits(32)).collect();
+            let mut clean = Misr::new(32).unwrap();
+            for &w in &stream {
+                clean.shift_word(w);
+            }
+            let mut dirty = Misr::new(32).unwrap();
+            let flip_at = (rng.next_u32() % 8) as usize;
+            let flip_bit = rng.next_u32() % 32;
+            for (i, &w) in stream.iter().enumerate() {
+                let w = if i == flip_at { w ^ (1 << flip_bit) } else { w };
+                dirty.shift_word(w);
+            }
+            if dirty.signature() == clean.signature() {
+                aliases += 1;
+            }
+        }
+        assert_eq!(
+            aliases, 0,
+            "single-error aliasing is impossible in a linear MISR"
+        );
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Misr::new(8).unwrap();
+        m.shift_word(0xAB);
+        assert_ne!(m.signature(), 0);
+        m.reset();
+        assert_eq!(m.signature(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the register")]
+    fn oversized_bit_input_panics() {
+        let mut m = Misr::new(4).unwrap();
+        m.shift_bits(&[false; 5]);
+    }
+
+    #[test]
+    fn width_64_works() {
+        let mut m = Misr::new(64).unwrap();
+        m.shift_word(!0);
+        assert_ne!(m.signature(), 0);
+    }
+}

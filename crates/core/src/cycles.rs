@@ -1,0 +1,136 @@
+//! The paper's clock-cycle cost model.
+//!
+//! - `N_cyc0 = (2N+1) · N_SV + N · (L_A + L_B)` — applying `TS0`: `2N`
+//!   tests need `2N+1` complete scan operations (scan-out of one test
+//!   overlaps the scan-in of the next), plus one cycle per at-speed vector.
+//! - `N_cyc(I, D1) = N_cyc0 + N_SH(I, D1)` — applying a derived set adds
+//!   the limited-scan shift cycles `N_SH`.
+//! - `N_cyc = N_cyc0 + Σ N_cyc(I, D1)` over the selected pairs — the whole
+//!   session applies `TS0` once, then every selected derived set.
+
+use rls_fsim::ScanTest;
+
+/// The paper's `N_cyc0` for a circuit with `n_sv` state variables.
+///
+/// # Example
+///
+/// ```
+/// // Table 3: s208 (N_SV = 8) with L_A = 8, L_B = 16, N = 64.
+/// assert_eq!(rls_core::ncyc0(8, 8, 16, 64), 2568);
+/// ```
+pub fn ncyc0(n_sv: usize, la: usize, lb: usize, n: usize) -> u64 {
+    (2 * n as u64 + 1) * n_sv as u64 + n as u64 * (la as u64 + lb as u64)
+}
+
+/// The limited-scan shift cycles `N_SH` of a derived test set.
+pub fn nsh(tests: &[ScanTest]) -> u64 {
+    tests.iter().map(ScanTest::shift_cycles).sum()
+}
+
+/// The cycles to apply one derived set: `N_cyc0 + N_SH`.
+pub fn ncyc_derived(n_sv: usize, la: usize, lb: usize, n: usize, tests: &[ScanTest]) -> u64 {
+    ncyc0(n_sv, la, lb, n) + nsh(tests)
+}
+
+/// Measures the cycles of an explicit test list by walking its operations
+/// (used to cross-check the closed formulas): `scans + 1` complete scan
+/// operations for `scans` tests, each vector one cycle, each limited scan
+/// its shift count.
+pub fn measured_cycles(n_sv: usize, tests: &[ScanTest]) -> u64 {
+    if tests.is_empty() {
+        return 0;
+    }
+    let scan_ops = tests.len() as u64 + 1;
+    let vectors: u64 = tests.iter().map(|t| t.len() as u64).sum();
+    scan_ops * n_sv as u64 + vectors + nsh(tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RlsConfig;
+    use crate::procedure1::derive_test_set;
+    use crate::ts0::generate_ts0;
+
+    #[test]
+    fn table3_ncyc0_values_for_s208() {
+        // Every N_cyc0 entry of the paper's Table 3 (N_SV = 8).
+        let expect = [
+            // (la, lb, n, ncyc0)
+            (8, 16, 64, 2568),
+            (8, 32, 64, 3592),
+            (8, 64, 64, 5640),
+            (8, 128, 64, 9736),
+            (8, 256, 64, 17928),
+            (16, 32, 64, 4104),
+            (16, 64, 64, 6152),
+            (16, 128, 64, 10248),
+            (16, 256, 64, 18440),
+            (32, 64, 64, 7176),
+            (32, 128, 64, 11272),
+            (32, 256, 64, 19464),
+            (64, 128, 64, 13320),
+            (64, 256, 64, 21512),
+            (8, 16, 128, 5128),
+            (8, 16, 256, 10248),
+            (64, 256, 256, 86024),
+        ];
+        for (la, lb, n, want) in expect {
+            assert_eq!(ncyc0(8, la, lb, n), want, "({la},{lb},{n})");
+        }
+    }
+
+    #[test]
+    fn table4_ncyc0_values_for_s420() {
+        // Spot checks of the paper's Table 4 (N_SV = 16).
+        assert_eq!(ncyc0(16, 8, 16, 64), 3600);
+        assert_eq!(ncyc0(16, 8, 32, 128), 9232);
+        assert_eq!(ncyc0(16, 64, 256, 256), 90128);
+    }
+
+    #[test]
+    fn table5_ncyc0_values() {
+        // N_SV = 21 and N_SV = 74 columns of Table 5.
+        assert_eq!(ncyc0(21, 8, 16, 64), 4245);
+        assert_eq!(ncyc0(21, 8, 32, 64), 5269);
+        assert_eq!(ncyc0(21, 16, 32, 64), 5781);
+        assert_eq!(ncyc0(74, 8, 16, 64), 11082);
+        assert_eq!(ncyc0(74, 64, 128, 64), 21834);
+    }
+
+    #[test]
+    fn formula_matches_measured_application() {
+        // The closed formula equals cycle-walking the actual TS0.
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(8, 16, 64);
+        let ts0 = generate_ts0(&c, &cfg);
+        assert_eq!(
+            measured_cycles(c.num_dffs(), &ts0),
+            ncyc0(c.num_dffs(), 8, 16, 64)
+        );
+    }
+
+    #[test]
+    fn derived_cost_adds_shift_cycles() {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(8, 16, 64);
+        let ts0 = generate_ts0(&c, &cfg);
+        let derived = derive_test_set(&ts0, &cfg, 1, 1, cfg.d2(c.num_dffs()));
+        let shifts = nsh(&derived);
+        assert!(shifts > 0);
+        assert_eq!(
+            ncyc_derived(c.num_dffs(), 8, 16, 64, &derived),
+            ncyc0(c.num_dffs(), 8, 16, 64) + shifts
+        );
+        assert_eq!(
+            measured_cycles(c.num_dffs(), &derived),
+            ncyc_derived(c.num_dffs(), 8, 16, 64, &derived)
+        );
+    }
+
+    #[test]
+    fn empty_test_list_costs_nothing() {
+        assert_eq!(measured_cycles(8, &[]), 0);
+        assert_eq!(nsh(&[]), 0);
+    }
+}

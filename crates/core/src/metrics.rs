@@ -1,0 +1,89 @@
+//! Quality metrics of the paper's tables.
+
+use std::fmt;
+
+/// The paper's `n̄_ls`: the average number of time units with a limited
+/// scan operation per vector time unit, over all tests of the selected
+/// sets (`TS0` excluded).
+///
+/// Its reciprocal estimates the average length of a primary-input sequence
+/// applied at speed between scan operations: `n̄_ls = 0.50` means a limited
+/// scan every 2 time units on average.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsAverage {
+    units: u64,
+    vectors: u64,
+}
+
+impl LsAverage {
+    /// Creates the metric from totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors == 0`.
+    pub fn new(units: u64, vectors: u64) -> Self {
+        assert!(vectors > 0, "need at least one vector time unit");
+        LsAverage { units, vectors }
+    }
+
+    /// The average as a float.
+    pub fn value(&self) -> f64 {
+        self.units as f64 / self.vectors as f64
+    }
+
+    /// The implied average at-speed sequence length between scan
+    /// operations (`1 / n̄_ls`), or `None` when no limited scans occurred.
+    pub fn avg_at_speed_run(&self) -> Option<f64> {
+        if self.units == 0 {
+            None
+        } else {
+            Some(self.vectors as f64 / self.units as f64)
+        }
+    }
+
+    /// Raw totals `(limited-scan units, vector units)`.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.units, self.vectors)
+    }
+}
+
+impl fmt::Display for LsAverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        // "with n̄_ls = 0.50, a limited scan operation occurs every 2 time
+        //  units on the average"
+        let half = LsAverage::new(50, 100);
+        assert!((half.value() - 0.50).abs() < 1e-12);
+        assert!((half.avg_at_speed_run().unwrap() - 2.0).abs() < 1e-12);
+        // "with n̄_ls = 0.10 … every 10 time units"
+        let tenth = LsAverage::new(10, 100);
+        assert!((tenth.avg_at_speed_run().unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_units_has_no_run_length() {
+        let none = LsAverage::new(0, 100);
+        assert_eq!(none.value(), 0.0);
+        assert_eq!(none.avg_at_speed_run(), None);
+    }
+
+    #[test]
+    fn display_two_decimals() {
+        assert_eq!(LsAverage::new(1, 3).to_string(), "0.33");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vector")]
+    fn zero_vectors_rejected() {
+        LsAverage::new(1, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! `(L_A, L_B, N)` parameter selection — the paper's Table 5 ranking.
+//!
+//! Combinations from the paper's grids with `L_A < L_B` are ordered by
+//! increasing base cost `N_cyc0`; Procedure 2 is tried in that order and
+//! the first combination reaching complete coverage is reported.
+
+use crate::cycles::ncyc0;
+
+/// The paper's `L_A` grid.
+pub const PAPER_LA_GRID: [usize; 6] = [8, 16, 32, 64, 128, 256];
+/// The paper's `L_B` grid.
+pub const PAPER_LB_GRID: [usize; 5] = [16, 32, 64, 128, 256];
+/// The paper's `N` grid.
+pub const PAPER_N_GRID: [usize; 3] = [64, 128, 256];
+
+/// One `(L_A, L_B, N)` combination with its base cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Combo {
+    /// Shorter test length.
+    pub la: usize,
+    /// Longer test length.
+    pub lb: usize,
+    /// Tests per length.
+    pub n: usize,
+    /// `N_cyc0` for the circuit the ranking was computed for.
+    pub ncyc0: u64,
+}
+
+/// Ranks all grid combinations with `la < lb` by increasing `N_cyc0` for a
+/// circuit with `n_sv` state variables. Ties break toward smaller `N`,
+/// then smaller `L_B`, then smaller `L_A`.
+///
+/// # Example
+///
+/// ```
+/// // Table 5, N_SV = 21: the cheapest combination is (8, 16, 64).
+/// let ranked = rls_core::rank_combinations(21);
+/// assert_eq!((ranked[0].la, ranked[0].lb, ranked[0].n), (8, 16, 64));
+/// assert_eq!(ranked[0].ncyc0, 4245);
+/// ```
+pub fn rank_combinations(n_sv: usize) -> Vec<Combo> {
+    rank_combinations_over(n_sv, &PAPER_LA_GRID, &PAPER_LB_GRID, &PAPER_N_GRID)
+}
+
+/// Like [`rank_combinations`] with custom grids.
+pub fn rank_combinations_over(
+    n_sv: usize,
+    la_grid: &[usize],
+    lb_grid: &[usize],
+    n_grid: &[usize],
+) -> Vec<Combo> {
+    let mut combos = Vec::new();
+    for &n in n_grid {
+        for &lb in lb_grid {
+            for &la in la_grid {
+                if la < lb {
+                    combos.push(Combo {
+                        la,
+                        lb,
+                        n,
+                        ncyc0: ncyc0(n_sv, la, lb, n),
+                    });
+                }
+            }
+        }
+    }
+    combos.sort_by_key(|c| (c.ncyc0, c.n, c.lb, c.la));
+    combos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_first_ten_for_nsv_21() {
+        // The paper's Table 5, N_SV = 21 column, verbatim.
+        let want: [(usize, usize, usize, u64); 10] = [
+            (8, 16, 64, 4245),
+            (8, 32, 64, 5269),
+            (16, 32, 64, 5781),
+            (8, 64, 64, 7317),
+            (16, 64, 64, 7829),
+            (8, 16, 128, 8469),
+            (32, 64, 64, 8853),
+            (8, 32, 128, 10517),
+            (8, 128, 64, 11413),
+            (16, 32, 128, 11541),
+        ];
+        let got = rank_combinations(21);
+        for (i, (la, lb, n, cyc)) in want.into_iter().enumerate() {
+            assert_eq!(
+                (got[i].la, got[i].lb, got[i].n, got[i].ncyc0),
+                (la, lb, n, cyc),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn table5_first_ten_for_nsv_74() {
+        let want: [(usize, usize, usize, u64); 10] = [
+            (8, 16, 64, 11082),
+            (8, 32, 64, 12106),
+            (16, 32, 64, 12618),
+            (8, 64, 64, 14154),
+            (16, 64, 64, 14666),
+            (32, 64, 64, 15690),
+            (8, 128, 64, 18250),
+            (16, 128, 64, 18762),
+            (32, 128, 64, 19786),
+            (64, 128, 64, 21834),
+        ];
+        let got = rank_combinations(74);
+        for (i, (la, lb, n, cyc)) in want.into_iter().enumerate() {
+            assert_eq!(
+                (got[i].la, got[i].lb, got[i].n, got[i].ncyc0),
+                (la, lb, n, cyc),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_combos_have_la_below_lb() {
+        for c in rank_combinations(8) {
+            assert!(c.la < c.lb);
+        }
+    }
+
+    #[test]
+    fn combo_count_matches_grids() {
+        // Count pairs (la, lb) with la < lb: for lb=16: {8}; 32: {8,16};
+        // 64: {8,16,32}; 128: {8..64}; 256: {8..128} => 1+2+3+4+5 = 15.
+        assert_eq!(rank_combinations(8).len(), 15 * PAPER_N_GRID.len());
+    }
+
+    #[test]
+    fn ranking_is_sorted() {
+        let combos = rank_combinations(30);
+        assert!(combos.windows(2).all(|w| w[0].ncyc0 <= w[1].ncyc0));
+    }
+}

@@ -1,0 +1,209 @@
+//! Procedure 1: deriving `TS(I, D1)` from `TS0`.
+//!
+//! For every test `τ_i ∈ TS0` the schedule generator is initialized with
+//! `seed(I)` (the paper's literal reading; see [`SeedMode`]) and, for every
+//! interior time unit `0 < u < L_i`:
+//!
+//! - draw `r1`; if `r1 mod D1 = 0`, draw `r2` and set
+//!   `shift(i, u) = r2 mod D2`;
+//! - otherwise `shift(i, u) = 0`.
+//!
+//! A nonzero shift becomes a limited scan operation of that many positions;
+//! its scanned-in fill bits are drawn from the same stream, keeping the
+//! whole derivation replayable from the pair `(I, D1)` alone.
+
+use rls_fsim::{ScanTest, ShiftOp};
+use rls_lfsr::{RandomSource, XorShift64};
+
+use crate::config::{FillMode, RlsConfig, SeedMode};
+
+/// Derives the test set `TS(I, D1)`.
+///
+/// `d2` is the shift-count modulus (the paper's `D2 = N_SV + 1`; see
+/// [`RlsConfig::d2`]).
+///
+/// # Panics
+///
+/// Panics if `d1 == 0` or `d2 == 0`.
+pub fn derive_test_set(
+    ts0: &[ScanTest],
+    cfg: &RlsConfig,
+    iteration: u64,
+    d1: u32,
+    d2: u32,
+) -> Vec<ScanTest> {
+    assert!(d1 > 0, "D1 must be positive");
+    assert!(d2 > 0, "D2 must be positive");
+    let seed = cfg.seeds.seed(iteration);
+    let mut free_running = XorShift64::new(seed);
+    ts0.iter()
+        .map(|test| {
+            let mut per_test = XorShift64::new(seed);
+            let rng: &mut XorShift64 = match cfg.seed_mode {
+                SeedMode::PerTest => &mut per_test,
+                SeedMode::FreeRunning => &mut free_running,
+            };
+            let derived = derive_one(test, rng, d1, d2);
+            match cfg.fill_mode {
+                FillMode::Random => derived,
+                FillMode::Zero => zero_fills(derived),
+            }
+        })
+        .collect()
+}
+
+/// Replaces every fill bit with zero (the [`FillMode::Zero`] ablation).
+/// The schedule stream still *draws* the fill bits so that insertion
+/// positions and shift amounts are identical to the random-fill run.
+fn zero_fills(mut test: ScanTest) -> ScanTest {
+    for op in &mut test.shifts {
+        op.fill.iter_mut().for_each(|b| *b = false);
+    }
+    test
+}
+
+/// Derives the limited-scan schedule of a single test from a source.
+pub fn derive_one<R: RandomSource>(test: &ScanTest, rng: &mut R, d1: u32, d2: u32) -> ScanTest {
+    let mut shifts = Vec::new();
+    for u in 1..test.len() {
+        let r1 = rng.next_u32();
+        if !r1.is_multiple_of(d1) {
+            continue;
+        }
+        let r2 = rng.next_u32();
+        let amount = (r2 % d2) as usize;
+        if amount == 0 {
+            continue;
+        }
+        let mut fill = vec![false; amount];
+        rng.fill_bits(&mut fill);
+        shifts.push(ShiftOp {
+            at: u,
+            amount,
+            fill,
+        });
+    }
+    test.clone()
+        .with_shifts(shifts)
+        .expect("derived schedule is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ts0::generate_ts0;
+
+    fn setup() -> (Vec<ScanTest>, RlsConfig) {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(8, 16, 32);
+        let ts0 = generate_ts0(&c, &cfg);
+        (ts0, cfg)
+    }
+
+    #[test]
+    fn derived_tests_keep_vectors_and_scan_in() {
+        let (ts0, cfg) = setup();
+        let derived = derive_test_set(&ts0, &cfg, 1, 2, 4);
+        assert_eq!(derived.len(), ts0.len());
+        for (d, o) in derived.iter().zip(ts0.iter()) {
+            assert_eq!(d.scan_in, o.scan_in);
+            assert_eq!(d.vectors, o.vectors);
+        }
+    }
+
+    #[test]
+    fn derivation_is_replayable_from_the_pair() {
+        let (ts0, cfg) = setup();
+        let a = derive_test_set(&ts0, &cfg, 3, 5, 4);
+        let b = derive_test_set(&ts0, &cfg, 3, 5, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_iterations_give_different_schedules() {
+        let (ts0, cfg) = setup();
+        let a = derive_test_set(&ts0, &cfg, 1, 1, 4);
+        let b = derive_test_set(&ts0, &cfg, 2, 1, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shift_amounts_bounded_by_d2() {
+        let (ts0, cfg) = setup();
+        let derived = derive_test_set(&ts0, &cfg, 1, 1, 4);
+        for t in &derived {
+            for s in &t.shifts {
+                assert!(s.amount >= 1 && s.amount <= 3);
+                assert_eq!(s.fill.len(), s.amount);
+            }
+        }
+    }
+
+    #[test]
+    fn d1_one_inserts_often_d1_large_rarely() {
+        let (ts0, cfg) = setup();
+        let frequent: usize = derive_test_set(&ts0, &cfg, 1, 1, 4)
+            .iter()
+            .map(ScanTest::limited_scan_units)
+            .sum();
+        let rare: usize = derive_test_set(&ts0, &cfg, 1, 50, 4)
+            .iter()
+            .map(ScanTest::limited_scan_units)
+            .sum();
+        assert!(
+            frequent > 4 * rare.max(1),
+            "frequent={frequent}, rare={rare}"
+        );
+    }
+
+    #[test]
+    fn per_test_seeding_repeats_schedule_prefix_across_tests() {
+        // The paper's literal Procedure 1: every test re-seeds with
+        // seed(I), so two tests of the same length get identical schedules.
+        let (ts0, cfg) = setup();
+        assert_eq!(cfg.seed_mode, SeedMode::PerTest);
+        let derived = derive_test_set(&ts0, &cfg, 1, 2, 4);
+        let (a, b) = (&derived[0], &derived[1]);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.shifts, b.shifts);
+    }
+
+    #[test]
+    fn free_running_seeding_differs_across_tests() {
+        let (ts0, mut cfg) = setup();
+        cfg.seed_mode = SeedMode::FreeRunning;
+        let derived = derive_test_set(&ts0, &cfg, 1, 1, 4);
+        // With D1 = 1 nearly every unit draws; identical schedules across
+        // all same-length tests would be astronomically unlikely.
+        let all_same = derived[..32].windows(2).all(|w| w[0].shifts == w[1].shifts);
+        assert!(!all_same);
+    }
+
+    #[test]
+    fn probability_of_insertion_scales_like_one_over_d1() {
+        let (ts0, mut cfg) = setup();
+        // Free-running mode gives independent draws across tests, which the
+        // statistics below assume.
+        cfg.seed_mode = SeedMode::FreeRunning;
+        let d2 = 4u32;
+        // With D2 = 4, a unit hosts an op with probability (1/D1) * (3/4).
+        for d1 in [2u32, 5] {
+            let derived = derive_test_set(&ts0, &cfg, 7, d1, d2);
+            let units: usize = derived.iter().map(|t| t.len() - 1).sum();
+            let ops: usize = derived.iter().map(ScanTest::limited_scan_units).sum();
+            let expected = units as f64 / d1 as f64 * 0.75;
+            let got = ops as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.5,
+                "d1={d1}: got {got}, expected≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "D1 must be positive")]
+    fn zero_d1_rejected() {
+        let (ts0, cfg) = setup();
+        derive_test_set(&ts0, &cfg, 1, 0, 4);
+    }
+}

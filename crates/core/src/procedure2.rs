@@ -1,0 +1,308 @@
+//! Procedure 2: greedy selection of `(I, D1)` pairs.
+//!
+//! 1. Generate `TS0`, simulate it, drop detected faults.
+//! 2. For `I = 1, 2, …`: for each `D1` in trial order, derive `TS(I, D1)`
+//!    (Procedure 1), simulate it against the remaining faults; if it
+//!    detects anything, keep the pair.
+//! 3. Stop when the target is fully covered, or after `N_SAME_FC`
+//!    consecutive iterations without improvement (or the safety cap).
+
+use rls_fsim::{FaultId, FaultSimulator};
+use rls_netlist::Circuit;
+
+use crate::config::{CoverageTarget, RlsConfig};
+use crate::cycles::{ncyc0, nsh};
+use crate::metrics::LsAverage;
+use crate::procedure1::derive_test_set;
+use crate::ts0::generate_ts0;
+
+/// One selected `(I, D1)` pair and its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedPair {
+    /// The iteration index `I`.
+    pub i: u64,
+    /// The insertion-probability parameter `D1`.
+    pub d1: u32,
+    /// Faults newly detected by `TS(I, D1)`.
+    pub newly_detected: usize,
+    /// The set's limited-scan shift cycles `N_SH(I, D1)`.
+    pub shift_cycles: u64,
+    /// Time units hosting a limited scan, summed over the set's tests.
+    pub limited_scan_units: u64,
+    /// Total vector time units of the set (`Σ L_i`).
+    pub vector_units: u64,
+}
+
+/// The outcome of Procedure 2.
+#[derive(Debug, Clone)]
+pub struct Procedure2Outcome {
+    /// Faults detected by `TS0` alone (the paper's `initial det`).
+    pub initial_detected: usize,
+    /// `N_cyc0`.
+    pub initial_cycles: u64,
+    /// Selected pairs in selection order (`ID1_PAIRS`).
+    pub pairs: Vec<SelectedPair>,
+    /// Total detected faults (initial + pairs).
+    pub total_detected: usize,
+    /// Total target faults.
+    pub target_faults: usize,
+    /// Total session cycles: `N_cyc0 + Σ (N_cyc0 + N_SH)` — zero pairs
+    /// means only `TS0` is applied.
+    pub total_cycles: u64,
+    /// Whether the coverage target was fully reached.
+    pub complete: bool,
+    /// Iterations actually run.
+    pub iterations: u64,
+    /// Target faults still undetected at the end.
+    pub undetected: Vec<FaultId>,
+}
+
+impl Procedure2Outcome {
+    /// The paper's `n̄_ls`: average limited-scan time units per vector time
+    /// unit over all selected sets (`TS0` excluded). `None` with no pairs.
+    pub fn ls_average(&self) -> Option<LsAverage> {
+        if self.pairs.is_empty() {
+            return None;
+        }
+        let units: u64 = self.pairs.iter().map(|p| p.limited_scan_units).sum();
+        let vectors: u64 = self.pairs.iter().map(|p| p.vector_units).sum();
+        Some(LsAverage::new(units, vectors))
+    }
+
+    /// Coverage snapshot over the target set.
+    pub fn final_coverage(&self) -> rls_fsim::Coverage {
+        rls_fsim::Coverage::new(self.target_faults, self.total_detected)
+    }
+}
+
+/// The Procedure 2 driver.
+#[derive(Debug)]
+pub struct Procedure2<'c> {
+    circuit: &'c Circuit,
+    cfg: RlsConfig,
+}
+
+impl<'c> Procedure2<'c> {
+    /// Creates a driver for one circuit and configuration.
+    pub fn new(circuit: &'c Circuit, cfg: RlsConfig) -> Self {
+        Procedure2 { circuit, cfg }
+    }
+
+    /// Runs the procedure to completion.
+    pub fn run(&self) -> Procedure2Outcome {
+        let mut sim = FaultSimulator::new(self.circuit);
+        sim.set_options(self.cfg.observe);
+        if let CoverageTarget::Faults(targets) = &self.cfg.target {
+            sim.set_targets(targets);
+        }
+        let target_faults = sim.live_count();
+        let n_sv = self.circuit.num_dffs();
+        let d2 = self.cfg.d2(n_sv);
+        let base_cycles = ncyc0(n_sv, self.cfg.la, self.cfg.lb, self.cfg.n);
+
+        // Step 2: TS0.
+        let ts0 = generate_ts0(self.circuit, &self.cfg);
+        let vector_units: u64 = ts0.iter().map(|t| t.len() as u64).sum();
+        let mut initial_detected = 0;
+        for t in &ts0 {
+            if sim.live_count() == 0 {
+                break;
+            }
+            initial_detected += sim.run_test(t).len();
+        }
+
+        let mut pairs: Vec<SelectedPair> = Vec::new();
+        let mut total_cycles = base_cycles;
+        let mut iterations = 0u64;
+        let mut n_same_fc = 0u32;
+        // Steps 3–6.
+        'outer: while sim.live_count() > 0
+            && n_same_fc < self.cfg.n_same_fc
+            && iterations < u64::from(self.cfg.max_iterations)
+        {
+            iterations += 1;
+            let i = iterations;
+            let mut improved = false;
+            for d1 in self.cfg.d1_order.values(self.cfg.d1_max) {
+                if sim.live_count() == 0 {
+                    break 'outer;
+                }
+                let derived = derive_test_set(&ts0, &self.cfg, i, d1, d2);
+                let mut newly = 0usize;
+                for t in &derived {
+                    if sim.live_count() == 0 {
+                        break;
+                    }
+                    newly += sim.run_test(t).len();
+                }
+                if newly > 0 {
+                    improved = true;
+                    let shift_cycles = nsh(&derived);
+                    total_cycles += base_cycles + shift_cycles;
+                    pairs.push(SelectedPair {
+                        i,
+                        d1,
+                        newly_detected: newly,
+                        shift_cycles,
+                        limited_scan_units: derived
+                            .iter()
+                            .map(|t| t.limited_scan_units() as u64)
+                            .sum(),
+                        vector_units,
+                    });
+                }
+            }
+            if improved {
+                n_same_fc = 0;
+            } else {
+                n_same_fc += 1;
+            }
+        }
+        let total_detected = sim.detected_count();
+        Procedure2Outcome {
+            initial_detected,
+            initial_cycles: base_cycles,
+            pairs,
+            total_detected,
+            target_faults,
+            total_cycles,
+            complete: sim.live_count() == 0,
+            iterations,
+            undetected: sim.live().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::D1Order;
+
+    #[test]
+    fn s27_reaches_complete_coverage() {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(4, 8, 8);
+        let out = Procedure2::new(&c, cfg).run();
+        assert_eq!(out.target_faults, 32);
+        assert!(out.complete, "undetected: {:?}", out.undetected);
+        assert_eq!(out.total_detected, 32);
+        assert!(out.final_coverage().is_complete());
+    }
+
+    #[test]
+    fn initial_cycles_match_formula() {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(4, 8, 8);
+        let out = Procedure2::new(&c, cfg).run();
+        assert_eq!(out.initial_cycles, ncyc0(3, 4, 8, 8));
+    }
+
+    #[test]
+    fn total_cycles_account_for_every_pair() {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(2, 3, 2); // tiny: forces several pairs
+        let out = Procedure2::new(&c, cfg).run();
+        let expect: u64 = out.initial_cycles
+            + out
+                .pairs
+                .iter()
+                .map(|p| out.initial_cycles + p.shift_cycles)
+                .sum::<u64>();
+        assert_eq!(out.total_cycles, expect);
+    }
+
+    #[test]
+    fn pairs_only_kept_when_they_detect() {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(4, 8, 8);
+        let out = Procedure2::new(&c, cfg).run();
+        for p in &out.pairs {
+            assert!(p.newly_detected > 0);
+        }
+        let pair_total: usize = out.pairs.iter().map(|p| p.newly_detected).sum();
+        assert_eq!(out.initial_detected + pair_total, out.total_detected);
+    }
+
+    #[test]
+    fn gives_up_after_n_same_fc_without_improvement() {
+        // Target a fault list that includes nothing detectable: procedure
+        // must terminate by the no-improvement rule.
+        let c = rls_benchmarks::s27();
+        let mut cfg = RlsConfig::new(2, 2, 1);
+        cfg.n_same_fc = 2;
+        cfg.max_iterations = 50;
+        // An absurd D2 of 1 makes every shift draw zero => schedules are
+        // empty; combined with a tiny TS0 some faults stay undetected.
+        cfg.d2_override = Some(1);
+        let out = Procedure2::new(&c, cfg).run();
+        if !out.complete {
+            assert!(out.iterations <= 50);
+            assert!(!out.undetected.is_empty());
+        }
+    }
+
+    #[test]
+    fn decreasing_order_prefers_large_d1() {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(4, 8, 8).with_d1_order(D1Order::Decreasing);
+        let out = Procedure2::new(&c, cfg).run();
+        if let Some(first) = out.pairs.first() {
+            // The first pair tried (and selected) in an iteration comes
+            // from the high end of the D1 range.
+            assert!(first.d1 >= 5, "first selected D1 = {}", first.d1);
+        }
+    }
+
+    #[test]
+    fn explicit_target_narrows_completion() {
+        let c = rls_benchmarks::s27();
+        let base = RlsConfig::new(4, 8, 8);
+        let full = Procedure2::new(&c, base.clone()).run();
+        // Re-run targeting only the faults TS0 already detects: complete
+        // with zero pairs.
+        let sim = FaultSimulator::new(&c);
+        let _ = sim;
+        let easy: Vec<FaultId> = {
+            let mut s = FaultSimulator::new(&c);
+            let ts0 = generate_ts0(&c, &base);
+            for t in &ts0 {
+                s.run_test(t);
+            }
+            s.detected().to_vec()
+        };
+        let cfg = base.with_target(CoverageTarget::Faults(easy.clone()));
+        let out = Procedure2::new(&c, cfg).run();
+        assert!(out.complete);
+        assert_eq!(out.target_faults, easy.len());
+        assert!(out.pairs.is_empty());
+        assert!(full.total_detected >= out.total_detected);
+    }
+
+    #[test]
+    fn ls_average_none_without_pairs() {
+        let c = rls_benchmarks::s27();
+        let easy: Vec<FaultId> = {
+            let mut s = FaultSimulator::new(&c);
+            let cfg = RlsConfig::new(4, 8, 8);
+            let ts0 = generate_ts0(&c, &cfg);
+            for t in &ts0 {
+                s.run_test(t);
+            }
+            s.detected().to_vec()
+        };
+        let cfg = RlsConfig::new(4, 8, 8).with_target(CoverageTarget::Faults(easy));
+        let out = Procedure2::new(&c, cfg).run();
+        assert!(out.ls_average().is_none());
+    }
+
+    #[test]
+    fn outcome_is_reproducible() {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(4, 8, 8);
+        let a = Procedure2::new(&c, cfg.clone()).run();
+        let b = Procedure2::new(&c, cfg).run();
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.total_detected, b.total_detected);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+}

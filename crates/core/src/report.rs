@@ -1,0 +1,122 @@
+//! Number and table formatting in the paper's style.
+
+/// Formats a cycle count the way the paper's tables do: `2.6K`, `316K`,
+/// `1.2M`, plain digits below 1000.
+///
+/// # Example
+///
+/// ```
+/// use rls_core::report::kilo;
+/// assert_eq!(kilo(2568), "2.6K");
+/// assert_eq!(kilo(316_000), "316K");
+/// assert_eq!(kilo(1_200_000), "1.2M");
+/// assert_eq!(kilo(431), "431");
+/// ```
+pub fn kilo(value: u64) -> String {
+    if value >= 1_000_000 {
+        format!("{:.1}M", value as f64 / 1_000_000.0)
+    } else if value >= 100_000 {
+        format!("{:.0}K", value as f64 / 1000.0)
+    } else if value >= 1000 {
+        format!("{:.1}K", value as f64 / 1000.0)
+    } else {
+        value.to_string()
+    }
+}
+
+/// A simple fixed-width text table builder for the bench binaries.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kilo_matches_paper_style() {
+        assert_eq!(kilo(2568), "2.6K");
+        assert_eq!(kilo(3300), "3.3K");
+        assert_eq!(kilo(25_400), "25.4K");
+        assert_eq!(kilo(316_000), "316K");
+        assert_eq!(kilo(2_400_000), "2.4M");
+        assert_eq!(kilo(10_200_000), "10.2M");
+        assert_eq!(kilo(999), "999");
+        assert_eq!(kilo(0), "0");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["circuit", "det"]);
+        t.row(vec!["s208", "215"]);
+        t.row(vec!["s35932", "35110"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("circuit"));
+        assert!(lines[2].ends_with("215"));
+        assert!(lines[3].ends_with("35110"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

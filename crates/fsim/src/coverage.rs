@@ -1,0 +1,99 @@
+//! Fault-coverage bookkeeping.
+
+use std::fmt;
+
+/// A fault-coverage snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Total target faults (collapsed).
+    pub total: usize,
+    /// Detected faults.
+    pub detected: usize,
+}
+
+impl Coverage {
+    /// Creates a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected > total`.
+    pub fn new(total: usize, detected: usize) -> Self {
+        assert!(detected <= total, "cannot detect more faults than exist");
+        Coverage { total, detected }
+    }
+
+    /// Coverage as a fraction in `[0, 1]` (1.0 for an empty fault list).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+
+    /// Coverage in percent.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+
+    /// Whether every target fault is detected.
+    pub fn is_complete(&self) -> bool {
+        self.detected == self.total
+    }
+
+    /// Undetected fault count.
+    pub fn remaining(&self) -> usize {
+        self.total - self.detected
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.detected,
+            self.total,
+            self.percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_and_percent() {
+        let c = Coverage::new(200, 150);
+        assert!((c.fraction() - 0.75).abs() < 1e-12);
+        assert!((c.percent() - 75.0).abs() < 1e-9);
+        assert_eq!(c.remaining(), 50);
+        assert!(!c.is_complete());
+    }
+
+    #[test]
+    fn complete_coverage() {
+        let c = Coverage::new(10, 10);
+        assert!(c.is_complete());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_fault_list_is_complete() {
+        let c = Coverage::new(0, 0);
+        assert!(c.is_complete());
+        assert_eq!(c.fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more faults than exist")]
+    fn overdetection_panics() {
+        Coverage::new(5, 6);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Coverage::new(4, 3).to_string(), "3/4 (75.00%)");
+    }
+}

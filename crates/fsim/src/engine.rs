@@ -1,0 +1,289 @@
+//! The fault-simulation driver: collapsed fault list, fault dropping,
+//! activation prefiltering.
+
+use rls_netlist::Circuit;
+
+use crate::collapse::CollapsedFaults;
+use crate::coverage::Coverage;
+use crate::fault::{Fault, FaultId, FaultUniverse};
+use crate::good::{GoodSim, TestTrace};
+use crate::parallel::{activated_in_trace, simulate_batch_with, SimOptions, LANES};
+use crate::test::ScanTest;
+
+/// A fault simulator bound to one circuit.
+///
+/// Maintains the collapsed target fault list with fault dropping: once a
+/// fault is detected it is never simulated again. [`FaultSimulator::reset`]
+/// restores the full list.
+///
+/// # Example
+///
+/// ```
+/// use rls_fsim::{FaultSimulator, ScanTest};
+///
+/// let c = rls_benchmarks::s27();
+/// let mut sim = FaultSimulator::new(&c);
+/// let total = sim.total_faults();
+/// let t = ScanTest::from_strings("001", &["0111", "1001"]).unwrap();
+/// let newly = sim.run_test(&t);
+/// assert_eq!(sim.detected_count(), newly.len());
+/// assert!(sim.live_count() + sim.detected_count() == total);
+/// ```
+#[derive(Debug)]
+pub struct FaultSimulator<'c> {
+    good: GoodSim<'c>,
+    universe: FaultUniverse,
+    collapsed: CollapsedFaults,
+    /// Live (undetected) representative faults.
+    live: Vec<FaultId>,
+    detected: Vec<FaultId>,
+    options: SimOptions,
+}
+
+impl<'c> FaultSimulator<'c> {
+    /// Builds the simulator: enumerates and collapses the fault list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has combinational cycles.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let universe = FaultUniverse::enumerate(circuit);
+        let collapsed = CollapsedFaults::build(circuit, &universe);
+        let live = collapsed.representatives().to_vec();
+        FaultSimulator {
+            good: GoodSim::new(circuit),
+            universe,
+            collapsed,
+            live,
+            detected: Vec::new(),
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Sets the observation policy (ablation support); the default observes
+    /// every point the paper's model observes.
+    pub fn set_options(&mut self, options: SimOptions) {
+        self.options = options;
+    }
+
+    /// The current observation policy.
+    pub fn options(&self) -> SimOptions {
+        self.options
+    }
+
+    /// The circuit under test.
+    pub fn circuit(&self) -> &Circuit {
+        self.good.circuit()
+    }
+
+    /// The good-machine simulator.
+    pub fn good(&self) -> &GoodSim<'c> {
+        &self.good
+    }
+
+    /// The uncollapsed fault universe.
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// The collapsed fault classes.
+    pub fn collapsed(&self) -> &CollapsedFaults {
+        &self.collapsed
+    }
+
+    /// Number of collapsed target faults.
+    pub fn total_faults(&self) -> usize {
+        self.collapsed.len()
+    }
+
+    /// Currently undetected faults.
+    pub fn live(&self) -> &[FaultId] {
+        &self.live
+    }
+
+    /// Number of currently undetected faults.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Faults detected so far, in detection order.
+    pub fn detected(&self) -> &[FaultId] {
+        &self.detected
+    }
+
+    /// Number of faults detected so far.
+    pub fn detected_count(&self) -> usize {
+        self.detected.len()
+    }
+
+    /// Current coverage snapshot.
+    pub fn coverage(&self) -> Coverage {
+        Coverage::new(self.total_faults(), self.detected_count())
+    }
+
+    /// Restores the full fault list (e.g. between experiments).
+    pub fn reset(&mut self) {
+        self.live = self.collapsed.representatives().to_vec();
+        self.detected.clear();
+    }
+
+    /// Restricts the live list to the given faults (e.g. to target only the
+    /// ATPG-detectable set). Detected bookkeeping is reset.
+    pub fn set_targets(&mut self, targets: &[FaultId]) {
+        self.live = targets.to_vec();
+        self.detected.clear();
+    }
+
+    /// Simulates one test against all live faults, drops and returns the
+    /// newly detected ones.
+    pub fn run_test(&mut self, test: &ScanTest) -> Vec<FaultId> {
+        let trace = self.good.simulate_test(test);
+        self.run_test_with_trace(test, &trace)
+    }
+
+    /// Like [`FaultSimulator::run_test`] with a precomputed good trace
+    /// (which must belong to `test`).
+    pub fn run_test_with_trace(&mut self, test: &ScanTest, trace: &TestTrace) -> Vec<FaultId> {
+        let circuit = self.good.circuit();
+        // Activation prefilter: only simulate faults whose site toggles.
+        let candidates: Vec<(FaultId, Fault)> = self
+            .live
+            .iter()
+            .map(|&id| (id, self.universe.fault(id)))
+            .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
+            .collect();
+        let mut newly: Vec<FaultId> = Vec::new();
+        for chunk in candidates.chunks(LANES) {
+            newly.extend(simulate_batch_with(
+                &self.good,
+                test,
+                trace,
+                chunk,
+                self.options,
+            ));
+        }
+        if !newly.is_empty() {
+            let drop: std::collections::HashSet<FaultId> = newly.iter().copied().collect();
+            self.live.retain(|id| !drop.contains(id));
+            self.detected.extend(newly.iter().copied());
+        }
+        newly
+    }
+
+    /// Simulates a sequence of tests, dropping as it goes; returns the
+    /// number of newly detected faults.
+    pub fn run_tests<'a, I>(&mut self, tests: I) -> usize
+    where
+        I: IntoIterator<Item = &'a ScanTest>,
+    {
+        let mut count = 0;
+        for t in tests {
+            if self.live.is_empty() {
+                break;
+            }
+            count += self.run_test(t).len();
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s27_test() -> ScanTest {
+        ScanTest::from_strings("001", &["0111", "1001", "0111", "1001", "0100"]).unwrap()
+    }
+
+    #[test]
+    fn dropping_means_no_double_detection() {
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        let first = sim.run_test(&s27_test());
+        assert!(!first.is_empty());
+        let second = sim.run_test(&s27_test());
+        assert!(
+            second.is_empty(),
+            "same test cannot re-detect dropped faults"
+        );
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        let total = sim.total_faults();
+        assert_eq!(total, 32);
+        sim.run_test(&s27_test());
+        assert_eq!(sim.live_count() + sim.detected_count(), total);
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        sim.run_test(&s27_test());
+        let detected = sim.detected_count();
+        assert!(detected > 0);
+        sim.reset();
+        assert_eq!(sim.detected_count(), 0);
+        assert_eq!(sim.live_count(), sim.total_faults());
+        // Re-running gives the same detections.
+        let again = sim.run_test(&s27_test());
+        assert_eq!(again.len(), detected);
+    }
+
+    #[test]
+    fn set_targets_narrows_the_list() {
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        let some: Vec<FaultId> = sim.live()[..5].to_vec();
+        sim.set_targets(&some);
+        assert_eq!(sim.live_count(), 5);
+        sim.run_test(&s27_test());
+        assert!(sim.live_count() + sim.detected_count() == 5);
+    }
+
+    #[test]
+    fn run_tests_stops_when_empty() {
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        let tests = vec![s27_test(); 3];
+        let n = sim.run_tests(&tests);
+        assert_eq!(n, sim.detected_count());
+    }
+
+    #[test]
+    fn limited_scan_adds_detections_on_top_of_plain_test() {
+        // The crux of the paper, in miniature: applying the limited-scan
+        // variant *in addition to* the plain test (the paper's TS0 +
+        // TS(I,D1) structure) detects faults the plain test missed —
+        // Table 1 exhibits one such fault.
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        sim.run_test(&s27_test());
+        let plain = sim.detected_count();
+        let shifted = s27_test()
+            .with_shifts(vec![crate::test::ShiftOp {
+                at: 3,
+                amount: 1,
+                fill: vec![false],
+            }])
+            .unwrap();
+        let extra = sim.run_test(&shifted);
+        assert!(
+            !extra.is_empty(),
+            "limited scan must add detections beyond the {plain} plain ones"
+        );
+    }
+
+    #[test]
+    fn coverage_snapshot() {
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        sim.run_test(&s27_test());
+        let cov = sim.coverage();
+        assert_eq!(cov.total, 32);
+        assert_eq!(cov.detected, sim.detected_count());
+    }
+}

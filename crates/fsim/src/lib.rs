@@ -1,0 +1,75 @@
+//! Stuck-at fault simulation for full-scan tests with limited scan
+//! operations.
+//!
+//! This crate is the evaluation engine of the reproduction: it applies a
+//! [`ScanTest`] — scan-in, at-speed primary-input vectors, optional limited
+//! scans, final scan-out — to a circuit and reports which collapsed
+//! stuck-at faults are detected, at which of the paper's three observation
+//! points:
+//!
+//! 1. primary outputs after each vector,
+//! 2. the bits scanned out during a limited scan operation,
+//! 3. the final complete scan-out.
+//!
+//! # Architecture
+//!
+//! - [`fault`]: the single-stuck-at fault universe — stem faults on every
+//!   net plus branch faults on fanout input pins;
+//! - [`collapse`]: classic structural equivalence collapsing (union-find
+//!   over gate-local equivalence rules);
+//! - [`good`]: fault-free simulation, including the full per-time-unit
+//!   trace that reproduces the paper's Table 1/Table 2 worked example;
+//! - [`parallel`]: 64-way bit-parallel fault simulation (one fault per
+//!   lane, fault-free reference from [`good`]);
+//! - [`engine`]: the [`FaultSimulator`] driver with fault dropping and
+//!   activation prefiltering;
+//! - [`coverage`]: fault-coverage bookkeeping.
+//!
+//! # Modeling notes (see DESIGN.md)
+//!
+//! - Scan transport is fault-free: a fault on a flip-flop's output net
+//!   forces the value the flip-flop presents (functionally and into the
+//!   scan shift), but the shift path itself is not separately faulted.
+//! - Scanned-in fill values are fault-independent (they come from the
+//!   pattern generator).
+//!
+//! # Example
+//!
+//! ```
+//! use rls_fsim::{FaultSimulator, ScanTest};
+//!
+//! let c = rls_benchmarks::s27();
+//! let mut sim = FaultSimulator::new(&c);
+//! let test = ScanTest::from_strings("001", &["0111", "1001"]).unwrap();
+//! let detected = sim.run_test(&test);
+//! assert!(!detected.is_empty());
+//! ```
+
+pub mod collapse;
+pub mod coverage;
+pub mod engine;
+pub mod fault;
+pub mod good;
+pub mod multichain_sim;
+pub mod parallel;
+pub mod partial_sim;
+pub mod test;
+pub mod transition;
+
+pub use collapse::CollapsedFaults;
+pub use coverage::Coverage;
+pub use engine::FaultSimulator;
+pub use fault::{Fault, FaultId, FaultSite, FaultUniverse};
+pub use good::{GoodSim, TestTrace};
+pub use multichain_sim::{
+    run_tests_multichain, simulate_batch_multichain, simulate_good_multichain, McScanTest,
+    McShiftOp, McTrace,
+};
+pub use parallel::{simulate_batch, simulate_batch_with, SimOptions, LANES};
+pub use partial_sim::{
+    run_tests_partial, simulate_batch_partial, simulate_good_partial, PartialTrace,
+};
+pub use test::{ScanTest, ShiftOp, TestError};
+pub use transition::{
+    enumerate_transition_faults, simulate_batch_transition, transition_coverage, TransitionFault,
+};

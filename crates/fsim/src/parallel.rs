@@ -1,0 +1,529 @@
+//! 64-way bit-parallel fault simulation.
+//!
+//! Each `u64` word holds one net's value across 64 machines; lane `l`
+//! simulates the `l`-th fault of the batch. The fault-free reference comes
+//! from a [`TestTrace`] computed once per test by [`GoodSim`], so all 64
+//! lanes carry faulty machines.
+//!
+//! Fault injection:
+//!
+//! - **Stem** faults force the node's word right after it is computed (for
+//!   sources: right after loading). Flip-flop stems are re-forced after
+//!   every state mutation (capture and scan shift), modeling a stuck
+//!   register output that also feeds the scan path with its stuck value.
+//! - **Branch** faults force the specific fanin word seen by one gate pin
+//!   (or the captured word of one flip-flop).
+//!
+//! Detection accumulates a lane mask over the paper's three observation
+//! points; a batch finishes early once every lane is detected.
+
+use std::collections::HashMap;
+
+use rls_netlist::{Circuit, NodeKind};
+use rls_scan::ops;
+
+use crate::fault::{Fault, FaultId, FaultSite};
+use crate::good::{GoodSim, TestTrace};
+use crate::test::ScanTest;
+
+/// Maximum number of faults per batch (the word width).
+pub const LANES: usize = 64;
+
+/// Which observation points count toward detection.
+///
+/// The default observes everything (the paper's model). Switching
+/// individual points off isolates the detection mechanisms of the paper's
+/// Section 2 — e.g. how much the mid-test scan-out of limited scans
+/// contributes versus the state change they cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Observe primary outputs at every applied vector.
+    pub observe_outputs: bool,
+    /// Observe the bits scanned out during limited scan operations.
+    pub observe_limited_scan_out: bool,
+    /// Observe the final complete scan-out.
+    pub observe_final_scan_out: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            observe_outputs: true,
+            observe_limited_scan_out: true,
+            observe_final_scan_out: true,
+        }
+    }
+}
+
+/// A force applied to a word: `w = (w & and) | or`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Force {
+    and: u64,
+    or: u64,
+}
+
+impl Force {
+    const NONE: Force = Force { and: !0, or: 0 };
+
+    #[inline]
+    fn add(&mut self, lane: usize, stuck: bool) {
+        if stuck {
+            self.or |= 1u64 << lane;
+        } else {
+            self.and &= !(1u64 << lane);
+        }
+    }
+
+    #[inline]
+    fn apply(self, w: u64) -> u64 {
+        (w & self.and) | self.or
+    }
+}
+
+/// A prepared batch of at most 64 faults for one circuit.
+#[derive(Debug)]
+pub struct FaultBatch {
+    pub(crate) ids: Vec<FaultId>,
+    /// Dense per-net stem forces.
+    stem: Vec<Force>,
+    /// Which nets have a stem force (fast skip).
+    stem_mask: Vec<bool>,
+    /// Forces on flip-flop *positions* (stuck register outputs), re-applied
+    /// after every state mutation.
+    ff_pos: Vec<(usize, Force)>,
+    /// Branch forces keyed by (node, pin).
+    pin: HashMap<(u32, u32), Force>,
+    /// Which gates have at least one pin force.
+    gate_has_pin: Vec<bool>,
+}
+
+impl FaultBatch {
+    /// Prepares a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] faults are given.
+    pub fn new(circuit: &Circuit, faults: &[(FaultId, Fault)]) -> Self {
+        assert!(faults.len() <= LANES, "at most {LANES} faults per batch");
+        let n = circuit.len();
+        let mut batch = FaultBatch {
+            ids: faults.iter().map(|&(id, _)| id).collect(),
+            stem: vec![Force::NONE; n],
+            stem_mask: vec![false; n],
+            ff_pos: Vec::new(),
+            pin: HashMap::new(),
+            gate_has_pin: vec![false; n],
+        };
+        let mut ff_forces: HashMap<usize, Force> = HashMap::new();
+        for (lane, &(_, fault)) in faults.iter().enumerate() {
+            match fault.site {
+                FaultSite::Stem(net) => {
+                    if let Some(pos) = circuit.dff_position(net) {
+                        ff_forces
+                            .entry(pos)
+                            .or_insert(Force::NONE)
+                            .add(lane, fault.stuck);
+                    } else {
+                        batch.stem[net.index()].add(lane, fault.stuck);
+                        batch.stem_mask[net.index()] = true;
+                    }
+                }
+                FaultSite::Branch { node, pin } => {
+                    batch
+                        .pin
+                        .entry((node.0, pin))
+                        .or_insert(Force::NONE)
+                        .add(lane, fault.stuck);
+                    batch.gate_has_pin[node.index()] = true;
+                }
+            }
+        }
+        batch.ff_pos = ff_forces.into_iter().collect();
+        batch.ff_pos.sort_unstable_by_key(|&(p, _)| p);
+        batch
+    }
+
+    /// Number of occupied lanes.
+    pub fn lanes(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Applies the branch force on a flip-flop's data pin (if any) to the
+    /// word being captured into it.
+    #[inline]
+    pub(crate) fn capture_force(&self, ff: rls_netlist::NetId, w: u64) -> u64 {
+        if self.gate_has_pin[ff.index()] {
+            if let Some(f) = self.pin.get(&(ff.0, 0)) {
+                return f.apply(w);
+            }
+        }
+        w
+    }
+
+    #[inline]
+    pub(crate) fn force_state(&self, state: &mut [u64]) {
+        for &(pos, f) in &self.ff_pos {
+            state[pos] = f.apply(state[pos]);
+        }
+    }
+}
+
+/// Runs one test against a batch of faults and returns the detected ones.
+///
+/// `trace` must be the good trace of exactly this `test` on this circuit.
+///
+/// # Panics
+///
+/// Panics on width mismatches between the test and the circuit.
+pub fn simulate_batch(
+    sim: &GoodSim<'_>,
+    test: &ScanTest,
+    trace: &TestTrace,
+    faults: &[(FaultId, Fault)],
+) -> Vec<FaultId> {
+    simulate_batch_with(sim, test, trace, faults, SimOptions::default())
+}
+
+/// [`simulate_batch`] with configurable observation points.
+pub fn simulate_batch_with(
+    sim: &GoodSim<'_>,
+    test: &ScanTest,
+    trace: &TestTrace,
+    faults: &[(FaultId, Fault)],
+    opts: SimOptions,
+) -> Vec<FaultId> {
+    let circuit = sim.circuit();
+    let batch = FaultBatch::new(circuit, faults);
+    let full = if batch.lanes() == LANES {
+        !0u64
+    } else {
+        (1u64 << batch.lanes()) - 1
+    };
+    let mut detected = 0u64;
+    let mut state: Vec<u64> = ops::broadcast(&test.scan_in);
+    batch.force_state(&mut state);
+    let mut values: Vec<u64> = vec![0; circuit.len()];
+    let mut scan_out_idx = 0usize;
+    for (u, vector) in test.vectors.iter().enumerate() {
+        if let Some(op) = test.shift_at(u) {
+            let outs = ops::limited_scan_words(&mut state, op.amount, &op.fill);
+            let (_, good_outs) = &trace.scan_outs[scan_out_idx];
+            scan_out_idx += 1;
+            if opts.observe_limited_scan_out {
+                for (w, &g) in outs.iter().zip(good_outs.iter()) {
+                    let good_w = if g { !0u64 } else { 0 };
+                    detected |= w ^ good_w;
+                }
+            }
+            batch.force_state(&mut state);
+            if detected & full == full {
+                return batch.ids;
+            }
+        }
+        eval_words(sim, &batch, vector, &state, &mut values);
+        if opts.observe_outputs {
+            for (k, &po) in circuit.outputs().iter().enumerate() {
+                let good_w = if trace.outputs[u][k] { !0u64 } else { 0 };
+                detected |= values[po.index()] ^ good_w;
+            }
+        }
+        if detected & full == full {
+            return batch.ids;
+        }
+        // Capture next state.
+        for (p, &ff) in circuit.dffs().iter().enumerate() {
+            let NodeKind::Dff { d: Some(d) } = circuit.node(ff).kind else {
+                panic!("unconnected flip-flop in simulation");
+            };
+            state[p] = batch.capture_force(ff, values[d.index()]);
+        }
+        batch.force_state(&mut state);
+    }
+    // Final complete scan-out observes the whole state.
+    if opts.observe_final_scan_out {
+        for (p, &g) in trace.final_state().iter().enumerate() {
+            let good_w = if g { !0u64 } else { 0 };
+            detected |= state[p] ^ good_w;
+        }
+    }
+    detected &= full;
+    batch
+        .ids
+        .iter()
+        .enumerate()
+        .filter(|&(lane, _)| detected >> lane & 1 == 1)
+        .map(|(_, &id)| id)
+        .collect()
+}
+
+pub(crate) fn eval_words(
+    sim: &GoodSim<'_>,
+    batch: &FaultBatch,
+    vector: &[bool],
+    state: &[u64],
+    values: &mut [u64],
+) {
+    let circuit = sim.circuit();
+    assert_eq!(vector.len(), circuit.num_inputs(), "PI width mismatch");
+    for (k, &pi) in circuit.inputs().iter().enumerate() {
+        let mut w = if vector[k] { !0u64 } else { 0 };
+        if batch.stem_mask[pi.index()] {
+            w = batch.stem[pi.index()].apply(w);
+        }
+        values[pi.index()] = w;
+    }
+    for (p, &ff) in circuit.dffs().iter().enumerate() {
+        // State words already carry flip-flop stem forces.
+        values[ff.index()] = state[p];
+    }
+    for (i, node) in circuit.nodes().iter().enumerate() {
+        if let NodeKind::Const(v) = node.kind {
+            let mut w = if v { !0u64 } else { 0 };
+            if batch.stem_mask[i] {
+                w = batch.stem[i].apply(w);
+            }
+            values[i] = w;
+        }
+    }
+    let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+    for &gate in sim.levelization().order() {
+        let node = circuit.node(gate);
+        let NodeKind::Gate { kind, fanin } = &node.kind else {
+            unreachable!("levelization order contains only gates");
+        };
+        fanin_buf.clear();
+        if batch.gate_has_pin[gate.index()] {
+            for (pin, &f) in fanin.iter().enumerate() {
+                let mut w = values[f.index()];
+                if let Some(force) = batch.pin.get(&(gate.0, pin as u32)) {
+                    w = force.apply(w);
+                }
+                fanin_buf.push(w);
+            }
+        } else {
+            fanin_buf.extend(fanin.iter().map(|f| values[f.index()]));
+        }
+        let mut w = kind.eval_word(&fanin_buf);
+        if batch.stem_mask[gate.index()] {
+            w = batch.stem[gate.index()].apply(w);
+        }
+        values[gate.index()] = w;
+    }
+}
+
+/// Whether a fault is ever *activated* by the test: some observation of its
+/// site carries the opposite of the stuck value. Faults that are never
+/// activated cannot be detected, so the engine skips them without
+/// simulation.
+pub fn activated_in_trace(circuit: &Circuit, trace: &TestTrace, fault: Fault) -> bool {
+    let src = fault.site.source_net(circuit);
+    if let Some(pos) = circuit.dff_position(src) {
+        // Register-output sites: check every state the register holds,
+        // including pre-shift states and the final state.
+        return trace.states.iter().any(|s| s[pos] != fault.stuck)
+            || trace.pre_shift_states.iter().any(|s| s[pos] != fault.stuck);
+    }
+    trace
+        .net_values
+        .iter()
+        .any(|v| v[src.index()] != fault.stuck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultUniverse;
+    use rls_netlist::GateKind;
+
+    fn all_pairs(u: &FaultUniverse) -> Vec<(FaultId, Fault)> {
+        u.faults()
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (FaultId(i as u32), f))
+            .collect()
+    }
+
+    /// Brute-force single-fault serial simulation used as a reference.
+    fn serial_detects(circuit: &Circuit, test: &ScanTest, fault: Fault) -> bool {
+        let sim = GoodSim::new(circuit);
+        let trace = sim.simulate_test(test);
+        let pairs = [(FaultId(0), fault)];
+        let det = simulate_batch(&sim, test, &trace, &pairs);
+        !det.is_empty()
+    }
+
+    #[test]
+    fn stuck_output_detected_combinationally() {
+        // y = AND(a,b); y/0 detected by a=b=1 (observed at PO after one
+        // vector).
+        let mut c = Circuit::new("and2");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = c.add_gate("y", GateKind::And, vec![a, b]);
+        c.add_output(y);
+        let test = ScanTest::new(vec![], vec![vec![true, true]]);
+        assert!(serial_detects(&c, &test, Fault::stem_sa0(y)));
+        assert!(!serial_detects(&c, &test, Fault::stem_sa1(y)));
+        let test0 = ScanTest::new(vec![], vec![vec![false, true]]);
+        assert!(serial_detects(&c, &test0, Fault::stem_sa1(y)));
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn fault_captured_into_state_detected_at_final_scan_out() {
+        // d = XOR(a, q); fault on the XOR is captured into q and only
+        // observable through the final scan-out (no PO reads q).
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let q = c.add_dff_placeholder("q");
+        let d = c.add_gate("d", GateKind::Xor, vec![a, q]);
+        c.connect_dff(q, d).unwrap();
+        let dummy = c.add_gate("po", GateKind::Buf, vec![a]);
+        c.add_output(dummy);
+        let test = ScanTest::new(vec![false], vec![vec![true]]);
+        assert!(serial_detects(&c, &test, Fault::stem_sa0(d)));
+    }
+
+    #[test]
+    fn limited_scan_out_detects_state_difference() {
+        // Same circuit; run 2 vectors with a 1-bit limited scan before the
+        // second vector. The faulty state bit is scanned out and observed.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let q = c.add_dff_placeholder("q");
+        let d = c.add_gate("d", GateKind::Xor, vec![a, q]);
+        c.connect_dff(q, d).unwrap();
+        let dummy = c.add_gate("po", GateKind::Buf, vec![a]);
+        c.add_output(dummy);
+        // Vector 1 captures a/XOR result into q; shift scans q out.
+        let test = ScanTest::new(vec![false], vec![vec![true], vec![true]])
+            .with_shifts(vec![crate::test::ShiftOp {
+                at: 1,
+                amount: 1,
+                fill: vec![false],
+            }])
+            .unwrap();
+        assert!(serial_detects(&c, &test, Fault::stem_sa0(d)));
+    }
+
+    #[test]
+    fn ff_output_stuck_corrupts_scan_out() {
+        // q1 <- q0 <- sin; q1 output stuck-at-1 with all-zero scan-in: the
+        // final scan-out sees the stuck bit.
+        let c = rls_benchmarks::parametric::shift_register(2);
+        let q1 = c.find("q1").unwrap();
+        let test = ScanTest::new(vec![false, false], vec![vec![false]]);
+        assert!(serial_detects(&c, &test, Fault::stem_sa1(q1)));
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_s27_exhaustive_faults() {
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let u = FaultUniverse::enumerate(&c);
+        let test =
+            ScanTest::from_strings("001", &["0111", "1001", "0111", "1001", "0100"]).unwrap();
+        let trace = sim.simulate_test(&test);
+        let pairs = all_pairs(&u);
+        // Batched run.
+        let mut batched: Vec<FaultId> = Vec::new();
+        for chunk in pairs.chunks(LANES) {
+            batched.extend(simulate_batch(&sim, &test, &trace, chunk));
+        }
+        // One-at-a-time run.
+        let mut serial: Vec<FaultId> = Vec::new();
+        for &(id, f) in &pairs {
+            let det = simulate_batch(&sim, &test, &trace, &[(id, f)]);
+            serial.extend(det);
+        }
+        batched.sort_unstable();
+        serial.sort_unstable();
+        assert_eq!(batched, serial);
+        assert!(!batched.is_empty());
+    }
+
+    #[test]
+    fn paper_fault_exists_detected_only_with_limited_scan() {
+        // Section 2: some fault of s27 is undetected by the plain test but
+        // detected once shift(3) = 1 (fill 0) is inserted, with the faulty
+        // trace of Table 1(b): Z(3) = 1/0.
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let u = FaultUniverse::enumerate(&c);
+        let plain =
+            ScanTest::from_strings("001", &["0111", "1001", "0111", "1001", "0100"]).unwrap();
+        let shifted = plain
+            .clone()
+            .with_shifts(vec![crate::test::ShiftOp {
+                at: 3,
+                amount: 1,
+                fill: vec![false],
+            }])
+            .unwrap();
+        let trace_plain = sim.simulate_test(&plain);
+        let trace_shifted = sim.simulate_test(&shifted);
+        let mut found = false;
+        for (i, &f) in u.faults().iter().enumerate() {
+            let id = FaultId(i as u32);
+            let det_plain = !simulate_batch(&sim, &plain, &trace_plain, &[(id, f)]).is_empty();
+            let det_shift = !simulate_batch(&sim, &shifted, &trace_shifted, &[(id, f)]).is_empty();
+            if !det_plain && det_shift {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "a Table-1-style fault must exist");
+    }
+
+    #[test]
+    fn activation_filter_is_sound_on_s27() {
+        // No fault reported detected may be filtered out as unactivated.
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let u = FaultUniverse::enumerate(&c);
+        let test =
+            ScanTest::from_strings("001", &["0111", "1001", "0111", "1001", "0100"]).unwrap();
+        let trace = sim.simulate_test(&test);
+        for (i, &f) in u.faults().iter().enumerate() {
+            let id = FaultId(i as u32);
+            let det = !simulate_batch(&sim, &test, &trace, &[(id, f)]).is_empty();
+            if det {
+                assert!(
+                    activated_in_trace(&c, &trace, f),
+                    "detected fault {} filtered as unactivated",
+                    f.describe(&c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // Two opposite faults on the same net in one batch must detect
+        // independently.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let y = c.add_gate("y", GateKind::Buf, vec![a]);
+        c.add_output(y);
+        let sim = GoodSim::new(&c);
+        let test = ScanTest::new(vec![], vec![vec![true]]);
+        let trace = sim.simulate_test(&test);
+        let pairs = [
+            (FaultId(0), Fault::stem_sa0(y)),
+            (FaultId(1), Fault::stem_sa1(y)),
+        ];
+        let det = simulate_batch(&sim, &test, &trace, &pairs);
+        assert_eq!(det, vec![FaultId(0)]); // only sa0 is activated by a=1
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 faults")]
+    fn oversized_batch_panics() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        c.add_output(a);
+        let pairs: Vec<(FaultId, Fault)> =
+            (0..65).map(|i| (FaultId(i), Fault::stem_sa0(a))).collect();
+        FaultBatch::new(&c, &pairs);
+    }
+}

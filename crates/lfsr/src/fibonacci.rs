@@ -1,0 +1,218 @@
+//! Fibonacci (external-XOR) LFSR.
+
+use crate::source::RandomSource;
+use crate::taps::{check_seed, check_taps, primitive_taps, LfsrError};
+
+/// A Fibonacci LFSR: the feedback bit is the XOR of the tapped state bits
+/// and is shifted in at the top while the bottom bit shifts out.
+///
+/// State bit `i` (0-indexed) corresponds to tap position `i + 1`. With a
+/// primitive tap mask (see [`primitive_taps`]) the register visits all
+/// `2^degree - 1` nonzero states.
+///
+/// # Example
+///
+/// ```
+/// use rls_lfsr::FibonacciLfsr;
+///
+/// let mut lfsr = FibonacciLfsr::max_length(4, 0b1000).unwrap();
+/// // Period of a maximal-length degree-4 LFSR is 15.
+/// let start = lfsr.state();
+/// for _ in 0..15 { lfsr.step(); }
+/// assert_eq!(lfsr.state(), start);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FibonacciLfsr {
+    state: u64,
+    taps: u64,
+    /// Feedback mask: the reflection of `taps` within `degree` bits. In the
+    /// right-shift register, tap position `t` reads state bit `degree - t`.
+    feedback: u64,
+    degree: u32,
+}
+
+fn reflect_taps(degree: u32, taps: u64) -> u64 {
+    let mut feedback = 0u64;
+    for t in 1..=degree {
+        if taps >> (t - 1) & 1 == 1 {
+            feedback |= 1u64 << (degree - t);
+        }
+    }
+    feedback
+}
+
+impl FibonacciLfsr {
+    /// Creates a maximal-length LFSR of the given degree using the built-in
+    /// primitive tap table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError`] if the degree is unsupported or the seed is zero
+    /// or wider than the degree.
+    pub fn max_length(degree: u32, seed: u64) -> Result<Self, LfsrError> {
+        let taps = primitive_taps(degree)?;
+        check_seed(degree, seed)?;
+        Ok(FibonacciLfsr {
+            state: seed,
+            taps,
+            feedback: reflect_taps(degree, taps),
+            degree,
+        })
+    }
+
+    /// Creates an LFSR with a custom tap mask (bit `t-1` set for tap `t`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError`] on an invalid tap mask or seed.
+    pub fn with_taps(degree: u32, taps: u64, seed: u64) -> Result<Self, LfsrError> {
+        if !(crate::taps::MIN_DEGREE..=crate::taps::MAX_DEGREE).contains(&degree) {
+            return Err(LfsrError::UnsupportedDegree(degree));
+        }
+        check_taps(degree, taps)?;
+        check_seed(degree, seed)?;
+        Ok(FibonacciLfsr {
+            state: seed,
+            taps,
+            feedback: reflect_taps(degree, taps),
+            degree,
+        })
+    }
+
+    /// The current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// The register degree (number of state bits).
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// The tap mask (polynomial convention: bit `t - 1` set for tap `t`).
+    pub fn taps(&self) -> u64 {
+        self.taps
+    }
+
+    /// The feedback mask actually wired into the right-shift register: the
+    /// reflection of [`FibonacciLfsr::taps`], with tap `t` reading state bit
+    /// `degree - t`.
+    pub fn feedback_mask(&self) -> u64 {
+        self.feedback
+    }
+
+    /// Re-seeds the register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError::InvalidSeed`] for zero or out-of-range seeds.
+    pub fn reseed(&mut self, seed: u64) -> Result<(), LfsrError> {
+        check_seed(self.degree, seed)?;
+        self.state = seed;
+        Ok(())
+    }
+
+    /// Advances one clock and returns the bit shifted out (the previous
+    /// bottom bit).
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        let feedback = (self.state & self.feedback).count_ones() & 1;
+        self.state >>= 1;
+        self.state |= u64::from(feedback) << (self.degree - 1);
+        out
+    }
+}
+
+impl RandomSource for FibonacciLfsr {
+    fn next_bit(&mut self) -> bool {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn maximal_period_small_degrees() {
+        for degree in 2..=16 {
+            let mut lfsr = FibonacciLfsr::max_length(degree, 1).unwrap();
+            let expected = (1u64 << degree) - 1;
+            let mut seen = HashSet::new();
+            for _ in 0..expected {
+                assert!(seen.insert(lfsr.state()), "degree {degree} repeated early");
+                lfsr.step();
+            }
+            assert_eq!(lfsr.state(), 1, "degree {degree} did not close the cycle");
+            assert_eq!(seen.len() as u64, expected);
+            assert!(!seen.contains(&0), "zero state must be unreachable");
+        }
+    }
+
+    #[test]
+    fn zero_seed_rejected() {
+        assert!(matches!(
+            FibonacciLfsr::max_length(8, 0),
+            Err(LfsrError::InvalidSeed { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_seed_rejected() {
+        assert!(FibonacciLfsr::max_length(8, 0x1FF).is_err());
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut lfsr = FibonacciLfsr::max_length(10, 0x3FF).unwrap();
+        for _ in 0..5000 {
+            lfsr.step();
+            assert_ne!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    fn step_returns_previous_bottom_bit() {
+        let mut lfsr = FibonacciLfsr::max_length(4, 0b0001).unwrap();
+        assert!(lfsr.step());
+        let mut lfsr = FibonacciLfsr::max_length(4, 0b0010).unwrap();
+        assert!(!lfsr.step());
+    }
+
+    #[test]
+    fn reseed_restores_sequence() {
+        let mut a = FibonacciLfsr::max_length(16, 0xBEEF).unwrap();
+        let first: Vec<bool> = (0..64).map(|_| a.step()).collect();
+        a.reseed(0xBEEF).unwrap();
+        let second: Vec<bool> = (0..64).map(|_| a.step()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn custom_taps() {
+        // x^4 + x^3 + 1 == built-in degree-4 polynomial.
+        let built_in = FibonacciLfsr::max_length(4, 0b1010).unwrap();
+        let custom = FibonacciLfsr::with_taps(4, 0b1100, 0b1010).unwrap();
+        assert_eq!(built_in, custom);
+    }
+
+    #[test]
+    fn degree_64_steps_without_panic() {
+        let mut lfsr = FibonacciLfsr::max_length(64, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        for _ in 0..1000 {
+            lfsr.step();
+        }
+        assert_ne!(lfsr.state(), 0);
+    }
+
+    #[test]
+    fn bit_balance_is_roughly_even() {
+        let mut lfsr = FibonacciLfsr::max_length(16, 0x1234).unwrap();
+        let ones: u32 = (0..65535).map(|_| u32::from(lfsr.step())).sum();
+        // Exactly 2^15 ones in a full period of a maximal-length LFSR
+        // output sequence (each state's bottom bit; 32768 states are odd).
+        assert_eq!(ones, 32768);
+    }
+}

@@ -1,0 +1,190 @@
+//! Galois (internal-XOR) LFSR.
+
+use crate::source::RandomSource;
+use crate::taps::{check_seed, check_taps, primitive_taps, state_mask, LfsrError};
+
+/// A Galois LFSR: the output bit is the bottom bit; when it is 1 the tap
+/// mask is XORed into the shifted state.
+///
+/// For the same primitive polynomial a Galois LFSR produces the same output
+/// *sequence* as the Fibonacci form (up to a state relabeling/phase) but
+/// with a single XOR level of logic, which is why hardware BIST controllers
+/// prefer it. With a primitive tap mask it visits all `2^degree - 1`
+/// nonzero states.
+///
+/// # Example
+///
+/// ```
+/// use rls_lfsr::{GaloisLfsr, RandomSource};
+///
+/// let mut lfsr = GaloisLfsr::max_length(8, 0x5A).unwrap();
+/// let word = lfsr.next_bits(8);
+/// assert!(word < 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaloisLfsr {
+    state: u64,
+    taps: u64,
+    degree: u32,
+}
+
+impl GaloisLfsr {
+    /// Creates a maximal-length Galois LFSR of the given degree using the
+    /// built-in primitive tap table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError`] if the degree is unsupported or the seed is zero
+    /// or wider than the degree.
+    pub fn max_length(degree: u32, seed: u64) -> Result<Self, LfsrError> {
+        let taps = primitive_taps(degree)?;
+        check_seed(degree, seed)?;
+        Ok(GaloisLfsr {
+            state: seed,
+            taps,
+            degree,
+        })
+    }
+
+    /// Creates a Galois LFSR with a custom tap mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError`] on an invalid tap mask or seed.
+    pub fn with_taps(degree: u32, taps: u64, seed: u64) -> Result<Self, LfsrError> {
+        if !(crate::taps::MIN_DEGREE..=crate::taps::MAX_DEGREE).contains(&degree) {
+            return Err(LfsrError::UnsupportedDegree(degree));
+        }
+        check_taps(degree, taps)?;
+        check_seed(degree, seed)?;
+        Ok(GaloisLfsr {
+            state: seed,
+            taps,
+            degree,
+        })
+    }
+
+    /// The current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// The register degree.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// The tap mask.
+    pub fn taps(&self) -> u64 {
+        self.taps
+    }
+
+    /// Re-seeds the register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError::InvalidSeed`] for zero or out-of-range seeds.
+    pub fn reseed(&mut self, seed: u64) -> Result<(), LfsrError> {
+        check_seed(self.degree, seed)?;
+        self.state = seed;
+        Ok(())
+    }
+
+    /// Advances one clock and returns the bit shifted out.
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if out {
+            // Right-shift Galois form: XOR in the tap mask. The top tap
+            // (bit degree-1) re-injects the output at the top of the
+            // register; lower taps toggle interior bits.
+            self.state ^= self.taps;
+        }
+        debug_assert_eq!(self.state & !state_mask(self.degree), 0);
+        out
+    }
+}
+
+impl RandomSource for GaloisLfsr {
+    fn next_bit(&mut self) -> bool {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn maximal_period_small_degrees() {
+        for degree in 2..=16 {
+            let mut lfsr = GaloisLfsr::max_length(degree, 1).unwrap();
+            let expected = (1u64 << degree) - 1;
+            let mut seen = HashSet::new();
+            for _ in 0..expected {
+                assert!(seen.insert(lfsr.state()), "degree {degree} repeated early");
+                lfsr.step();
+            }
+            assert_eq!(lfsr.state(), 1, "degree {degree} did not close the cycle");
+        }
+    }
+
+    #[test]
+    fn zero_seed_rejected() {
+        assert!(GaloisLfsr::max_length(8, 0).is_err());
+    }
+
+    #[test]
+    fn state_stays_in_range() {
+        let mut lfsr = GaloisLfsr::max_length(13, 0x1ABC).unwrap();
+        for _ in 0..10_000 {
+            lfsr.step();
+            assert!(lfsr.state() < (1 << 13));
+            assert_ne!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    fn output_sequence_matches_fibonacci_statistics() {
+        // Both forms of the same primitive polynomial produce maximal-length
+        // sequences: over a full period the output has 2^(n-1) ones.
+        let mut lfsr = GaloisLfsr::max_length(12, 0x123).unwrap();
+        let period = (1u32 << 12) - 1;
+        let ones: u32 = (0..period).map(|_| u32::from(lfsr.step())).sum();
+        assert_eq!(ones, 1 << 11);
+    }
+
+    #[test]
+    fn degree_64_wraps_correctly() {
+        let mut lfsr = GaloisLfsr::max_length(64, 1).unwrap();
+        let mut seen_top = false;
+        for _ in 0..256 {
+            lfsr.step();
+            if lfsr.state() >> 63 == 1 {
+                seen_top = true;
+            }
+        }
+        assert!(seen_top, "feedback must reach the top bit");
+    }
+
+    #[test]
+    fn reseed_reproduces() {
+        let mut a = GaloisLfsr::max_length(24, 0xABCDE).unwrap();
+        let s1: Vec<u64> = (0..50)
+            .map(|_| {
+                a.step();
+                a.state()
+            })
+            .collect();
+        a.reseed(0xABCDE).unwrap();
+        let s2: Vec<u64> = (0..50)
+            .map(|_| {
+                a.step();
+                a.state()
+            })
+            .collect();
+        assert_eq!(s1, s2);
+    }
+}

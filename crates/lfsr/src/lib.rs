@@ -1,0 +1,41 @@
+//! Linear-feedback shift registers and reproducible random sources.
+//!
+//! The paper's test generator must be realizable as "a random pattern
+//! generator with simple control logic" — in practice, LFSRs. This crate
+//! provides:
+//!
+//! - [`FibonacciLfsr`] and [`GaloisLfsr`] over the primitive tap table in
+//!   [`taps`], giving maximal-length sequences for any degree 2–64;
+//! - the [`RandomSource`] trait, the single abstraction every procedure in
+//!   `rls-core` draws randomness through, so a software PRNG and a
+//!   hardware-faithful LFSR are interchangeable;
+//! - the paper's `r mod D` draw ([`RandomSource::draw_mod`]): a number that
+//!   is zero with probability `1/D`;
+//! - [`BitMatrix`]-based jump-ahead, used to skip an LFSR forward without
+//!   stepping (and to verify sequence periods in tests);
+//! - deterministic seed derivation ([`derive_seed`]) implementing the
+//!   paper's `seed(I)` family.
+//!
+//! # Example
+//!
+//! ```
+//! use rls_lfsr::{FibonacciLfsr, RandomSource};
+//!
+//! let mut lfsr = FibonacciLfsr::max_length(16, 0xACE1).unwrap();
+//! let r1 = lfsr.draw_mod(5); // zero with probability ~1/5
+//! assert!(r1 < 5);
+//! ```
+
+pub mod fibonacci;
+pub mod galois;
+pub mod matrix;
+pub mod seed;
+pub mod source;
+pub mod taps;
+
+pub use fibonacci::FibonacciLfsr;
+pub use galois::GaloisLfsr;
+pub use matrix::BitMatrix;
+pub use seed::{derive_seed, SeedSequence};
+pub use source::{RandomSource, SplitMix64, XorShift64};
+pub use taps::{primitive_taps, LfsrError, MAX_DEGREE, MIN_DEGREE};

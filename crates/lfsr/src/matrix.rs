@@ -1,0 +1,294 @@
+//! Dense bit matrices over GF(2), used for LFSR jump-ahead and period
+//! verification.
+//!
+//! An LFSR step is a linear map over GF(2); its transition matrix raised to
+//! the `k`-th power advances the register `k` steps at once. This is how the
+//! test suite verifies that the tap table yields period `2^n - 1` for *all*
+//! degrees, including those far too large to step exhaustively.
+
+use std::fmt;
+
+use crate::fibonacci::FibonacciLfsr;
+use crate::galois::GaloisLfsr;
+
+/// A square bit matrix over GF(2), up to 64×64, stored one row per `u64`.
+///
+/// Row vectors multiply from the left: `y = M.apply(x)` computes
+/// `y_i = ⊕_j M[i][j] & x_j`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    rows: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// The zero matrix of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 64.
+    pub fn zero(n: usize) -> Self {
+        assert!((1..=64).contains(&n), "size must be 1..=64");
+        BitMatrix {
+            n,
+            rows: vec![0; n],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 64.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zero(n);
+        for i in 0..n {
+            m.rows[i] = 1u64 << i;
+        }
+        m
+    }
+
+    /// Matrix size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Gets entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.n && col < self.n);
+        self.rows[row] >> col & 1 == 1
+    }
+
+    /// Sets entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.n && col < self.n);
+        if value {
+            self.rows[row] |= 1u64 << col;
+        } else {
+            self.rows[row] &= !(1u64 << col);
+        }
+    }
+
+    /// Applies the matrix to a state vector (bit `j` of `x` is component
+    /// `j`).
+    pub fn apply(&self, x: u64) -> u64 {
+        let mut y = 0u64;
+        for (i, &row) in self.rows.iter().enumerate() {
+            y |= u64::from((row & x).count_ones() & 1) << i;
+        }
+        y
+    }
+
+    /// Matrix product `self * other` over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.n, other.n, "size mismatch");
+        let mut out = BitMatrix::zero(self.n);
+        for i in 0..self.n {
+            let mut acc = 0u64;
+            let mut row = self.rows[i];
+            while row != 0 {
+                let j = row.trailing_zeros() as usize;
+                acc ^= other.rows[j];
+                row &= row - 1;
+            }
+            out.rows[i] = acc;
+        }
+        out
+    }
+
+    /// Matrix power `self^k` by binary exponentiation.
+    pub fn pow(&self, mut k: u128) -> BitMatrix {
+        let mut result = BitMatrix::identity(self.n);
+        let mut base = self.clone();
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result.mul(&base);
+            }
+            base = base.mul(&base);
+            k >>= 1;
+        }
+        result
+    }
+
+    /// The one-step transition matrix of a Fibonacci LFSR (next state =
+    /// `M * state`).
+    pub fn fibonacci_step(lfsr: &FibonacciLfsr) -> BitMatrix {
+        let n = lfsr.degree() as usize;
+        let mut m = BitMatrix::zero(n);
+        // next[i] = state[i+1] for i < n-1.
+        for i in 0..n - 1 {
+            m.set(i, i + 1, true);
+        }
+        // next[n-1] = parity of the feedback-tapped bits.
+        m.rows[n - 1] = lfsr.feedback_mask();
+        m
+    }
+
+    /// The one-step transition matrix of a Galois LFSR.
+    pub fn galois_step(lfsr: &GaloisLfsr) -> BitMatrix {
+        let n = lfsr.degree() as usize;
+        let mut m = BitMatrix::zero(n);
+        // next = (state >> 1) ^ (state[0] ? taps : 0)
+        for i in 0..n - 1 {
+            m.set(i, i + 1, true);
+        }
+        let taps = lfsr.taps();
+        for i in 0..n {
+            if taps >> i & 1 == 1 {
+                let cur = m.get(i, 0);
+                m.set(i, 0, !cur);
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix({}x{})", self.n, self.n)?;
+        for row in &self.rows {
+            for j in 0..self.n {
+                write!(f, "{}", row >> j & 1)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taps::{MAX_DEGREE, MIN_DEGREE};
+
+    #[test]
+    fn identity_is_neutral() {
+        let id = BitMatrix::identity(8);
+        let mut m = BitMatrix::zero(8);
+        m.set(3, 5, true);
+        m.set(7, 0, true);
+        assert_eq!(id.mul(&m), m);
+        assert_eq!(m.mul(&id), m);
+        assert_eq!(id.apply(0xAB), 0xAB);
+    }
+
+    #[test]
+    fn pow_zero_is_identity() {
+        let m = BitMatrix::fibonacci_step(&FibonacciLfsr::max_length(8, 1).unwrap());
+        assert_eq!(m.pow(0), BitMatrix::identity(8));
+    }
+
+    #[test]
+    fn fibonacci_matrix_matches_stepping() {
+        let mut lfsr = FibonacciLfsr::max_length(12, 0x5A5).unwrap();
+        let m = BitMatrix::fibonacci_step(&lfsr);
+        let mut state = lfsr.state();
+        for _ in 0..100 {
+            lfsr.step();
+            state = m.apply(state);
+            assert_eq!(state, lfsr.state());
+        }
+    }
+
+    #[test]
+    fn galois_matrix_matches_stepping() {
+        let mut lfsr = GaloisLfsr::max_length(12, 0x5A5).unwrap();
+        let m = BitMatrix::galois_step(&lfsr);
+        let mut state = lfsr.state();
+        for _ in 0..100 {
+            lfsr.step();
+            state = m.apply(state);
+            assert_eq!(state, lfsr.state());
+        }
+    }
+
+    #[test]
+    fn jump_ahead_equals_many_steps() {
+        let mut lfsr = FibonacciLfsr::max_length(20, 0xBEEF).unwrap();
+        let m = BitMatrix::fibonacci_step(&lfsr);
+        let jumped = m.pow(12345).apply(lfsr.state());
+        for _ in 0..12345 {
+            lfsr.step();
+        }
+        assert_eq!(jumped, lfsr.state());
+    }
+
+    /// The period of every tap-table polynomial divides `2^n - 1`: stepping
+    /// the transition matrix `2^n - 1` times must give the identity. This
+    /// validates the whole tap table, including degrees far beyond
+    /// exhaustive reach. (Exhaustive tests in `fibonacci`/`galois` prove
+    /// full maximality for small degrees.)
+    #[test]
+    fn tap_table_period_divides_maximal_for_all_degrees() {
+        for degree in MIN_DEGREE..=MAX_DEGREE {
+            let fib = FibonacciLfsr::max_length(degree, 1).unwrap();
+            let m = BitMatrix::fibonacci_step(&fib);
+            let period = if degree == 64 {
+                u128::from(u64::MAX)
+            } else {
+                (1u128 << degree) - 1
+            };
+            assert_eq!(
+                m.pow(period),
+                BitMatrix::identity(degree as usize),
+                "degree {degree} (fibonacci)"
+            );
+            let gal = GaloisLfsr::max_length(degree, 1).unwrap();
+            let mg = BitMatrix::galois_step(&gal);
+            assert_eq!(
+                mg.pow(period),
+                BitMatrix::identity(degree as usize),
+                "degree {degree} (galois)"
+            );
+        }
+    }
+
+    /// No tap-table polynomial has a short period `2^k - 1` for a proper
+    /// divisor pattern: check the matrix is not identity at a few small
+    /// powers, which would indicate a grossly composite polynomial.
+    #[test]
+    fn tap_table_has_no_tiny_period() {
+        for degree in MIN_DEGREE..=MAX_DEGREE {
+            let fib = FibonacciLfsr::max_length(degree, 1).unwrap();
+            let m = BitMatrix::fibonacci_step(&fib);
+            for k in 1..=16u128 {
+                if (degree == 2 && k == 3) || (degree == 3 && k == 7) || (degree == 4 && k == 15) {
+                    continue;
+                }
+                if k < (1u128 << degree) - 1 {
+                    assert_ne!(
+                        m.pow(k),
+                        BitMatrix::identity(degree as usize),
+                        "degree {degree} collapses at power {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be 1..=64")]
+    fn oversize_matrix_panics() {
+        BitMatrix::zero(65);
+    }
+
+    #[test]
+    fn debug_output_shows_rows() {
+        let m = BitMatrix::identity(3);
+        let s = format!("{m:?}");
+        assert!(s.contains("BitMatrix(3x3)"));
+        assert!(s.contains("100"));
+    }
+}

@@ -1,0 +1,271 @@
+//! The [`RandomSource`] abstraction and software pseudo-random generators.
+//!
+//! Every random decision in the reproduction — test vectors, scan-in states,
+//! the `r1 mod D1` limited-scan insertion coin, the `r2 mod D2` shift count,
+//! and the fill bits scanned in during a limited scan — is drawn through
+//! [`RandomSource`]. Any implementor (hardware-faithful LFSR or fast
+//! software PRNG) can therefore drive the procedures of `rls-core`, and the
+//! BIST controller equivalence tests in `rls-bist` rely on exactly this
+//! interchangeability.
+
+/// A deterministic stream of random bits.
+///
+/// Implementors only need [`RandomSource::next_bit`]; everything else has
+/// default implementations layered on it so that two sources producing the
+/// same bit stream produce identical derived draws.
+pub trait RandomSource {
+    /// The next pseudo-random bit.
+    fn next_bit(&mut self) -> bool;
+
+    /// The next `n` bits packed little-endian (first bit drawn is bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    fn next_bits(&mut self, n: u32) -> u64 {
+        assert!(n <= 64, "at most 64 bits per draw");
+        let mut word = 0u64;
+        for i in 0..n {
+            word |= u64::from(self.next_bit()) << i;
+        }
+        word
+    }
+
+    /// The next 32-bit draw.
+    fn next_u32(&mut self) -> u32 {
+        self.next_bits(32) as u32
+    }
+
+    /// The paper's `r mod D` draw: a 32-bit random number reduced modulo
+    /// `d`, which is zero with probability approximately `1/d`.
+    ///
+    /// The paper requires the raw range `R >> D`; a 32-bit draw satisfies
+    /// that for every `D` the procedures use (`D1 ≤ 10`, `D2 = N_SV + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    fn draw_mod(&mut self, d: u32) -> u32 {
+        assert!(d > 0, "modulus must be positive");
+        self.next_u32() % d
+    }
+
+    /// Fills a boolean slice with fresh bits.
+    fn fill_bits(&mut self, out: &mut [bool]) {
+        for slot in out {
+            *slot = self.next_bit();
+        }
+    }
+}
+
+impl<T: RandomSource + ?Sized> RandomSource for &mut T {
+    fn next_bit(&mut self) -> bool {
+        (**self).next_bit()
+    }
+}
+
+/// The xorshift64* generator: fast, decent-quality software PRNG used where
+/// hardware faithfulness is not required (synthetic circuit generation,
+/// reference models in tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+    /// Buffered bits of the current word, consumed LSB-first.
+    buffer: u64,
+    remaining: u32,
+}
+
+impl XorShift64 {
+    /// Creates a generator; a zero seed is remapped to a fixed nonzero
+    /// constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+            buffer: 0,
+            remaining: 0,
+        }
+    }
+
+    fn next_word(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl RandomSource for XorShift64 {
+    fn next_bit(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.buffer = self.next_word();
+            self.remaining = 64;
+        }
+        let bit = self.buffer & 1 == 1;
+        self.buffer >>= 1;
+        self.remaining -= 1;
+        bit
+    }
+}
+
+/// The splitmix64 generator: used for seed derivation because every output
+/// is a bijective mix of the counter, so derived seeds never collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+    buffer: u64,
+    remaining: u32,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from any seed (zero is fine for splitmix).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed,
+            buffer: 0,
+            remaining: 0,
+        }
+    }
+
+    /// The next full 64-bit output.
+    pub fn next_word(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RandomSource for SplitMix64 {
+    fn next_bit(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.buffer = self.next_word();
+            self.remaining = 64;
+        }
+        let bit = self.buffer & 1 == 1;
+        self.buffer >>= 1;
+        self.remaining -= 1;
+        bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_bits_packs_lsb_first() {
+        // A source that emits 1,0,1,1,...
+        struct Fixed(Vec<bool>, usize);
+        impl RandomSource for Fixed {
+            fn next_bit(&mut self) -> bool {
+                let b = self.0[self.1 % self.0.len()];
+                self.1 += 1;
+                b
+            }
+        }
+        let mut s = Fixed(vec![true, false, true, true], 0);
+        assert_eq!(s.next_bits(4), 0b1101);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 bits")]
+    fn next_bits_rejects_wide_draws() {
+        XorShift64::new(1).next_bits(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn draw_mod_zero_panics() {
+        XorShift64::new(1).draw_mod(0);
+    }
+
+    #[test]
+    fn draw_mod_stays_in_range() {
+        let mut s = XorShift64::new(42);
+        for d in 1..20 {
+            for _ in 0..100 {
+                assert!(s.draw_mod(d) < d);
+            }
+        }
+    }
+
+    #[test]
+    fn draw_mod_hits_zero_about_one_in_d() {
+        let mut s = XorShift64::new(7);
+        let d = 5u32;
+        let trials = 50_000;
+        let zeros = (0..trials).filter(|_| s.draw_mod(d) == 0).count();
+        let expected = trials / d as usize;
+        let slack = expected / 5; // 20% tolerance
+        assert!(
+            (expected - slack..=expected + slack).contains(&zeros),
+            "zeros={zeros}, expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn xorshift_is_reproducible() {
+        let mut a = XorShift64::new(123);
+        let mut b = XorShift64::new(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_remapped() {
+        let mut s = XorShift64::new(0);
+        // Must not get stuck emitting zeros.
+        let any_one = (0..128).any(|_| s.next_bit());
+        assert!(any_one);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let wa: u64 = a.next_bits(64);
+        let wb: u64 = b.next_bits(64);
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference value of splitmix64 with seed 0: first output.
+        let mut s = SplitMix64::new(0);
+        assert_eq!(s.next_word(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn fill_bits_covers_slice() {
+        let mut s = XorShift64::new(9);
+        let mut buf = [false; 257];
+        s.fill_bits(&mut buf);
+        // With 257 random bits, both values must appear.
+        assert!(buf.iter().any(|&b| b));
+        assert!(buf.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn bit_bias_is_small() {
+        let mut s = XorShift64::new(3);
+        let ones = (0..100_000).filter(|_| s.next_bit()).count();
+        assert!((48_000..52_000).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn trait_object_usable_via_mut_ref() {
+        fn draw(source: &mut dyn RandomSource) -> u32 {
+            source.next_u32()
+        }
+        let mut s = XorShift64::new(5);
+        let _ = draw(&mut s);
+    }
+}

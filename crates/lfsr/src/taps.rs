@@ -1,0 +1,230 @@
+//! Primitive-polynomial tap table for maximal-length LFSRs.
+//!
+//! One primitive polynomial per degree 2–64, from the classic
+//! maximal-length tap tables (Xilinx XAPP052 and Alfke's list). A degree-`n`
+//! LFSR built on these taps cycles through all `2^n - 1` nonzero states.
+
+use std::error::Error;
+use std::fmt;
+
+/// Smallest supported LFSR degree.
+pub const MIN_DEGREE: u32 = 2;
+/// Largest supported LFSR degree.
+pub const MAX_DEGREE: u32 = 64;
+
+/// Errors constructing an LFSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LfsrError {
+    /// Degree outside `MIN_DEGREE..=MAX_DEGREE`.
+    UnsupportedDegree(u32),
+    /// The seed was zero (an LFSR stuck state) or had bits above the degree.
+    InvalidSeed { degree: u32, seed: u64 },
+    /// A custom tap mask was empty or had bits above the degree.
+    InvalidTaps { degree: u32, taps: u64 },
+}
+
+impl fmt::Display for LfsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LfsrError::UnsupportedDegree(d) => {
+                write!(f, "unsupported LFSR degree {d} (supported: 2..=64)")
+            }
+            LfsrError::InvalidSeed { degree, seed } => {
+                write!(f, "invalid seed {seed:#x} for degree-{degree} LFSR")
+            }
+            LfsrError::InvalidTaps { degree, taps } => {
+                write!(f, "invalid tap mask {taps:#x} for degree-{degree} LFSR")
+            }
+        }
+    }
+}
+
+impl Error for LfsrError {}
+
+/// Tap positions (1-indexed bit numbers, MSB = degree) per degree.
+/// `TAPS[d - 2]` lists the taps of the degree-`d` polynomial.
+const TAPS: [&[u32]; 63] = [
+    &[2, 1],              // 2
+    &[3, 2],              // 3
+    &[4, 3],              // 4
+    &[5, 3],              // 5
+    &[6, 5],              // 6
+    &[7, 6],              // 7
+    &[8, 6, 5, 4],        // 8
+    &[9, 5],              // 9
+    &[10, 7],             // 10
+    &[11, 9],             // 11
+    &[12, 6, 4, 1],       // 12
+    &[13, 4, 3, 1],       // 13
+    &[14, 5, 3, 1],       // 14
+    &[15, 14],            // 15
+    &[16, 15, 13, 4],     // 16
+    &[17, 14],            // 17
+    &[18, 11],            // 18
+    &[19, 6, 2, 1],       // 19
+    &[20, 17],            // 20
+    &[21, 19],            // 21
+    &[22, 21],            // 22
+    &[23, 18],            // 23
+    &[24, 23, 22, 17],    // 24
+    &[25, 22],            // 25
+    &[26, 6, 2, 1],       // 26
+    &[27, 5, 2, 1],       // 27
+    &[28, 25],            // 28
+    &[29, 27],            // 29
+    &[30, 6, 4, 1],       // 30
+    &[31, 28],            // 31
+    &[32, 22, 2, 1],      // 32
+    &[33, 20],            // 33
+    &[34, 27, 2, 1],      // 34
+    &[35, 33],            // 35
+    &[36, 25],            // 36
+    &[37, 5, 4, 3, 2, 1], // 37
+    &[38, 6, 5, 1],       // 38
+    &[39, 35],            // 39
+    &[40, 38, 21, 19],    // 40
+    &[41, 38],            // 41
+    &[42, 41, 20, 19],    // 42
+    &[43, 42, 38, 37],    // 43
+    &[44, 43, 18, 17],    // 44
+    &[45, 44, 42, 41],    // 45
+    &[46, 45, 26, 25],    // 46
+    &[47, 42],            // 47
+    &[48, 47, 21, 20],    // 48
+    &[49, 40],            // 49
+    &[50, 49, 24, 23],    // 50
+    &[51, 50, 36, 35],    // 51
+    &[52, 49],            // 52
+    &[53, 52, 38, 37],    // 53
+    &[54, 53, 18, 17],    // 54
+    &[55, 31],            // 55
+    &[56, 55, 35, 34],    // 56
+    &[57, 50],            // 57
+    &[58, 39],            // 58
+    &[59, 58, 38, 37],    // 59
+    &[60, 59],            // 60
+    &[61, 60, 46, 45],    // 61
+    &[62, 61, 6, 5],      // 62
+    &[63, 62],            // 63
+    &[64, 63, 61, 60],    // 64
+];
+
+/// Returns the primitive tap mask for a maximal-length LFSR of `degree`.
+///
+/// Bit `t - 1` of the mask is set for each tap position `t`; the top tap
+/// (`degree`) is always included.
+///
+/// # Errors
+///
+/// Returns [`LfsrError::UnsupportedDegree`] outside 2–64.
+///
+/// # Example
+///
+/// ```
+/// let taps = rls_lfsr::primitive_taps(4).unwrap();
+/// assert_eq!(taps, 0b1100); // taps at positions 4 and 3
+/// ```
+pub fn primitive_taps(degree: u32) -> Result<u64, LfsrError> {
+    if !(MIN_DEGREE..=MAX_DEGREE).contains(&degree) {
+        return Err(LfsrError::UnsupportedDegree(degree));
+    }
+    let mut mask = 0u64;
+    for &t in TAPS[(degree - 2) as usize] {
+        mask |= 1u64 << (t - 1);
+    }
+    Ok(mask)
+}
+
+/// Validates a seed for a degree-`degree` LFSR: nonzero, fits in `degree`
+/// bits.
+pub(crate) fn check_seed(degree: u32, seed: u64) -> Result<(), LfsrError> {
+    let mask = state_mask(degree);
+    if seed == 0 || seed & !mask != 0 {
+        return Err(LfsrError::InvalidSeed { degree, seed });
+    }
+    Ok(())
+}
+
+/// Validates a custom tap mask: nonzero, top tap present, fits in `degree`
+/// bits.
+pub(crate) fn check_taps(degree: u32, taps: u64) -> Result<(), LfsrError> {
+    let mask = state_mask(degree);
+    let top = 1u64 << (degree - 1);
+    if taps == 0 || taps & !mask != 0 || taps & top == 0 {
+        return Err(LfsrError::InvalidTaps { degree, taps });
+    }
+    Ok(())
+}
+
+/// All-ones mask of `degree` bits.
+pub(crate) fn state_mask(degree: u32) -> u64 {
+    if degree == 64 {
+        !0u64
+    } else {
+        (1u64 << degree) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taps_cover_all_degrees() {
+        for d in MIN_DEGREE..=MAX_DEGREE {
+            let taps = primitive_taps(d).unwrap();
+            assert_ne!(taps, 0);
+            // Top tap always present.
+            assert_ne!(taps & (1u64 << (d - 1)), 0, "degree {d}");
+            // No taps above the degree.
+            assert_eq!(taps & !state_mask(d), 0, "degree {d}");
+            // Even number of taps => odd number of feedback terms + x^0:
+            // all primitive polynomials have an even tap count here.
+            assert_eq!(TAPS[(d - 2) as usize].len() % 2, 0, "degree {d}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_degrees_rejected() {
+        assert_eq!(primitive_taps(0), Err(LfsrError::UnsupportedDegree(0)));
+        assert_eq!(primitive_taps(1), Err(LfsrError::UnsupportedDegree(1)));
+        assert_eq!(primitive_taps(65), Err(LfsrError::UnsupportedDegree(65)));
+    }
+
+    #[test]
+    fn degree_four_taps() {
+        assert_eq!(primitive_taps(4).unwrap(), 0b1100);
+    }
+
+    #[test]
+    fn state_mask_degree_64_is_all_ones() {
+        assert_eq!(state_mask(64), !0u64);
+        assert_eq!(state_mask(3), 0b111);
+    }
+
+    #[test]
+    fn seed_validation() {
+        assert!(check_seed(8, 0xAB).is_ok());
+        assert!(check_seed(8, 0).is_err());
+        assert!(check_seed(8, 0x100).is_err());
+        assert!(check_seed(64, !0u64).is_ok());
+    }
+
+    #[test]
+    fn taps_validation() {
+        assert!(check_taps(4, 0b1100).is_ok());
+        assert!(check_taps(4, 0).is_err());
+        assert!(check_taps(4, 0b0100).is_err(), "missing top tap");
+        assert!(check_taps(4, 0b11000).is_err(), "tap above degree");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LfsrError::UnsupportedDegree(1)
+            .to_string()
+            .contains("degree 1"));
+        assert!(LfsrError::InvalidSeed { degree: 8, seed: 0 }
+            .to_string()
+            .contains("seed"));
+    }
+}

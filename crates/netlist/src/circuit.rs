@@ -1,0 +1,627 @@
+//! The circuit graph: nodes, nets, construction and validation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::levelize::Levelization;
+use crate::stats::CircuitStats;
+
+/// Identifier of a net (equivalently, of the node driving it).
+///
+/// Net ids are dense indices into the circuit's node array, assigned in
+/// creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The index of this net in the circuit's node array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A primary input.
+    Input,
+    /// A D flip-flop; `d` is the net feeding its data input, or `None` while
+    /// the flip-flop is still a placeholder under construction.
+    Dff { d: Option<NetId> },
+    /// A constant value (some `.bench` dialects and synthetic circuits use
+    /// tie cells).
+    Const(bool),
+    /// A combinational gate over the given fanin nets.
+    Gate { kind: GateKind, fanin: Vec<NetId> },
+}
+
+/// A node of the circuit graph. Each node drives exactly one net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Human-readable net name (unique within the circuit).
+    pub name: String,
+    /// What drives the net.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// The fanin nets of this node (empty for inputs and constants).
+    pub fn fanin(&self) -> &[NetId] {
+        match &self.kind {
+            NodeKind::Input | NodeKind::Const(_) => &[],
+            NodeKind::Dff { d } => d.as_ref().map(std::slice::from_ref).unwrap_or(&[]),
+            NodeKind::Gate { fanin, .. } => fanin,
+        }
+    }
+
+    /// Whether this node is a flip-flop.
+    pub fn is_dff(&self) -> bool {
+        matches!(self.kind, NodeKind::Dff { .. })
+    }
+
+    /// Whether this node is a primary input.
+    pub fn is_input(&self) -> bool {
+        matches!(self.kind, NodeKind::Input)
+    }
+
+    /// Whether this node is a combinational gate.
+    pub fn is_gate(&self) -> bool {
+        matches!(self.kind, NodeKind::Gate { .. })
+    }
+}
+
+/// A gate-level sequential circuit.
+///
+/// Built incrementally with [`Circuit::add_input`], [`Circuit::add_gate`],
+/// [`Circuit::add_dff_placeholder`] / [`Circuit::connect_dff`] and
+/// [`Circuit::add_output`], then checked with [`Circuit::validated`] (or
+/// [`Circuit::validate`]).
+///
+/// The node array is append-only; [`NetId`]s are stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NetId>,
+    dffs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            dffs: Vec::new(),
+            outputs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn push_node(&mut self, node: Node) -> NetId {
+        let id = NetId(self.nodes.len() as u32);
+        let prev = self.by_name.insert(node.name.clone(), id);
+        assert!(
+            prev.is_none(),
+            "duplicate signal name `{}` (use try_* builder methods to handle)",
+            node.name
+        );
+        self.nodes.push(node);
+        id
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.push_node(Node {
+            name: name.into(),
+            kind: NodeKind::Input,
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant-value node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use.
+    pub fn add_const(&mut self, name: impl Into<String>, value: bool) -> NetId {
+        self.push_node(Node {
+            name: name.into(),
+            kind: NodeKind::Const(value),
+        })
+    }
+
+    /// Adds a D flip-flop whose data input is not yet known.
+    ///
+    /// Use [`Circuit::connect_dff`] once the driving net exists. This
+    /// two-step protocol is what makes sequential feedback loops
+    /// constructible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use.
+    pub fn add_dff_placeholder(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.push_node(Node {
+            name: name.into(),
+            kind: NodeKind::Dff { d: None },
+        });
+        self.dffs.push(id);
+        id
+    }
+
+    /// Adds a D flip-flop with a known data input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use or `d` is out of range.
+    pub fn add_dff(&mut self, name: impl Into<String>, d: NetId) -> NetId {
+        assert!(d.index() < self.nodes.len(), "fanin {d} out of range");
+        let id = self.push_node(Node {
+            name: name.into(),
+            kind: NodeKind::Dff { d: Some(d) },
+        });
+        self.dffs.push(id);
+        id
+    }
+
+    /// Connects the data input of a flip-flop placeholder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotADffPlaceholder`] if `ff` is not a
+    /// flip-flop or is already connected, and [`NetlistError::InvalidNetId`]
+    /// if either id is out of range.
+    pub fn connect_dff(&mut self, ff: NetId, d: NetId) -> Result<(), NetlistError> {
+        if ff.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNetId(ff.0));
+        }
+        if d.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNetId(d.0));
+        }
+        let name = self.nodes[ff.index()].name.clone();
+        match &mut self.nodes[ff.index()].kind {
+            NodeKind::Dff { d: slot @ None } => {
+                *slot = Some(d);
+                Ok(())
+            }
+            _ => Err(NetlistError::NotADffPlaceholder(name)),
+        }
+    }
+
+    /// Adds a combinational gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use, a fanin is out of range, the
+    /// fanin list is empty, or a unary gate is given more than one fanin.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanin: Vec<NetId>,
+    ) -> NetId {
+        assert!(!fanin.is_empty(), "gate must have at least one fanin");
+        if kind.is_unary() {
+            assert_eq!(fanin.len(), 1, "{kind} takes exactly one fanin");
+        }
+        for &f in &fanin {
+            assert!(f.index() < self.nodes.len(), "fanin {f} out of range");
+        }
+        self.push_node(Node {
+            name: name.into(),
+            kind: NodeKind::Gate { kind, fanin },
+        })
+    }
+
+    /// Marks a net as a primary output. The same net may be listed more than
+    /// once only by calling this twice; duplicates are kept as-is.
+    pub fn add_output(&mut self, net: NetId) {
+        assert!(net.index() < self.nodes.len(), "output {net} out of range");
+        self.outputs.push(net);
+    }
+
+    /// Looks up a net by name.
+    pub fn find(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The node driving `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn node(&self, net: NetId) -> &Node {
+        &self.nodes[net.index()]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Flip-flops in declaration order. This order is also the default scan
+    /// chain order used by `rls-scan`.
+    pub fn dffs(&self) -> &[NetId] {
+        &self.dffs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Number of nodes (nets).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the circuit has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of flip-flops (the paper's `N_SV` for a full-scan circuit).
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of combinational gates (excluding inputs, constants, and
+    /// flip-flops).
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_gate()).count()
+    }
+
+    /// The position of `ff` in the flip-flop (scan) order, if it is one.
+    pub fn dff_position(&self, ff: NetId) -> Option<usize> {
+        self.dffs.iter().position(|&d| d == ff)
+    }
+
+    /// Computes the fanout lists of every net.
+    ///
+    /// `fanout[i]` lists the nodes that use net `i` as a fanin, in id order;
+    /// a node using the same net twice appears twice.
+    pub fn fanout(&self) -> Vec<Vec<NetId>> {
+        let mut fanout = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &f in node.fanin() {
+                fanout[f.index()].push(NetId(i as u32));
+            }
+        }
+        fanout
+    }
+
+    /// Replaces the `pos`-th fanin of a gate with `new`.
+    ///
+    /// This is the primitive used by netlist rewriting (e.g. test-point
+    /// insertion). No acyclicity check is performed here; call
+    /// [`Circuit::validate`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetId`] if either id is out of range,
+    /// and [`NetlistError::BadArity`] if `pos` is not a valid fanin position
+    /// of `gate` (also returned when `gate` is not a combinational gate).
+    pub fn replace_fanin(
+        &mut self,
+        gate: NetId,
+        pos: usize,
+        new: NetId,
+    ) -> Result<(), NetlistError> {
+        if gate.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNetId(gate.0));
+        }
+        if new.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNetId(new.0));
+        }
+        let name = self.nodes[gate.index()].name.clone();
+        match &mut self.nodes[gate.index()].kind {
+            NodeKind::Gate { kind, fanin } if pos < fanin.len() => {
+                let _ = kind;
+                fanin[pos] = new;
+                Ok(())
+            }
+            NodeKind::Gate { kind, fanin } => Err(NetlistError::BadArity {
+                gate: name,
+                kind: kind.bench_name(),
+                arity: fanin.len().min(pos),
+            }),
+            _ => Err(NetlistError::BadArity {
+                gate: name,
+                kind: "non-gate",
+                arity: pos,
+            }),
+        }
+    }
+
+    /// Appends an extra fanin to a non-unary gate.
+    ///
+    /// Used by netlist rewriting (synthetic generation, test-point
+    /// insertion). No acyclicity check is performed here; call
+    /// [`Circuit::validate`] afterwards (appending a net with a smaller id
+    /// than the gate is always safe, since fanins created by the builder
+    /// API always precede their gate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetId`] if either id is out of range,
+    /// and [`NetlistError::BadArity`] if `gate` is not a gate or is unary.
+    pub fn push_fanin(&mut self, gate: NetId, extra: NetId) -> Result<(), NetlistError> {
+        if gate.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNetId(gate.0));
+        }
+        if extra.index() >= self.nodes.len() {
+            return Err(NetlistError::InvalidNetId(extra.0));
+        }
+        let name = self.nodes[gate.index()].name.clone();
+        match &mut self.nodes[gate.index()].kind {
+            NodeKind::Gate { kind, fanin } if !kind.is_unary() => {
+                fanin.push(extra);
+                Ok(())
+            }
+            NodeKind::Gate { kind, fanin } => Err(NetlistError::BadArity {
+                gate: name,
+                kind: kind.bench_name(),
+                arity: fanin.len() + 1,
+            }),
+            _ => Err(NetlistError::BadArity {
+                gate: name,
+                kind: "non-gate",
+                arity: 0,
+            }),
+        }
+    }
+
+    /// Validates structural invariants: every flip-flop connected, the
+    /// combinational core acyclic, and something observable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for &ff in &self.dffs {
+            if let NodeKind::Dff { d: None } = self.nodes[ff.index()].kind {
+                return Err(NetlistError::UnconnectedDff(
+                    self.nodes[ff.index()].name.clone(),
+                ));
+            }
+        }
+        if self.outputs.is_empty() && self.dffs.is_empty() {
+            return Err(NetlistError::NothingObservable);
+        }
+        // Levelization detects combinational cycles.
+        Levelization::build(self).map(|_| ())
+    }
+
+    /// Consumes the builder and returns the circuit if it validates.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::validate`].
+    pub fn validated(self) -> Result<Self, NetlistError> {
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Computes a levelization (topological order of the combinational core).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational core
+    /// is cyclic.
+    pub fn levelize(&self) -> Result<Levelization, NetlistError> {
+        Levelization::build(self)
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats::of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle_circuit() -> Circuit {
+        let mut c = Circuit::new("toggle");
+        let en = c.add_input("en");
+        let q = c.add_dff_placeholder("q");
+        let nq = c.add_gate("nq", GateKind::Not, vec![q]);
+        let d = c.add_gate("d", GateKind::And, vec![en, nq]);
+        c.connect_dff(q, d).unwrap();
+        c.add_output(q);
+        c
+    }
+
+    #[test]
+    fn builder_counts() {
+        let c = toggle_circuit();
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert!(toggle_circuit().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unconnected_dff() {
+        let mut c = Circuit::new("bad");
+        c.add_dff_placeholder("q");
+        assert_eq!(c.validate(), Err(NetlistError::UnconnectedDff("q".into())));
+    }
+
+    #[test]
+    fn validate_rejects_unobservable() {
+        let mut c = Circuit::new("bad");
+        let a = c.add_input("a");
+        c.add_gate("g", GateKind::Not, vec![a]);
+        assert_eq!(c.validate(), Err(NetlistError::NothingObservable));
+    }
+
+    #[test]
+    fn validate_rejects_comb_cycle() {
+        let mut c = Circuit::new("cyclic");
+        let a = c.add_input("a");
+        // g1 and g2 feed each other combinationally.
+        let g1 = c.add_gate("g1", GateKind::And, vec![a, a]);
+        let g2 = c.add_gate("g2", GateKind::Or, vec![g1, a]);
+        c.replace_fanin(g1, 1, g2).unwrap();
+        c.add_output(g2);
+        assert!(matches!(
+            c.validate(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn dff_feedback_is_not_a_cycle() {
+        // q -> nq -> d -> q is fine because the DFF breaks the loop.
+        assert!(toggle_circuit().validate().is_ok());
+    }
+
+    #[test]
+    fn connect_dff_rejects_non_placeholder() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let q = c.add_dff_placeholder("q");
+        c.connect_dff(q, a).unwrap();
+        // Second connect fails.
+        assert_eq!(
+            c.connect_dff(q, a),
+            Err(NetlistError::NotADffPlaceholder("q".into()))
+        );
+        // Connecting a non-DFF fails.
+        assert_eq!(
+            c.connect_dff(a, q),
+            Err(NetlistError::NotADffPlaceholder("a".into()))
+        );
+    }
+
+    #[test]
+    fn connect_dff_rejects_out_of_range() {
+        let mut c = Circuit::new("t");
+        let q = c.add_dff_placeholder("q");
+        assert_eq!(
+            c.connect_dff(q, NetId(99)),
+            Err(NetlistError::InvalidNetId(99))
+        );
+        assert_eq!(
+            c.connect_dff(NetId(99), q),
+            Err(NetlistError::InvalidNetId(99))
+        );
+    }
+
+    #[test]
+    fn find_by_name() {
+        let c = toggle_circuit();
+        assert_eq!(c.find("en"), Some(NetId(0)));
+        assert_eq!(c.find("q"), Some(NetId(1)));
+        assert_eq!(c.find("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal name")]
+    fn duplicate_name_panics() {
+        let mut c = Circuit::new("t");
+        c.add_input("a");
+        c.add_input("a");
+    }
+
+    #[test]
+    fn fanout_lists() {
+        let c = toggle_circuit();
+        let fanout = c.fanout();
+        let q = c.find("q").unwrap();
+        let nq = c.find("nq").unwrap();
+        let d = c.find("d").unwrap();
+        let en = c.find("en").unwrap();
+        assert_eq!(fanout[q.index()], vec![nq]);
+        assert_eq!(fanout[nq.index()], vec![d]);
+        assert_eq!(fanout[en.index()], vec![d]);
+        assert_eq!(fanout[d.index()], vec![q]);
+    }
+
+    #[test]
+    fn fanout_counts_duplicate_fanin_twice() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate("g", GateKind::And, vec![a, a]);
+        c.add_output(g);
+        let fanout = c.fanout();
+        assert_eq!(fanout[a.index()], vec![g, g]);
+    }
+
+    #[test]
+    fn dff_position_follows_declaration_order() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let q0 = c.add_dff("q0", a);
+        let q1 = c.add_dff("q1", q0);
+        c.add_output(q1);
+        assert_eq!(c.dff_position(q0), Some(0));
+        assert_eq!(c.dff_position(q1), Some(1));
+        assert_eq!(c.dff_position(a), None);
+    }
+
+    #[test]
+    fn const_nodes() {
+        let mut c = Circuit::new("t");
+        let one = c.add_const("one", true);
+        c.add_output(one);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.node(one).fanin(), &[]);
+    }
+
+    #[test]
+    fn netid_display() {
+        assert_eq!(NetId(4).to_string(), "n4");
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate name in a `.bench` file was not recognized.
+    UnknownGate(String),
+    /// A signal was referenced but never defined.
+    UndefinedSignal(String),
+    /// A signal was defined more than once.
+    DuplicateSignal(String),
+    /// A syntax error at the given line of a `.bench` file.
+    Syntax { line: usize, message: String },
+    /// The combinational core contains a cycle through the named net.
+    CombinationalCycle(String),
+    /// A flip-flop placeholder was never connected to a data input.
+    UnconnectedDff(String),
+    /// `connect_dff` was called on a node that is not a flip-flop
+    /// placeholder, or was already connected.
+    NotADffPlaceholder(String),
+    /// A gate has an invalid number of fanins for its kind.
+    BadArity {
+        gate: String,
+        kind: &'static str,
+        arity: usize,
+    },
+    /// A net id was out of range for the circuit.
+    InvalidNetId(u32),
+    /// The circuit has no primary outputs and no flip-flops, so nothing is
+    /// observable.
+    NothingObservable,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownGate(name) => write!(f, "unknown gate kind `{name}`"),
+            NetlistError::UndefinedSignal(name) => {
+                write!(f, "signal `{name}` referenced but never defined")
+            }
+            NetlistError::DuplicateSignal(name) => {
+                write!(f, "signal `{name}` defined more than once")
+            }
+            NetlistError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            NetlistError::CombinationalCycle(name) => {
+                write!(f, "combinational cycle through net `{name}`")
+            }
+            NetlistError::UnconnectedDff(name) => {
+                write!(f, "flip-flop `{name}` has no data input")
+            }
+            NetlistError::NotADffPlaceholder(name) => {
+                write!(
+                    f,
+                    "net `{name}` is not an unconnected flip-flop placeholder"
+                )
+            }
+            NetlistError::BadArity { gate, kind, arity } => {
+                write!(f, "gate `{gate}` of kind {kind} has invalid arity {arity}")
+            }
+            NetlistError::InvalidNetId(id) => write!(f, "net id {id} out of range"),
+            NetlistError::NothingObservable => {
+                write!(f, "circuit has no primary outputs and no flip-flops")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            NetlistError::UnknownGate("FOO".into()),
+            NetlistError::UndefinedSignal("x".into()),
+            NetlistError::DuplicateSignal("x".into()),
+            NetlistError::Syntax {
+                line: 3,
+                message: "bad".into(),
+            },
+            NetlistError::CombinationalCycle("x".into()),
+            NetlistError::UnconnectedDff("q".into()),
+            NetlistError::NotADffPlaceholder("q".into()),
+            NetlistError::BadArity {
+                gate: "g".into(),
+                kind: "NOT",
+                arity: 2,
+            },
+            NetlistError::InvalidNetId(7),
+            NetlistError::NothingObservable,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

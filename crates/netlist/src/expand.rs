@@ -1,0 +1,172 @@
+//! Scan-expanded combinational view of a sequential circuit.
+//!
+//! With full scan, every flip-flop is directly controllable (scan-in) and
+//! observable (scan-out), so for combinational reasoning — ATPG, redundancy
+//! identification, single-vector detection — the circuit is viewed as a pure
+//! combinational block:
+//!
+//! - combinational inputs = primary inputs ++ flip-flop outputs
+//!   (present state),
+//! - combinational outputs = primary outputs ++ flip-flop data nets
+//!   (next state).
+//!
+//! [`CombView`] provides that port mapping without copying the circuit.
+
+use crate::circuit::{Circuit, NetId, NodeKind};
+
+/// A port of the scan-expanded combinational view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExpandedPort {
+    /// A real primary input/output of the sequential circuit.
+    Primary(NetId),
+    /// A pseudo port contributed by the flip-flop at the given scan position.
+    State { position: usize, net: NetId },
+}
+
+impl ExpandedPort {
+    /// The net carrying this port's value.
+    pub fn net(self) -> NetId {
+        match self {
+            ExpandedPort::Primary(n) => n,
+            ExpandedPort::State { net, .. } => net,
+        }
+    }
+
+    /// Whether this is a pseudo (state) port.
+    pub fn is_state(self) -> bool {
+        matches!(self, ExpandedPort::State { .. })
+    }
+}
+
+/// The scan-expanded combinational view of a circuit.
+///
+/// # Example
+///
+/// ```
+/// use rls_netlist::{Circuit, CombView, GateKind};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let q = c.add_dff_placeholder("q");
+/// let d = c.add_gate("d", GateKind::Xor, vec![a, q]);
+/// c.connect_dff(q, d).unwrap();
+/// c.add_output(d);
+/// let view = CombView::of(&c);
+/// assert_eq!(view.inputs().len(), 2);  // a + present state q
+/// assert_eq!(view.outputs().len(), 2); // d + next state (also d)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombView {
+    inputs: Vec<ExpandedPort>,
+    outputs: Vec<ExpandedPort>,
+}
+
+impl CombView {
+    /// Builds the view for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flip-flop is still an unconnected placeholder.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut inputs: Vec<ExpandedPort> = circuit
+            .inputs()
+            .iter()
+            .map(|&n| ExpandedPort::Primary(n))
+            .collect();
+        let mut outputs: Vec<ExpandedPort> = circuit
+            .outputs()
+            .iter()
+            .map(|&n| ExpandedPort::Primary(n))
+            .collect();
+        for (position, &ff) in circuit.dffs().iter().enumerate() {
+            inputs.push(ExpandedPort::State { position, net: ff });
+            let NodeKind::Dff { d: Some(d) } = circuit.node(ff).kind else {
+                panic!("flip-flop {} is unconnected", circuit.node(ff).name);
+            };
+            outputs.push(ExpandedPort::State { position, net: d });
+        }
+        CombView { inputs, outputs }
+    }
+
+    /// Combinational inputs: primary inputs, then one state port per
+    /// flip-flop in scan order.
+    pub fn inputs(&self) -> &[ExpandedPort] {
+        &self.inputs
+    }
+
+    /// Combinational outputs: primary outputs, then one next-state port per
+    /// flip-flop in scan order.
+    pub fn outputs(&self) -> &[ExpandedPort] {
+        &self.outputs
+    }
+
+    /// Number of real primary inputs (the prefix of [`CombView::inputs`]).
+    pub fn num_primary_inputs(&self) -> usize {
+        self.inputs.iter().filter(|p| !p.is_state()).count()
+    }
+
+    /// Number of real primary outputs (the prefix of [`CombView::outputs`]).
+    pub fn num_primary_outputs(&self) -> usize {
+        self.outputs.iter().filter(|p| !p.is_state()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn two_ff_circuit() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let q0 = c.add_dff_placeholder("q0");
+        let q1 = c.add_dff_placeholder("q1");
+        let g = c.add_gate("g", GateKind::Xor, vec![a, q0]);
+        let h = c.add_gate("h", GateKind::And, vec![q0, q1]);
+        c.connect_dff(q0, g).unwrap();
+        c.connect_dff(q1, h).unwrap();
+        c.add_output(h);
+        c
+    }
+
+    #[test]
+    fn ports_are_ordered_pis_then_state() {
+        let c = two_ff_circuit();
+        let v = CombView::of(&c);
+        assert_eq!(v.inputs().len(), 3);
+        assert_eq!(v.outputs().len(), 3);
+        assert!(!v.inputs()[0].is_state());
+        assert!(v.inputs()[1].is_state());
+        assert!(v.inputs()[2].is_state());
+        assert_eq!(v.num_primary_inputs(), 1);
+        assert_eq!(v.num_primary_outputs(), 1);
+    }
+
+    #[test]
+    fn state_ports_track_scan_positions() {
+        let c = two_ff_circuit();
+        let v = CombView::of(&c);
+        match v.inputs()[1] {
+            ExpandedPort::State { position, net } => {
+                assert_eq!(position, 0);
+                assert_eq!(net, c.find("q0").unwrap());
+            }
+            _ => panic!("expected state port"),
+        }
+        match v.outputs()[2] {
+            ExpandedPort::State { position, net } => {
+                assert_eq!(position, 1);
+                assert_eq!(net, c.find("h").unwrap());
+            }
+            _ => panic!("expected state port"),
+        }
+    }
+
+    #[test]
+    fn next_state_port_is_the_d_net() {
+        let c = two_ff_circuit();
+        let v = CombView::of(&c);
+        let g = c.find("g").unwrap();
+        assert_eq!(v.outputs()[1].net(), g);
+    }
+}

@@ -1,0 +1,51 @@
+//! Gate-level netlist representation for sequential circuits with flip-flops.
+//!
+//! This crate is the structural substrate of the random limited-scan
+//! reproduction: it defines the circuit graph that the fault simulator
+//! (`rls-fsim`), the ATPG engine (`rls-atpg`) and the scan machinery
+//! (`rls-scan`) all operate on.
+//!
+//! # Model
+//!
+//! A [`Circuit`] is a flat array of [`Node`]s indexed by [`NetId`]. Each node
+//! drives exactly one net, so "net" and "node output" are interchangeable.
+//! Nodes are primary inputs, D flip-flops, constants, or logic gates
+//! ([`GateKind`]). Primary outputs are a list of observed nets.
+//!
+//! Flip-flops break combinational cycles: the combinational core must be
+//! acyclic when flip-flop outputs are treated as sources, which
+//! [`Circuit::levelize`] verifies and exploits to produce a topological
+//! evaluation order.
+//!
+//! # Example
+//!
+//! ```
+//! use rls_netlist::{Circuit, GateKind};
+//!
+//! let mut c = Circuit::new("toggle");
+//! let en = c.add_input("en");
+//! let q = c.add_dff_placeholder("q");
+//! let nq = c.add_gate("nq", GateKind::Not, vec![q]);
+//! let d = c.add_gate("d", GateKind::And, vec![en, nq]);
+//! c.connect_dff(q, d).unwrap();
+//! c.add_output(q);
+//! let c = c.validated().unwrap();
+//! assert_eq!(c.num_inputs(), 1);
+//! assert_eq!(c.num_dffs(), 1);
+//! ```
+
+pub mod bench_format;
+pub mod circuit;
+pub mod error;
+pub mod expand;
+pub mod gate;
+pub mod levelize;
+pub mod stats;
+
+pub use bench_format::{parse_bench, write_bench};
+pub use circuit::{Circuit, NetId, Node, NodeKind};
+pub use error::NetlistError;
+pub use expand::{CombView, ExpandedPort};
+pub use gate::GateKind;
+pub use levelize::Levelization;
+pub use stats::CircuitStats;

@@ -1,0 +1,131 @@
+//! Circuit summary statistics.
+
+use std::fmt;
+
+use crate::circuit::{Circuit, NodeKind};
+use crate::gate::GateKind;
+
+/// Summary statistics of a circuit, as printed in benchmark tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops (`N_SV` for full scan).
+    pub dffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of constant nodes.
+    pub constants: usize,
+    /// Combinational depth (maximum logic level).
+    pub depth: u32,
+    /// Maximum fanin over all gates.
+    pub max_fanin: usize,
+    /// Maximum fanout over all nets.
+    pub max_fanout: usize,
+    /// Gate counts per kind, indexed as [`GateKind::ALL`].
+    pub per_kind: [usize; 8],
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has a combinational cycle (validate first).
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut stats = CircuitStats {
+            inputs: circuit.num_inputs(),
+            outputs: circuit.num_outputs(),
+            dffs: circuit.num_dffs(),
+            gates: circuit.num_gates(),
+            ..CircuitStats::default()
+        };
+        for node in circuit.nodes() {
+            match &node.kind {
+                NodeKind::Gate { kind, fanin } => {
+                    stats.max_fanin = stats.max_fanin.max(fanin.len());
+                    let idx = GateKind::ALL
+                        .iter()
+                        .position(|k| k == kind)
+                        .expect("ALL covers every kind");
+                    stats.per_kind[idx] += 1;
+                }
+                NodeKind::Const(_) => stats.constants += 1,
+                _ => {}
+            }
+        }
+        stats.max_fanout = circuit.fanout().iter().map(Vec::len).max().unwrap_or(0);
+        stats.depth = circuit
+            .levelize()
+            .expect("stats require an acyclic circuit")
+            .depth();
+        stats
+    }
+
+    /// Count of gates of the given kind.
+    pub fn count(&self, kind: GateKind) -> usize {
+        let idx = GateKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("ALL covers every kind");
+        self.per_kind[idx]
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} FF, {} gates (depth {}, max fanin {}, max fanout {})",
+            self.inputs,
+            self.outputs,
+            self.dffs,
+            self.gates,
+            self.depth,
+            self.max_fanin,
+            self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate("g1", GateKind::And, vec![a, b]);
+        let g2 = c.add_gate("g2", GateKind::Not, vec![g1]);
+        let q = c.add_dff("q", g2);
+        c.add_output(q);
+        let s = c.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.dffs, 1);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.max_fanin, 2);
+        assert_eq!(s.count(GateKind::And), 1);
+        assert_eq!(s.count(GateKind::Not), 1);
+        assert_eq!(s.count(GateKind::Xor), 0);
+        let shown = s.to_string();
+        assert!(shown.contains("2 PI"));
+        assert!(shown.contains("1 FF"));
+    }
+
+    #[test]
+    fn max_fanout_counts_heaviest_net() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        for i in 0..5 {
+            let g = c.add_gate(format!("g{i}"), GateKind::Not, vec![a]);
+            c.add_output(g);
+        }
+        assert_eq!(c.stats().max_fanout, 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Scan chain configuration: which flip-flops are in the chain, in what
+//! order.
+
+use rls_netlist::{Circuit, NetId};
+
+/// The scan order of a circuit's flip-flops.
+///
+/// Position 0 is the chain head (scan-in side); the last position is the
+/// tail (scan-out side). The default order is the circuit's flip-flop
+/// declaration order, matching how state strings are written in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainConfig {
+    /// Flip-flop nets in chain order.
+    order: Vec<NetId>,
+}
+
+impl ChainConfig {
+    /// The default chain for a circuit: declaration order.
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        ChainConfig {
+            order: circuit.dffs().to_vec(),
+        }
+    }
+
+    /// A chain with an explicit flip-flop order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the circuit's flip-flops.
+    pub fn with_order(circuit: &Circuit, order: Vec<NetId>) -> Self {
+        assert_eq!(
+            order.len(),
+            circuit.num_dffs(),
+            "order must cover every flip-flop exactly once"
+        );
+        let mut seen = vec![false; circuit.len()];
+        for &ff in &order {
+            assert!(
+                circuit.node(ff).is_dff(),
+                "{} is not a flip-flop",
+                circuit.node(ff).name
+            );
+            assert!(!seen[ff.index()], "duplicate flip-flop in order");
+            seen[ff.index()] = true;
+        }
+        ChainConfig { order }
+    }
+
+    /// Flip-flop nets in chain order.
+    pub fn order(&self) -> &[NetId] {
+        &self.order
+    }
+
+    /// Chain length (the paper's `N_SV` for full scan).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the chain is empty (purely combinational circuit).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The chain position of a flip-flop net, if it is in the chain.
+    pub fn position(&self, ff: NetId) -> Option<usize> {
+        self.order.iter().position(|&f| f == ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_netlist::GateKind;
+
+    fn circuit() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let q0 = c.add_dff("q0", a);
+        let q1 = c.add_dff("q1", q0);
+        let q2 = c.add_dff("q2", q1);
+        let g = c.add_gate("g", GateKind::Xor, vec![q0, q2]);
+        c.add_output(g);
+        c
+    }
+
+    #[test]
+    fn default_order_is_declaration_order() {
+        let c = circuit();
+        let chain = ChainConfig::for_circuit(&c);
+        assert_eq!(chain.len(), 3);
+        assert!(!chain.is_empty());
+        let names: Vec<&str> = chain
+            .order()
+            .iter()
+            .map(|&f| c.node(f).name.as_str())
+            .collect();
+        assert_eq!(names, ["q0", "q1", "q2"]);
+    }
+
+    #[test]
+    fn custom_order() {
+        let c = circuit();
+        let q0 = c.find("q0").unwrap();
+        let q1 = c.find("q1").unwrap();
+        let q2 = c.find("q2").unwrap();
+        let chain = ChainConfig::with_order(&c, vec![q2, q0, q1]);
+        assert_eq!(chain.position(q2), Some(0));
+        assert_eq!(chain.position(q0), Some(1));
+        assert_eq!(chain.position(q1), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a flip-flop")]
+    fn rejects_non_ff_in_order() {
+        let c = circuit();
+        let a = c.find("a").unwrap();
+        let q0 = c.find("q0").unwrap();
+        let q1 = c.find("q1").unwrap();
+        ChainConfig::with_order(&c, vec![a, q0, q1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_ff() {
+        let c = circuit();
+        let q0 = c.find("q0").unwrap();
+        let q1 = c.find("q1").unwrap();
+        ChainConfig::with_order(&c, vec![q0, q0, q1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every flip-flop")]
+    fn rejects_short_order() {
+        let c = circuit();
+        let q0 = c.find("q0").unwrap();
+        ChainConfig::with_order(&c, vec![q0]);
+    }
+
+    #[test]
+    fn position_of_non_member() {
+        let c = circuit();
+        let chain = ChainConfig::for_circuit(&c);
+        assert_eq!(chain.position(c.find("a").unwrap()), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Hardware sign-off flow: select `(I, D1)` pairs in software (Procedure
+//! 2), program the cycle-accurate BIST controller with just those pairs,
+//! and verify that the hardware session reproduces the software's tests,
+//! cycle counts and detections — ending with the golden MISR signature a
+//! tester would compare against.
+//!
+//! ```sh
+//! cargo run --release --example bist_signoff
+//! ```
+
+use random_limited_scan::bist::{run_session, BistController, ControllerConfig};
+use random_limited_scan::core::{ncyc0, Procedure2, RlsConfig};
+use random_limited_scan::lfsr::SeedSequence;
+
+fn main() {
+    let circuit = random_limited_scan::benchmarks::s27();
+    let (la, lb, n) = (2, 4, 4); // small on purpose: forces (I, D1) pairs
+
+    // Software pass: Procedure 2 picks the pairs worth storing on chip.
+    let cfg = RlsConfig::new(la, lb, n);
+    let outcome = Procedure2::new(&circuit, cfg).run();
+    let pairs: Vec<(u64, u32)> = outcome.pairs.iter().map(|p| (p.i, p.d1)).collect();
+    println!(
+        "software: {} pairs selected, {} faults detected, {} cycles budgeted",
+        pairs.len(),
+        outcome.total_detected,
+        outcome.total_cycles
+    );
+
+    // Hardware pass: the controller stores only L_A, L_B, N, the seed
+    // family and the selected pairs — the paper's storage claim.
+    let controller = BistController::new(ControllerConfig {
+        n_sv: circuit.num_dffs(),
+        n_pi: circuit.num_inputs(),
+        la,
+        lb,
+        n,
+        pairs: pairs.clone(),
+        d2: circuit.num_dffs() as u32 + 1,
+        seeds: SeedSequence::default(),
+    });
+    let report = run_session(&circuit, &controller, 16);
+    println!(
+        "hardware: {} cycles, {} tests per set, {} of {} faults detected",
+        report.cycles, report.tests_per_set[0], report.detected_faults, report.total_faults
+    );
+    println!("golden signature: {:#06x}", report.golden_signature);
+
+    // Sign-off checks.
+    assert_eq!(
+        report.cycles, outcome.total_cycles,
+        "controller cycles must equal the software cost model"
+    );
+    assert_eq!(
+        report.detected_faults, outcome.total_detected,
+        "controller stimulus must detect exactly the software's faults"
+    );
+    let base = ncyc0(circuit.num_dffs(), la, lb, n);
+    println!(
+        "cost model: N_cyc0 = {base}; session = N_cyc0 + Σ(N_cyc0 + N_SH) = {}",
+        report.cycles
+    );
+    println!("sign-off OK: hardware ≡ software, bit for bit and cycle for cycle");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run the full random limited-scan flow on a benchmark
+//! circuit and print the paper-style summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use random_limited_scan::atpg::DetectableSet;
+use random_limited_scan::core::{CoverageTarget, Procedure2, RlsConfig};
+
+fn main() {
+    // 1. Pick a circuit. `s27` is the real ISCAS-89 netlist; every other
+    //    paper circuit resolves to a profile-matched synthetic stand-in.
+    let circuit = random_limited_scan::benchmarks::by_name("s298").expect("known benchmark");
+    println!("circuit: {} — {}", circuit.name(), circuit.stats());
+
+    // 2. Establish the coverage target: the ATPG-detectable faults.
+    let detectable = DetectableSet::compute(&circuit, 10_000);
+    println!(
+        "faults: {} detectable, {} redundant, {} aborted",
+        detectable.detectable().len(),
+        detectable.redundant().len(),
+        detectable.aborted().len()
+    );
+
+    // 3. Configure the paper's generator: TS0 with N tests of length L_A
+    //    and N of length L_B, then Procedure 2 accumulates (I, D1) pairs.
+    let cfg = RlsConfig::new(8, 16, 64)
+        .with_target(CoverageTarget::Faults(detectable.detectable().to_vec()));
+    let outcome = Procedure2::new(&circuit, cfg).run();
+
+    // 4. Report, in the paper's Table 6 vocabulary.
+    println!(
+        "TS0 alone:        det {} of {}, N_cyc0 = {} cycles",
+        outcome.initial_detected, outcome.target_faults, outcome.initial_cycles
+    );
+    println!(
+        "with limited scan: {} (I,D1) pairs, det {} of {}, {} cycles total",
+        outcome.pairs.len(),
+        outcome.total_detected,
+        outcome.target_faults,
+        outcome.total_cycles
+    );
+    for p in &outcome.pairs {
+        println!(
+            "  pair (I={}, D1={}): +{} faults, {} extra shift cycles",
+            p.i, p.d1, p.newly_detected, p.shift_cycles
+        );
+    }
+    if let Some(ls) = outcome.ls_average() {
+        println!("average limited-scan time units (ls): {ls}");
+    }
+    println!(
+        "complete coverage: {}",
+        if outcome.complete { "yes" } else { "no" }
+    );
+}

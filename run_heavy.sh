@@ -1,0 +1,3 @@
+#!/bin/bash
+# Heavy-circuit table6 rows with a bounded ladder.
+RLS_MAX_TRIES=3 cargo run --release -q -p rls-bench --bin table6 -- s1423 s5378 > results/table6_heavy.txt 2> results/table6_heavy.log

@@ -1,0 +1,30 @@
+//! Random limited-scan BIST — umbrella crate.
+//!
+//! A production-quality Rust implementation and experimental reproduction
+//! of Pomeranz, *"Random Limited-Scan to Improve Random Pattern Testing of
+//! Scan Circuits"*, DAC 2001, together with every substrate the method
+//! needs: netlists, LFSRs, scan-chain machinery, a bit-parallel fault
+//! simulator, PODEM test generation, and a cycle-accurate BIST controller.
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a
+//! short module name. See the repository README for the architecture map
+//! and DESIGN.md / EXPERIMENTS.md for the reproduction record.
+//!
+//! # Example
+//!
+//! ```
+//! use random_limited_scan::core::{Procedure2, RlsConfig};
+//!
+//! let circuit = random_limited_scan::benchmarks::s27();
+//! let outcome = Procedure2::new(&circuit, RlsConfig::new(4, 8, 8)).run();
+//! assert!(outcome.final_coverage().is_complete());
+//! ```
+
+pub use rls_atpg as atpg;
+pub use rls_benchmarks as benchmarks;
+pub use rls_bist as bist;
+pub use rls_core as core;
+pub use rls_fsim as fsim;
+pub use rls_lfsr as lfsr;
+pub use rls_netlist as netlist;
+pub use rls_scan as scan;

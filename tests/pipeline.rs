@@ -1,0 +1,136 @@
+//! Cross-crate pipeline tests: Procedure 2 + ATPG target + BIST controller
+//! on benchmark stand-ins.
+
+use random_limited_scan::atpg::DetectableSet;
+use random_limited_scan::bist::{run_session, BistController, ControllerConfig};
+use random_limited_scan::core::{CoverageTarget, D1Order, Procedure2, RlsConfig};
+use random_limited_scan::lfsr::SeedSequence;
+
+#[test]
+fn s27_full_flow_completes_and_replays_in_hardware() {
+    let c = random_limited_scan::benchmarks::s27();
+    let set = DetectableSet::compute(&c, 10_000);
+    assert_eq!(set.detectable().len(), 32);
+    let (la, lb, n) = (4, 8, 8);
+    let cfg =
+        RlsConfig::new(la, lb, n).with_target(CoverageTarget::Faults(set.detectable().to_vec()));
+    let outcome = Procedure2::new(&c, cfg).run();
+    assert!(outcome.complete);
+    // Replay through the controller.
+    let controller = BistController::new(ControllerConfig {
+        n_sv: c.num_dffs(),
+        n_pi: c.num_inputs(),
+        la,
+        lb,
+        n,
+        pairs: outcome.pairs.iter().map(|p| (p.i, p.d1)).collect(),
+        d2: c.num_dffs() as u32 + 1,
+        seeds: SeedSequence::default(),
+    });
+    let report = run_session(&c, &controller, 16);
+    assert_eq!(report.cycles, outcome.total_cycles);
+    assert_eq!(report.detected_faults, outcome.total_detected);
+}
+
+#[test]
+fn stand_in_flow_shapes_like_the_paper() {
+    // The s208 stand-in must show the paper's qualitative Table 6 shape:
+    // TS0 leaves faults undetected, a handful of (I, D1) pairs close the
+    // gap, and the cycle count grows by roughly an order of magnitude.
+    let c = random_limited_scan::benchmarks::by_name("s208").unwrap();
+    let set = DetectableSet::compute(&c, 10_000);
+    let frac_redundant = set.redundant().len() as f64 / set.len() as f64;
+    assert!(
+        frac_redundant < 0.15,
+        "stand-ins must be mostly irredundant, got {frac_redundant:.2}"
+    );
+    let cfg =
+        RlsConfig::new(8, 16, 64).with_target(CoverageTarget::Faults(set.detectable().to_vec()));
+    let outcome = Procedure2::new(&c, cfg).run();
+    assert!(
+        outcome.initial_detected < outcome.target_faults,
+        "TS0 alone must be incomplete"
+    );
+    assert!(
+        outcome.total_detected > outcome.initial_detected,
+        "limited scan must add detections"
+    );
+    assert!(!outcome.pairs.is_empty());
+    assert!(outcome.total_cycles > 3 * outcome.initial_cycles);
+}
+
+#[test]
+fn d1_order_trade_off_on_a_stand_in() {
+    // Table 7's qualitative claim: decreasing D1 order lowers the average
+    // number of limited-scan time units.
+    let c = random_limited_scan::benchmarks::by_name("s298").unwrap();
+    let set = DetectableSet::compute(&c, 10_000);
+    let target = CoverageTarget::Faults(set.detectable().to_vec());
+    let inc = Procedure2::new(
+        &c,
+        RlsConfig::new(8, 16, 64)
+            .with_d1_order(D1Order::Increasing)
+            .with_target(target.clone()),
+    )
+    .run();
+    let dec = Procedure2::new(
+        &c,
+        RlsConfig::new(8, 16, 64)
+            .with_d1_order(D1Order::Decreasing)
+            .with_target(target),
+    )
+    .run();
+    let (Some(ls_inc), Some(ls_dec)) = (inc.ls_average(), dec.ls_average()) else {
+        panic!("both orders must select pairs on this stand-in");
+    };
+    assert!(
+        ls_dec.value() <= ls_inc.value(),
+        "decreasing order must not increase ls: {} vs {}",
+        ls_dec.value(),
+        ls_inc.value()
+    );
+}
+
+#[test]
+fn procedure2_is_deterministic_across_runs() {
+    let c = random_limited_scan::benchmarks::by_name("b01").unwrap();
+    let cfg = RlsConfig::new(8, 16, 32);
+    let a = Procedure2::new(&c, cfg.clone()).run();
+    let b = Procedure2::new(&c, cfg).run();
+    assert_eq!(a.pairs, b.pairs);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.total_detected, b.total_detected);
+}
+
+#[test]
+fn atpg_witnesses_verified_by_fault_simulation_on_a_stand_in() {
+    use random_limited_scan::fsim::FaultSimulator;
+    let c = random_limited_scan::benchmarks::by_name("b02").unwrap();
+    let set = DetectableSet::compute(&c, 10_000);
+    let mut sim = FaultSimulator::new(&c);
+    for (id, test) in set.witnesses() {
+        sim.set_targets(&[*id]);
+        assert_eq!(sim.run_test(test), vec![*id], "witness for fault {id}");
+    }
+}
+
+#[test]
+fn undetectable_target_means_zero_pairs_needed() {
+    // Targeting only what TS0 detects: Procedure 2 must stop immediately
+    // after TS0 with a complete verdict.
+    use random_limited_scan::core::generate_ts0;
+    use random_limited_scan::fsim::FaultSimulator;
+    let c = random_limited_scan::benchmarks::by_name("b06").unwrap();
+    let base = RlsConfig::new(8, 16, 32);
+    let easy = {
+        let mut sim = FaultSimulator::new(&c);
+        for t in generate_ts0(&c, &base) {
+            sim.run_test(&t);
+        }
+        sim.detected().to_vec()
+    };
+    let outcome = Procedure2::new(&c, base.with_target(CoverageTarget::Faults(easy))).run();
+    assert!(outcome.complete);
+    assert!(outcome.pairs.is_empty());
+    assert_eq!(outcome.total_cycles, outcome.initial_cycles);
+}

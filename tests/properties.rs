@@ -1,0 +1,241 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use proptest::prelude::*;
+
+use random_limited_scan::benchmarks::SynthConfig;
+use random_limited_scan::core::cycles::measured_cycles;
+use random_limited_scan::core::{derive_test_set, generate_ts0, ncyc0, RlsConfig};
+use random_limited_scan::fsim::good::traces_differ;
+use random_limited_scan::fsim::{
+    simulate_batch, FaultId, FaultUniverse, GoodSim, ScanTest, ShiftOp,
+};
+use random_limited_scan::lfsr::{BitMatrix, FibonacciLfsr, RandomSource, XorShift64};
+use random_limited_scan::netlist::{parse_bench, write_bench, Circuit};
+use random_limited_scan::scan::ops;
+
+/// A strategy for small, valid synthetic sequential circuits.
+fn small_circuit() -> impl Strategy<Value = Circuit> {
+    (1usize..5, 1usize..4, 0usize..6, 5usize..40, any::<u64>()).prop_map(
+        |(inputs, outputs, dffs, gates, seed)| {
+            SynthConfig {
+                name: "prop".into(),
+                inputs,
+                outputs,
+                dffs,
+                gates,
+                seed,
+                resistant_gates: 1,
+                resistant_width: 4,
+            }
+            .build()
+        },
+    )
+}
+
+fn random_test(c: &Circuit, seed: u64, len: usize) -> ScanTest {
+    let mut rng = XorShift64::new(seed);
+    let mut scan_in = vec![false; c.num_dffs()];
+    rng.fill_bits(&mut scan_in);
+    let vectors = (0..len)
+        .map(|_| {
+            let mut v = vec![false; c.num_inputs()];
+            rng.fill_bits(&mut v);
+            v
+        })
+        .collect();
+    let mut test = ScanTest::new(scan_in, vectors);
+    // Random limited scans at interior units.
+    if c.num_dffs() > 0 && len > 2 {
+        let mut shifts = Vec::new();
+        for u in 1..len {
+            if rng.draw_mod(3) == 0 {
+                let amount = 1 + rng.draw_mod(c.num_dffs() as u32) as usize;
+                let mut fill = vec![false; amount];
+                rng.fill_bits(&mut fill);
+                shifts.push(ShiftOp {
+                    at: u,
+                    amount,
+                    fill,
+                });
+            }
+        }
+        test = test.with_shifts(shifts).unwrap();
+    }
+    test
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The `.bench` writer and parser are inverse up to structure.
+    #[test]
+    fn bench_round_trip(c in small_circuit()) {
+        let text = write_bench(&c);
+        let parsed = parse_bench(c.name(), &text).unwrap();
+        prop_assert_eq!(c.num_inputs(), parsed.num_inputs());
+        prop_assert_eq!(c.num_outputs(), parsed.num_outputs());
+        prop_assert_eq!(c.num_dffs(), parsed.num_dffs());
+        prop_assert_eq!(c.num_gates(), parsed.num_gates());
+        // Round-tripping again gives the identical text.
+        prop_assert_eq!(write_bench(&parsed), text);
+    }
+
+    /// Parallel (64-way) and serial (faulty-trace) fault simulation agree
+    /// on every fault of random circuits under random limited-scan tests.
+    #[test]
+    fn parallel_matches_serial(c in small_circuit(), seed in any::<u64>()) {
+        let sim = GoodSim::new(&c);
+        let test = random_test(&c, seed, 4);
+        let good = sim.simulate_test(&test);
+        let universe = FaultUniverse::enumerate(&c);
+        for (i, &fault) in universe.faults().iter().enumerate() {
+            let serial = traces_differ(&good, &sim.simulate_faulty(&test, fault));
+            let parallel =
+                !simulate_batch(&sim, &test, &good, &[(FaultId(i as u32), fault)]).is_empty();
+            prop_assert_eq!(serial, parallel, "fault {}", fault.describe(&c));
+        }
+    }
+
+    /// A limited scan of the full chain length replaces the state exactly
+    /// like a complete scan operation.
+    #[test]
+    fn full_length_limited_scan_is_full_scan(
+        state in proptest::collection::vec(any::<bool>(), 1..24),
+        fill_seed in any::<u64>(),
+    ) {
+        let n = state.len();
+        let mut rng = XorShift64::new(fill_seed);
+        let mut fill = vec![false; n];
+        rng.fill_bits(&mut fill);
+        let mut a = state.clone();
+        let out_a = ops::limited_scan_bools(&mut a, n, &fill);
+        let mut b = state.clone();
+        let new: Vec<bool> = fill.iter().rev().copied().collect();
+        let out_b = ops::full_scan_bools(&mut b, &new);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(out_a, out_b);
+    }
+
+    /// Two consecutive limited scans compose: shifting j then k equals
+    /// shifting j+k with concatenated fill.
+    #[test]
+    fn limited_scans_compose(
+        state in proptest::collection::vec(any::<bool>(), 2..24),
+        j in 1usize..8,
+        k in 1usize..8,
+        fill_seed in any::<u64>(),
+    ) {
+        let n = state.len();
+        prop_assume!(j + k <= n);
+        let mut rng = XorShift64::new(fill_seed);
+        let mut fill = vec![false; j + k];
+        rng.fill_bits(&mut fill);
+        let mut two_step = state.clone();
+        let mut out = ops::limited_scan_bools(&mut two_step, j, &fill[..j]);
+        out.extend(ops::limited_scan_bools(&mut two_step, k, &fill[j..]));
+        let mut one_step = state.clone();
+        let out_one = ops::limited_scan_bools(&mut one_step, j + k, &fill);
+        prop_assert_eq!(two_step, one_step);
+        prop_assert_eq!(out, out_one);
+    }
+
+    /// The closed `N_cyc0` formula equals walking the generated `TS0`.
+    #[test]
+    fn ncyc0_formula_matches_measurement(
+        la in 1usize..20,
+        extra in 0usize..20,
+        n in 1usize..20,
+        nsv in 0usize..12,
+        npi in 1usize..6,
+    ) {
+        let lb = la + extra;
+        // A circuit is only needed for its dimensions here.
+        let mut c = Circuit::new("dims");
+        for i in 0..npi {
+            c.add_input(format!("i{i}"));
+        }
+        let first = c.inputs()[0];
+        for i in 0..nsv {
+            c.add_dff(format!("q{i}"), first);
+        }
+        c.add_output(first);
+        let cfg = RlsConfig::new(la, lb, n);
+        let ts0 = generate_ts0(&c, &cfg);
+        prop_assert_eq!(measured_cycles(nsv, &ts0), ncyc0(nsv, la, lb, n));
+    }
+
+    /// Procedure 1 never touches test content, only schedules; and the
+    /// whole derivation is deterministic in (I, D1).
+    #[test]
+    fn procedure1_invariants(
+        i in 1u64..50,
+        d1 in 1u32..12,
+        seed in any::<u64>(),
+    ) {
+        let c = random_limited_scan::benchmarks::s27();
+        let cfg = RlsConfig::new(4, 8, 8)
+            .with_seeds(random_limited_scan::lfsr::SeedSequence::new(seed));
+        let ts0 = generate_ts0(&c, &cfg);
+        let d2 = cfg.d2(c.num_dffs());
+        let a = derive_test_set(&ts0, &cfg, i, d1, d2);
+        let b = derive_test_set(&ts0, &cfg, i, d1, d2);
+        prop_assert_eq!(&a, &b);
+        for (derived, base) in a.iter().zip(ts0.iter()) {
+            prop_assert_eq!(&derived.scan_in, &base.scan_in);
+            prop_assert_eq!(&derived.vectors, &base.vectors);
+            for s in &derived.shifts {
+                prop_assert!(s.amount <= c.num_dffs());
+                prop_assert!(s.at >= 1 && s.at < derived.len());
+            }
+        }
+    }
+
+    /// LFSR jump-ahead by matrix power equals stepping, from any state.
+    #[test]
+    fn lfsr_jump_ahead(degree in 2u32..24, seed in 1u64..1000, steps in 0u32..500) {
+        let seed = seed & ((1 << degree) - 1);
+        prop_assume!(seed != 0);
+        let mut lfsr = FibonacciLfsr::max_length(degree, seed).unwrap();
+        let m = BitMatrix::fibonacci_step(&lfsr);
+        let jumped = m.pow(u128::from(steps)).apply(lfsr.state());
+        for _ in 0..steps {
+            lfsr.step();
+        }
+        prop_assert_eq!(jumped, lfsr.state());
+    }
+
+    /// Fault dropping is sound: a test set detects the same fault set
+    /// whether simulated with dropping (engine) or fault-by-fault.
+    #[test]
+    fn dropping_is_sound(c in small_circuit(), seed in any::<u64>()) {
+        prop_assume!(c.num_dffs() > 0);
+        use random_limited_scan::fsim::FaultSimulator;
+        let tests: Vec<ScanTest> =
+            (0..4).map(|k| random_test(&c, seed.wrapping_add(k), 3)).collect();
+        let mut engine = FaultSimulator::new(&c);
+        for t in &tests {
+            engine.run_test(t);
+        }
+        let mut dropped: Vec<FaultId> = engine.detected().to_vec();
+        dropped.sort_unstable();
+        // Reference: each representative simulated against every test
+        // individually (no dropping).
+        let sim = GoodSim::new(&c);
+        let reps = engine.collapsed().representatives().to_vec();
+        let universe = FaultUniverse::enumerate(&c);
+        let mut reference: Vec<FaultId> = Vec::new();
+        for &id in &reps {
+            let fault = universe.fault(id);
+            let hit = tests.iter().any(|t| {
+                let good = sim.simulate_test(t);
+                !simulate_batch(&sim, t, &good, &[(id, fault)]).is_empty()
+            });
+            if hit {
+                reference.push(id);
+            }
+        }
+        reference.sort_unstable();
+        prop_assert_eq!(dropped, reference);
+    }
+}
