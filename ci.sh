@@ -1,0 +1,17 @@
+#!/bin/bash
+# Offline CI: tier-1 (build + full test suite) plus the parallel
+# determinism suite. The build environment has no network, so everything
+# runs with --offline against the committed Cargo.lock.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build =="
+cargo build --release --offline --workspace
+
+echo "== tier-1: tests =="
+cargo test -q --offline --workspace
+
+echo "== determinism: threads=4 ≡ threads=1 =="
+cargo test -q --offline --test determinism
+
+echo "CI OK"

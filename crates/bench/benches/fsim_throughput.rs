@@ -1,54 +1,73 @@
 //! Fault-simulation throughput: good-machine traces and 64-way batches.
+//!
+//! Gated behind the `criterion-benches` feature: the build environment is
+//! offline, so `criterion` is not a default dependency. To run, re-add
+//! `criterion` to `[dev-dependencies]` and pass
+//! `--features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod enabled {
+    use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+    use std::hint::black_box;
 
-use rls_core::{generate_ts0, RlsConfig};
-use rls_fsim::{FaultSimulator, GoodSim};
+    use rls_core::{generate_ts0, RlsConfig};
+    use rls_fsim::{FaultSimulator, GoodSim};
 
-fn bench_good_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("good_sim_test");
-    for name in ["s27", "s298", "s1423"] {
-        let circuit = rls_benchmarks::by_name(name).unwrap();
-        let cfg = RlsConfig::new(8, 16, 4);
-        let ts0 = generate_ts0(&circuit, &cfg);
-        let sim = GoodSim::new(&circuit);
-        group.throughput(Throughput::Elements(
-            ts0.iter().map(|t| t.len() as u64).sum(),
-        ));
-        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            b.iter(|| {
-                for t in &ts0 {
-                    black_box(sim.simulate_test(t));
-                }
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_full_fault_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_sim_ts0");
-    group.sample_size(10);
-    for name in ["s27", "s298"] {
-        let circuit = rls_benchmarks::by_name(name).unwrap();
-        let cfg = RlsConfig::new(8, 16, 16);
-        let ts0 = generate_ts0(&circuit, &cfg);
-        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            b.iter(|| {
-                let mut sim = FaultSimulator::new(&circuit);
-                for t in &ts0 {
-                    if sim.live_count() == 0 {
-                        break;
+    fn bench_good_sim(c: &mut Criterion) {
+        let mut group = c.benchmark_group("good_sim_test");
+        for name in ["s27", "s298", "s1423"] {
+            let circuit = rls_benchmarks::by_name(name).unwrap();
+            let cfg = RlsConfig::new(8, 16, 4);
+            let ts0 = generate_ts0(&circuit, &cfg);
+            let sim = GoodSim::new(&circuit);
+            group.throughput(Throughput::Elements(
+                ts0.iter().map(|t| t.len() as u64).sum(),
+            ));
+            group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+                b.iter(|| {
+                    for t in &ts0 {
+                        black_box(sim.simulate_test(t));
                     }
-                    sim.run_test(t);
-                }
-                black_box(sim.detected_count())
-            })
-        });
+                })
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    fn bench_full_fault_sim(c: &mut Criterion) {
+        let mut group = c.benchmark_group("fault_sim_ts0");
+        group.sample_size(10);
+        for name in ["s27", "s298"] {
+            let circuit = rls_benchmarks::by_name(name).unwrap();
+            let cfg = RlsConfig::new(8, 16, 16);
+            let ts0 = generate_ts0(&circuit, &cfg);
+            group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+                b.iter(|| {
+                    let mut sim = FaultSimulator::new(&circuit);
+                    for t in &ts0 {
+                        if sim.live_count() == 0 {
+                            break;
+                        }
+                        sim.run_test(t);
+                    }
+                    black_box(sim.detected_count())
+                })
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_good_sim, bench_full_fault_sim);
 }
 
-criterion_group!(benches, bench_good_sim, bench_full_fault_sim);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+criterion::criterion_main!(enabled::benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "{} benches are disabled: enable the `criterion-benches` feature \
+         (requires the `criterion` dev-dependency and network access)",
+        module_path!()
+    );
+}

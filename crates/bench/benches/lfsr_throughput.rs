@@ -1,82 +1,101 @@
 //! Throughput of the random sources: LFSRs vs. software PRNGs, and the
 //! paper's `r mod D` draw.
+//!
+//! Gated behind the `criterion-benches` feature: the build environment is
+//! offline, so `criterion` is not a default dependency. To run, re-add
+//! `criterion` to `[dev-dependencies]` and pass
+//! `--features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod enabled {
+    use criterion::{criterion_group, Criterion, Throughput};
+    use std::hint::black_box;
 
-use rls_lfsr::{FibonacciLfsr, GaloisLfsr, RandomSource, SplitMix64, XorShift64};
+    use rls_lfsr::{FibonacciLfsr, GaloisLfsr, RandomSource, SplitMix64, XorShift64};
 
-fn bench_bits(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bits_per_call");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("fibonacci_32", |b| {
-        let mut lfsr = FibonacciLfsr::max_length(32, 0xACE1).unwrap();
-        b.iter(|| {
-            let mut acc = false;
-            for _ in 0..1024 {
-                acc ^= lfsr.next_bit();
-            }
-            black_box(acc)
-        })
-    });
-    group.bench_function("galois_32", |b| {
-        let mut lfsr = GaloisLfsr::max_length(32, 0xACE1).unwrap();
-        b.iter(|| {
-            let mut acc = false;
-            for _ in 0..1024 {
-                acc ^= lfsr.next_bit();
-            }
-            black_box(acc)
-        })
-    });
-    group.bench_function("xorshift64", |b| {
-        let mut rng = XorShift64::new(0xACE1);
-        b.iter(|| {
-            let mut acc = false;
-            for _ in 0..1024 {
-                acc ^= rng.next_bit();
-            }
-            black_box(acc)
-        })
-    });
-    group.bench_function("splitmix64", |b| {
-        let mut rng = SplitMix64::new(0xACE1);
-        b.iter(|| {
-            let mut acc = false;
-            for _ in 0..1024 {
-                acc ^= rng.next_bit();
-            }
-            black_box(acc)
-        })
-    });
-    group.finish();
+    fn bench_bits(c: &mut Criterion) {
+        let mut group = c.benchmark_group("bits_per_call");
+        group.throughput(Throughput::Elements(1024));
+        group.bench_function("fibonacci_32", |b| {
+            let mut lfsr = FibonacciLfsr::max_length(32, 0xACE1).unwrap();
+            b.iter(|| {
+                let mut acc = false;
+                for _ in 0..1024 {
+                    acc ^= lfsr.next_bit();
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("galois_32", |b| {
+            let mut lfsr = GaloisLfsr::max_length(32, 0xACE1).unwrap();
+            b.iter(|| {
+                let mut acc = false;
+                for _ in 0..1024 {
+                    acc ^= lfsr.next_bit();
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("xorshift64", |b| {
+            let mut rng = XorShift64::new(0xACE1);
+            b.iter(|| {
+                let mut acc = false;
+                for _ in 0..1024 {
+                    acc ^= rng.next_bit();
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("splitmix64", |b| {
+            let mut rng = SplitMix64::new(0xACE1);
+            b.iter(|| {
+                let mut acc = false;
+                for _ in 0..1024 {
+                    acc ^= rng.next_bit();
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+
+    fn bench_draw_mod(c: &mut Criterion) {
+        let mut group = c.benchmark_group("draw_mod");
+        group.throughput(Throughput::Elements(128));
+        group.bench_function("xorshift_mod_10", |b| {
+            let mut rng = XorShift64::new(7);
+            b.iter(|| {
+                let mut acc = 0u32;
+                for _ in 0..128 {
+                    acc = acc.wrapping_add(rng.draw_mod(10));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("galois_mod_10", |b| {
+            let mut lfsr = GaloisLfsr::max_length(32, 0xBEEF).unwrap();
+            b.iter(|| {
+                let mut acc = 0u32;
+                for _ in 0..128 {
+                    acc = acc.wrapping_add(lfsr.draw_mod(10));
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_bits, bench_draw_mod);
 }
 
-fn bench_draw_mod(c: &mut Criterion) {
-    let mut group = c.benchmark_group("draw_mod");
-    group.throughput(Throughput::Elements(128));
-    group.bench_function("xorshift_mod_10", |b| {
-        let mut rng = XorShift64::new(7);
-        b.iter(|| {
-            let mut acc = 0u32;
-            for _ in 0..128 {
-                acc = acc.wrapping_add(rng.draw_mod(10));
-            }
-            black_box(acc)
-        })
-    });
-    group.bench_function("galois_mod_10", |b| {
-        let mut lfsr = GaloisLfsr::max_length(32, 0xBEEF).unwrap();
-        b.iter(|| {
-            let mut acc = 0u32;
-            for _ in 0..128 {
-                acc = acc.wrapping_add(lfsr.draw_mod(10));
-            }
-            black_box(acc)
-        })
-    });
-    group.finish();
-}
+#[cfg(feature = "criterion-benches")]
+criterion::criterion_main!(enabled::benches);
 
-criterion_group!(benches, bench_bits, bench_draw_mod);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "{} benches are disabled: enable the `criterion-benches` feature \
+         (requires the `criterion` dev-dependency and network access)",
+        module_path!()
+    );
+}

@@ -1,38 +1,57 @@
 //! End-to-end cost of the paper's procedures.
+//!
+//! Gated behind the `criterion-benches` feature: the build environment is
+//! offline, so `criterion` is not a default dependency. To run, re-add
+//! `criterion` to `[dev-dependencies]` and pass
+//! `--features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod enabled {
+    use criterion::{criterion_group, Criterion};
+    use std::hint::black_box;
 
-use rls_core::{derive_test_set, generate_ts0, Procedure2, RlsConfig};
+    use rls_core::{derive_test_set, generate_ts0, Procedure2, RlsConfig};
 
-fn bench_ts0(c: &mut Criterion) {
-    let circuit = rls_benchmarks::by_name("s298").unwrap();
-    let cfg = RlsConfig::new(8, 16, 64);
-    c.bench_function("generate_ts0_s298", |b| {
-        b.iter(|| black_box(generate_ts0(&circuit, &cfg)))
-    });
+    fn bench_ts0(c: &mut Criterion) {
+        let circuit = rls_benchmarks::by_name("s298").unwrap();
+        let cfg = RlsConfig::new(8, 16, 64);
+        c.bench_function("generate_ts0_s298", |b| {
+            b.iter(|| black_box(generate_ts0(&circuit, &cfg)))
+        });
+    }
+
+    fn bench_procedure1(c: &mut Criterion) {
+        let circuit = rls_benchmarks::by_name("s298").unwrap();
+        let cfg = RlsConfig::new(8, 16, 64);
+        let ts0 = generate_ts0(&circuit, &cfg);
+        let d2 = cfg.d2(circuit.num_dffs());
+        c.bench_function("procedure1_s298_d1_2", |b| {
+            b.iter(|| black_box(derive_test_set(&ts0, &cfg, 1, 2, d2)))
+        });
+    }
+
+    fn bench_procedure2(c: &mut Criterion) {
+        let mut group = c.benchmark_group("procedure2");
+        group.sample_size(10);
+        let circuit = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(4, 8, 8);
+        group.bench_function("s27_complete", |b| {
+            b.iter(|| black_box(Procedure2::new(&circuit, cfg.clone()).run()))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_ts0, bench_procedure1, bench_procedure2);
 }
 
-fn bench_procedure1(c: &mut Criterion) {
-    let circuit = rls_benchmarks::by_name("s298").unwrap();
-    let cfg = RlsConfig::new(8, 16, 64);
-    let ts0 = generate_ts0(&circuit, &cfg);
-    let d2 = cfg.d2(circuit.num_dffs());
-    c.bench_function("procedure1_s298_d1_2", |b| {
-        b.iter(|| black_box(derive_test_set(&ts0, &cfg, 1, 2, d2)))
-    });
-}
+#[cfg(feature = "criterion-benches")]
+criterion::criterion_main!(enabled::benches);
 
-fn bench_procedure2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("procedure2");
-    group.sample_size(10);
-    let circuit = rls_benchmarks::s27();
-    let cfg = RlsConfig::new(4, 8, 8);
-    group.bench_function("s27_complete", |b| {
-        b.iter(|| black_box(Procedure2::new(&circuit, cfg.clone()).run()))
-    });
-    group.finish();
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "{} benches are disabled: enable the `criterion-benches` feature \
+         (requires the `criterion` dev-dependency and network access)",
+        module_path!()
+    );
 }
-
-criterion_group!(benches, bench_ts0, bench_procedure1, bench_procedure2);
-criterion_main!(benches);

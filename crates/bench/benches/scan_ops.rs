@@ -1,40 +1,59 @@
 //! Throughput of the scan-shift primitives (bool and word-parallel forms).
+//!
+//! Gated behind the `criterion-benches` feature: the build environment is
+//! offline, so `criterion` is not a default dependency. To run, re-add
+//! `criterion` to `[dev-dependencies]` and pass
+//! `--features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod enabled {
+    use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+    use std::hint::black_box;
 
-use rls_scan::ops;
+    use rls_scan::ops;
 
-fn bench_limited_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("limited_scan");
-    for &n_sv in &[8usize, 64, 512] {
-        let k = n_sv / 2;
-        let fill = vec![true; k];
-        group.throughput(Throughput::Elements(k as u64));
-        group.bench_with_input(BenchmarkId::new("bools", n_sv), &n_sv, |b, _| {
-            let mut state = vec![false; n_sv];
-            b.iter(|| black_box(ops::limited_scan_bools(&mut state, k, &fill)))
-        });
-        group.bench_with_input(BenchmarkId::new("words", n_sv), &n_sv, |b, _| {
-            let mut state = vec![0u64; n_sv];
-            b.iter(|| black_box(ops::limited_scan_words(&mut state, k, &fill)))
-        });
+    fn bench_limited_scan(c: &mut Criterion) {
+        let mut group = c.benchmark_group("limited_scan");
+        for &n_sv in &[8usize, 64, 512] {
+            let k = n_sv / 2;
+            let fill = vec![true; k];
+            group.throughput(Throughput::Elements(k as u64));
+            group.bench_with_input(BenchmarkId::new("bools", n_sv), &n_sv, |b, _| {
+                let mut state = vec![false; n_sv];
+                b.iter(|| black_box(ops::limited_scan_bools(&mut state, k, &fill)))
+            });
+            group.bench_with_input(BenchmarkId::new("words", n_sv), &n_sv, |b, _| {
+                let mut state = vec![0u64; n_sv];
+                b.iter(|| black_box(ops::limited_scan_words(&mut state, k, &fill)))
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    fn bench_full_scan(c: &mut Criterion) {
+        let mut group = c.benchmark_group("full_scan");
+        for &n_sv in &[8usize, 179] {
+            let new = vec![true; n_sv];
+            group.throughput(Throughput::Elements(n_sv as u64));
+            group.bench_with_input(BenchmarkId::new("words", n_sv), &n_sv, |b, _| {
+                let mut state = vec![0u64; n_sv];
+                b.iter(|| black_box(ops::full_scan_words(&mut state, &new)))
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_limited_scan, bench_full_scan);
 }
 
-fn bench_full_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_scan");
-    for &n_sv in &[8usize, 179] {
-        let new = vec![true; n_sv];
-        group.throughput(Throughput::Elements(n_sv as u64));
-        group.bench_with_input(BenchmarkId::new("words", n_sv), &n_sv, |b, _| {
-            let mut state = vec![0u64; n_sv];
-            b.iter(|| black_box(ops::full_scan_words(&mut state, &new)))
-        });
-    }
-    group.finish();
-}
+#[cfg(feature = "criterion-benches")]
+criterion::criterion_main!(enabled::benches);
 
-criterion_group!(benches, bench_limited_scan, bench_full_scan);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "{} benches are disabled: enable the `criterion-benches` feature \
+         (requires the `criterion` dev-dependency and network access)",
+        module_path!()
+    );
+}

@@ -69,6 +69,7 @@ fn variants() -> Vec<Variant> {
 
 fn main() {
     let names = rls_bench::circuits_from_args(&["s298"]);
+    let exec = rls_bench::exec_profile();
     for name in &names {
         let c = rls_bench::circuit(name);
         let info = detectable_target(&c, rls_bench::DEFAULT_BACKTRACK_LIMIT);
@@ -80,7 +81,7 @@ fn main() {
         for v in variants() {
             let mut cfg = RlsConfig::new(8, 16, 64).with_target(info.target.clone());
             (v.tweak)(&mut cfg, c.num_dffs());
-            let out = Procedure2::new(&c, cfg).run();
+            let out = Procedure2::new(&c, exec.configure(cfg)).run();
             t.row(vec![
                 v.label.to_string(),
                 out.pairs.len().to_string(),

@@ -11,12 +11,13 @@ use rls_core::{Procedure2, RlsConfig};
 
 fn main() {
     let names = rls_bench::circuits_from_args(&["s208", "s420", "b09"]);
+    let exec = rls_bench::exec_profile();
     for name in &names {
         let c = rls_bench::circuit(name);
         let info = rls_bench::target_for(&c, name);
         let method = Procedure2::new(
             &c,
-            RlsConfig::new(8, 16, 64).with_target(info.target.clone()),
+            exec.configure(RlsConfig::new(8, 16, 64).with_target(info.target.clone())),
         )
         .run();
         let budget = method.total_cycles;

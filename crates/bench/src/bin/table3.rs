@@ -8,7 +8,7 @@
 //! occasional inversion where a larger `TS0` needs fewer pairs — is the
 //! reproduction target.
 
-use rls_bench::{circuit, target_for};
+use rls_bench::{circuit, exec_profile, target_for};
 use rls_core::experiment::cycles_grid;
 use rls_core::report::TextTable;
 use rls_core::{PAPER_LA_GRID, PAPER_LB_GRID, PAPER_N_GRID};
@@ -17,7 +17,7 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "s208".into());
     let c = circuit(&name);
     let info = target_for(&c, &name);
-    let rows = cycles_grid(&c, &name, &info.target);
+    let rows = cycles_grid(&c, &name, &info.target, &exec_profile());
     let cell = |la: usize, lb: usize, n: usize| -> Option<&rls_core::experiment::GridCell> {
         rows.iter()
             .find(|((a, b, m), _)| (*a, *b, *m) == (la, lb, n))

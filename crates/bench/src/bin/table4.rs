@@ -6,7 +6,7 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "s420".into());
     let c = rls_bench::circuit(&name);
     let info = rls_bench::target_for(&c, &name);
-    let rows = rls_core::experiment::cycles_grid(&c, &name, &info.target);
+    let rows = rls_core::experiment::cycles_grid(&c, &name, &info.target, &rls_bench::exec_profile());
     use rls_core::report::TextTable;
     use rls_core::{PAPER_LA_GRID, PAPER_LB_GRID, PAPER_N_GRID};
     let cell = |la: usize, lb: usize, n: usize| {

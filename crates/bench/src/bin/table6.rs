@@ -13,7 +13,7 @@
 //! Usage: `table6 [circuit...]` (default: the paper's 22 circuits; the
 //! largest stand-ins take a while — pass names to restrict).
 
-use rls_bench::{render_results, table6_row};
+use rls_bench::{exec_profile, render_results, table6_row};
 use rls_core::D1Order;
 
 fn main() {
@@ -23,9 +23,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
+    let exec = exec_profile();
     for name in &names {
         eprintln!("[table6] running {name}…");
-        let row = table6_row(name, D1Order::Increasing, max_tries);
+        let row = table6_row(name, D1Order::Increasing, max_tries, &exec);
         // Incremental progress (stderr) so long runs are salvageable.
         eprintln!(
             "[table6] {} {:?}: initial {}, app {}, det {}/{}, {} cycles, complete={}",

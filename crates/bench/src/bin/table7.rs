@@ -7,17 +7,18 @@
 //!
 //! Usage: `table7 [circuit...]`.
 
-use rls_bench::{combo_row, render_results, table6_row};
+use rls_bench::{combo_row, exec_profile, render_results, table6_row};
 use rls_core::D1Order;
 
 fn main() {
     let names = rls_bench::circuits_from_args(&rls_benchmarks::table6_names());
     let mut rows = Vec::new();
+    let exec = exec_profile();
     for name in &names {
         eprintln!("[table7] running {name}…");
         // The paper uses the same (L_A, L_B, N) as Table 6: find it with
         // the increasing-order run, then re-run decreasing on it.
-        let chosen = table6_row(name, D1Order::Increasing, 20);
+        let chosen = table6_row(name, D1Order::Increasing, 20, &exec);
         let c = rls_bench::circuit(name);
         let info = rls_bench::target_for(&c, name);
         rows.push(combo_row(
@@ -25,6 +26,7 @@ fn main() {
             chosen.combo,
             D1Order::Decreasing,
             &info.target,
+            &exec,
         ));
     }
     println!(

@@ -63,12 +63,19 @@ fn main() {
         "s208", "s420", "s641", "s953", "s1196", "s1423", "s5378", "b09",
     ]);
     let mut rows = Vec::new();
+    let exec = rls_bench::exec_profile();
     for name in &names {
         eprintln!("[table8] running {name}…");
         let c = rls_bench::circuit(name);
         let info = rls_bench::target_for(&c, name);
         for combo in combos_for(name) {
-            rows.push(combo_row(name, combo, D1Order::Increasing, &info.target));
+            rows.push(combo_row(
+                name,
+                combo,
+                D1Order::Increasing,
+                &info.target,
+                &exec,
+            ));
         }
     }
     println!(

@@ -16,10 +16,30 @@
 //! With no arguments the binaries use their default circuit lists; `table6`
 //! through `table8` accept circuit names to restrict the run.
 
-use rls_core::experiment::{detectable_target, CircuitResult, TargetInfo};
+use rls_core::experiment::{detectable_target, CircuitResult, ExecProfile, TargetInfo};
 use rls_core::report::{kilo, TextTable};
 use rls_core::{CoverageTarget, D1Order};
 use rls_netlist::Circuit;
+
+/// Execution profile for the table binaries, from the environment:
+/// `RLS_THREADS=n` shards fault simulation across an `rls-dispatch`
+/// worker pool (results are bit-identical to `RLS_THREADS=1`), and
+/// `RLS_CAMPAIGN_DIR=dir` persists JSONL campaign records (typically
+/// `results/`). Logs the profile when it differs from the default.
+pub fn exec_profile() -> ExecProfile {
+    let exec = ExecProfile::from_env();
+    if exec.threads > 1 || exec.campaign_dir.is_some() {
+        eprintln!(
+            "[exec] threads={} campaign_dir={}",
+            exec.threads.max(1),
+            exec.campaign_dir
+                .as_ref()
+                .map(|d| d.display().to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    exec
+}
 
 /// Default PODEM backtrack limit for computing detectable targets.
 pub const DEFAULT_BACKTRACK_LIMIT: usize = 10_000;
@@ -104,11 +124,16 @@ pub fn render_results(title: &str, rows: &[CircuitResult]) -> String {
 /// Runs one circuit the Table 6 way: detectable target, ranked
 /// combinations, first complete one reported (falls back to the last tried
 /// row when none completes within `max_tries`).
-pub fn table6_row(name: &str, order: D1Order, max_tries: usize) -> CircuitResult {
+pub fn table6_row(
+    name: &str,
+    order: D1Order,
+    max_tries: usize,
+    exec: &ExecProfile,
+) -> CircuitResult {
     let c = circuit(name);
     let info = target_for(&c, name);
     let outcome =
-        rls_core::experiment::first_complete_combo(&c, name, order, &info.target, max_tries);
+        rls_core::experiment::first_complete_combo(&c, name, order, &info.target, max_tries, exec);
     outcome
         .chosen()
         .cloned()
@@ -123,9 +148,10 @@ pub fn combo_row(
     combo: (usize, usize, usize),
     order: D1Order,
     target: &CoverageTarget,
+    exec: &ExecProfile,
 ) -> CircuitResult {
     let c = circuit(name);
-    rls_core::experiment::run_combo(&c, name, combo, order, target)
+    rls_core::experiment::run_combo(&c, name, combo, order, target, exec)
 }
 
 #[cfg(test)]

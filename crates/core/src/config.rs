@@ -1,5 +1,7 @@
 //! Configuration of the random limited-scan generator.
 
+use std::path::PathBuf;
+
 use rls_fsim::{FaultId, SimOptions};
 use rls_lfsr::SeedSequence;
 
@@ -91,6 +93,13 @@ pub struct RlsConfig {
     pub fill_mode: FillMode,
     /// Which observation points count toward detection (ablation support).
     pub observe: SimOptions,
+    /// Worker threads for fault simulation. `1` (the default) runs the
+    /// sequential oracle path; `> 1` shards test sets across an
+    /// `rls-dispatch` worker pool with bit-identical results.
+    pub threads: usize,
+    /// When set, a JSONL campaign record (per-trial lines plus per-worker
+    /// counters) is written into this directory, e.g. `results/`.
+    pub campaign_dir: Option<PathBuf>,
 }
 
 impl RlsConfig {
@@ -118,6 +127,8 @@ impl RlsConfig {
             target: CoverageTarget::AllCollapsed,
             fill_mode: FillMode::Random,
             observe: SimOptions::default(),
+            threads: 1,
+            campaign_dir: None,
         }
     }
 
@@ -143,6 +154,19 @@ impl RlsConfig {
     /// Builder-style: set the seed family.
     pub fn with_seeds(mut self, seeds: SeedSequence) -> Self {
         self.seeds = seeds;
+        self
+    }
+
+    /// Builder-style: set the worker-thread count (`1` = sequential
+    /// oracle). Zero is coerced to one.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style: write a JSONL campaign record into `dir`.
+    pub fn with_campaign_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.campaign_dir = Some(dir.into());
         self
     }
 }
@@ -178,6 +202,16 @@ mod tests {
     #[should_panic(expected = "L_A <= L_B")]
     fn la_above_lb_rejected() {
         RlsConfig::new(32, 16, 64);
+    }
+
+    #[test]
+    fn threads_default_to_sequential() {
+        let cfg = RlsConfig::new(8, 16, 64);
+        assert_eq!(cfg.threads, 1);
+        assert!(cfg.campaign_dir.is_none());
+        assert_eq!(cfg.with_threads(0).threads, 1, "zero coerces to one");
+        let cfg = RlsConfig::new(8, 16, 64).with_campaign_dir("results");
+        assert_eq!(cfg.campaign_dir.as_deref(), Some(std::path::Path::new("results")));
     }
 
     #[test]

@@ -1,11 +1,49 @@
 //! Experiment drivers producing the paper's table rows.
 
+use std::path::PathBuf;
+
 use rls_atpg::DetectableSet;
 use rls_netlist::Circuit;
 
 use crate::config::{CoverageTarget, D1Order, RlsConfig};
 use crate::params::{rank_combinations, Combo};
 use crate::procedure2::{Procedure2, Procedure2Outcome};
+
+/// Execution settings shared by every experiment driver: how many worker
+/// threads to simulate with, and whether to persist JSONL campaign
+/// records.
+///
+/// The default (one thread, no records) is the sequential oracle path;
+/// any thread count produces bit-identical table rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecProfile {
+    /// Worker threads (`0`/`1` = sequential).
+    pub threads: usize,
+    /// Directory for JSONL campaign records (e.g. `results/`).
+    pub campaign_dir: Option<PathBuf>,
+}
+
+impl ExecProfile {
+    /// Reads the settings from the environment: `RLS_THREADS` (a number)
+    /// and `RLS_CAMPAIGN_DIR` (a directory path). Unset or unparsable
+    /// variables fall back to the sequential default.
+    pub fn from_env() -> Self {
+        ExecProfile {
+            threads: std::env::var("RLS_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+            campaign_dir: std::env::var("RLS_CAMPAIGN_DIR").ok().map(PathBuf::from),
+        }
+    }
+
+    /// Applies the profile to a configuration.
+    pub fn configure(&self, mut cfg: RlsConfig) -> RlsConfig {
+        cfg.threads = self.threads.max(1);
+        cfg.campaign_dir = self.campaign_dir.clone();
+        cfg
+    }
+}
 
 /// The classification backing a coverage target.
 #[derive(Debug, Clone)]
@@ -84,11 +122,14 @@ pub fn run_combo(
     combo: (usize, usize, usize),
     order: D1Order,
     target: &CoverageTarget,
+    exec: &ExecProfile,
 ) -> CircuitResult {
     let (la, lb, n) = combo;
-    let mut cfg = RlsConfig::new(la, lb, n)
-        .with_d1_order(order)
-        .with_target(target.clone());
+    let mut cfg = exec.configure(
+        RlsConfig::new(la, lb, n)
+            .with_d1_order(order)
+            .with_target(target.clone()),
+    );
     // Experiments walk many combinations; cap the iteration count so a
     // near-miss combination cannot trickle-feed forever (the ladder will
     // reach a richer combination instead).
@@ -121,6 +162,7 @@ pub fn first_complete_combo(
     order: D1Order,
     target: &CoverageTarget,
     max_tries: usize,
+    exec: &ExecProfile,
 ) -> ComboOutcome {
     let ranked = rank_combinations(circuit.num_dffs());
     let mut tried = Vec::new();
@@ -130,7 +172,14 @@ pub fn first_complete_combo(
             "  [{name}] trying (LA={}, LB={}, N={})…",
             combo.la, combo.lb, combo.n
         );
-        let result = run_combo(circuit, name, (combo.la, combo.lb, combo.n), order, target);
+        let result = run_combo(
+            circuit,
+            name,
+            (combo.la, combo.lb, combo.n),
+            order,
+            target,
+            exec,
+        );
         let complete = result.complete;
         tried.push(result);
         if complete {
@@ -160,6 +209,7 @@ pub fn cycles_grid(
     circuit: &Circuit,
     name: &str,
     target: &CoverageTarget,
+    exec: &ExecProfile,
 ) -> Vec<((usize, usize, usize), GridCell)> {
     let mut rows = Vec::new();
     for combo in all_grid_combos(circuit.num_dffs()) {
@@ -169,6 +219,7 @@ pub fn cycles_grid(
             (combo.la, combo.lb, combo.n),
             D1Order::Increasing,
             target,
+            exec,
         );
         rows.push((
             (combo.la, combo.lb, combo.n),
@@ -205,7 +256,14 @@ mod tests {
     fn run_combo_fills_row() {
         let c = rls_benchmarks::s27();
         let info = detectable_target(&c, 10_000);
-        let row = run_combo(&c, "s27", (4, 8, 8), D1Order::Increasing, &info.target);
+        let row = run_combo(
+            &c,
+            "s27",
+            (4, 8, 8),
+            D1Order::Increasing,
+            &info.target,
+            &ExecProfile::default(),
+        );
         assert_eq!(row.name, "s27");
         assert_eq!(row.combo, (4, 8, 8));
         assert!(row.initial_detected > 0);
@@ -222,7 +280,14 @@ mod tests {
     fn first_complete_combo_walks_ranking() {
         let c = rls_benchmarks::s27();
         let info = detectable_target(&c, 10_000);
-        let out = first_complete_combo(&c, "s27", D1Order::Increasing, &info.target, 5);
+        let out = first_complete_combo(
+            &c,
+            "s27",
+            D1Order::Increasing,
+            &info.target,
+            5,
+            &ExecProfile::default(),
+        );
         assert!(!out.tried.is_empty());
         if let Some(chosen) = out.chosen() {
             assert!(chosen.complete);
@@ -240,7 +305,14 @@ mod tests {
         // Restrict to a tiny custom walk by reusing run_combo directly on
         // two combos (a full grid on s27 is cheap but pointless here).
         for combo in [(8, 16, 64), (16, 32, 64)] {
-            let r = run_combo(&c, "s27", combo, D1Order::Increasing, &info.target);
+            let r = run_combo(
+                &c,
+                "s27",
+                combo,
+                D1Order::Increasing,
+                &info.target,
+                &ExecProfile::default(),
+            );
             if r.complete {
                 assert!(r.total_cycles >= r.initial_cycles);
             }

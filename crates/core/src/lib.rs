@@ -50,7 +50,7 @@ pub mod ts0;
 
 pub use config::{CoverageTarget, D1Order, FillMode, RlsConfig, SeedMode};
 pub use cycles::ncyc0;
-pub use experiment::{CircuitResult, ComboOutcome};
+pub use experiment::{CircuitResult, ComboOutcome, ExecProfile};
 pub use extension::{run_multichain, run_partial, MultiChainOutcome, PartialOutcome};
 pub use metrics::LsAverage;
 pub use params::{rank_combinations, Combo, PAPER_LA_GRID, PAPER_LB_GRID, PAPER_N_GRID};

@@ -6,8 +6,23 @@
 //!    detects anything, keep the pair.
 //! 3. Stop when the target is fully covered, or after `N_SAME_FC`
 //!    consecutive iterations without improvement (or the safety cap).
+//!
+//! # Execution
+//!
+//! The greedy selection across trials is inherently sequential (each kept
+//! pair changes the fault list the next trial sees), but each trial's
+//! test-set simulation is embarrassingly parallel. The driver abstracts
+//! the per-set simulation behind [`TrialExecutor`]: `threads = 1` runs the
+//! sequential [`FaultSimulator`] oracle, `threads > 1` shards each set
+//! across an `rls-dispatch` worker pool with a deterministic reduction, so
+//! both paths produce bit-identical [`Procedure2Outcome`]s. With
+//! `campaign_dir` set, a JSONL campaign record (per-trial lines, per-worker
+//! counters) is persisted.
 
-use rls_fsim::{FaultId, FaultSimulator};
+use std::time::Instant;
+
+use rls_dispatch::{Campaign, CampaignSummary, SetRunner, SimContext, TrialRecord, WorkerPool};
+use rls_fsim::{FaultId, FaultSimulator, ScanTest};
 use rls_netlist::Circuit;
 
 use crate::config::{CoverageTarget, RlsConfig};
@@ -34,7 +49,7 @@ pub struct SelectedPair {
 }
 
 /// The outcome of Procedure 2.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Procedure2Outcome {
     /// Faults detected by `TS0` alone (the paper's `initial det`).
     pub initial_detected: usize,
@@ -89,13 +104,73 @@ impl<'c> Procedure2<'c> {
     }
 
     /// Runs the procedure to completion.
+    ///
+    /// `cfg.threads` selects the execution path: `1` is the sequential
+    /// oracle, `> 1` shards every test-set simulation across an
+    /// `rls-dispatch` worker pool. Both produce bit-identical outcomes.
+    /// With `cfg.campaign_dir` set, a JSONL campaign record is written
+    /// there (failures to write are reported on stderr, never fatal).
     pub fn run(&self) -> Procedure2Outcome {
+        let threads = self.cfg.threads.max(1);
+        let mut campaign = self
+            .cfg
+            .campaign_dir
+            .as_ref()
+            .map(|_| Campaign::new(self.circuit.name(), threads));
+        let outcome = if threads == 1 {
+            self.run_sequential(campaign.as_mut())
+        } else {
+            self.run_parallel(threads, campaign.as_mut())
+        };
+        if let (Some(mut campaign), Some(dir)) = (campaign, self.cfg.campaign_dir.as_ref()) {
+            campaign.record_summary(CampaignSummary {
+                detected: outcome.total_detected,
+                target_faults: outcome.target_faults,
+                pairs: outcome.pairs.len(),
+                total_cycles: outcome.total_cycles,
+                complete: outcome.complete,
+                iterations: outcome.iterations,
+            });
+            match campaign.write_jsonl(dir) {
+                Ok(path) => eprintln!("[procedure2] campaign record: {}", path.display()),
+                Err(e) => eprintln!("[procedure2] cannot write campaign record: {e}"),
+            }
+        }
+        outcome
+    }
+
+    fn run_sequential(&self, campaign: Option<&mut Campaign>) -> Procedure2Outcome {
         let mut sim = FaultSimulator::new(self.circuit);
         sim.set_options(self.cfg.observe);
         if let CoverageTarget::Faults(targets) = &self.cfg.target {
             sim.set_targets(targets);
         }
-        let target_faults = sim.live_count();
+        self.drive(&mut SequentialExecutor { sim }, campaign)
+    }
+
+    fn run_parallel(&self, threads: usize, campaign: Option<&mut Campaign>) -> Procedure2Outcome {
+        let ctx = SimContext::new(self.circuit, self.cfg.observe);
+        WorkerPool::new(threads).scope(|dispatcher| {
+            let mut runner = SetRunner::new(&ctx, dispatcher);
+            if let CoverageTarget::Faults(targets) = &self.cfg.target {
+                runner.set_targets(targets);
+            }
+            let mut campaign = campaign;
+            let outcome = self.drive(&mut PoolExecutor { runner }, campaign.as_deref_mut());
+            if let Some(c) = campaign {
+                c.record_workers(dispatcher.snapshot());
+            }
+            outcome
+        })
+    }
+
+    /// The greedy selection loop, generic over how a set is simulated.
+    fn drive<E: TrialExecutor>(
+        &self,
+        exec: &mut E,
+        mut campaign: Option<&mut Campaign>,
+    ) -> Procedure2Outcome {
+        let target_faults = exec.live_count();
         let n_sv = self.circuit.num_dffs();
         let d2 = self.cfg.d2(n_sv);
         let base_cycles = ncyc0(n_sv, self.cfg.la, self.cfg.lb, self.cfg.n);
@@ -103,12 +178,14 @@ impl<'c> Procedure2<'c> {
         // Step 2: TS0.
         let ts0 = generate_ts0(self.circuit, &self.cfg);
         let vector_units: u64 = ts0.iter().map(|t| t.len() as u64).sum();
-        let mut initial_detected = 0;
-        for t in &ts0 {
-            if sim.live_count() == 0 {
-                break;
-            }
-            initial_detected += sim.run_test(t).len();
+        let ts0_start = Instant::now();
+        let initial_detected = exec.apply_set(&ts0);
+        if let Some(c) = campaign.as_deref_mut() {
+            c.record_initial(
+                ts0.len(),
+                initial_detected,
+                ts0_start.elapsed().as_nanos() as u64,
+            );
         }
 
         let mut pairs: Vec<SelectedPair> = Vec::new();
@@ -116,7 +193,7 @@ impl<'c> Procedure2<'c> {
         let mut iterations = 0u64;
         let mut n_same_fc = 0u32;
         // Steps 3–6.
-        'outer: while sim.live_count() > 0
+        'outer: while exec.live_count() > 0
             && n_same_fc < self.cfg.n_same_fc
             && iterations < u64::from(self.cfg.max_iterations)
         {
@@ -124,16 +201,22 @@ impl<'c> Procedure2<'c> {
             let i = iterations;
             let mut improved = false;
             for d1 in self.cfg.d1_order.values(self.cfg.d1_max) {
-                if sim.live_count() == 0 {
+                if exec.live_count() == 0 {
                     break 'outer;
                 }
                 let derived = derive_test_set(&ts0, &self.cfg, i, d1, d2);
-                let mut newly = 0usize;
-                for t in &derived {
-                    if sim.live_count() == 0 {
-                        break;
-                    }
-                    newly += sim.run_test(t).len();
+                let trial_start = Instant::now();
+                let newly = exec.apply_set(&derived);
+                if let Some(c) = campaign.as_deref_mut() {
+                    c.record_trial(TrialRecord {
+                        i,
+                        d1,
+                        tests: derived.len(),
+                        newly_detected: newly,
+                        kept: newly > 0,
+                        live_after: exec.live_count(),
+                        wall_nanos: trial_start.elapsed().as_nanos() as u64,
+                    });
                 }
                 if newly > 0 {
                     improved = true;
@@ -158,7 +241,7 @@ impl<'c> Procedure2<'c> {
                 n_same_fc += 1;
             }
         }
-        let total_detected = sim.detected_count();
+        let total_detected = exec.detected_count();
         Procedure2Outcome {
             initial_detected,
             initial_cycles: base_cycles,
@@ -166,10 +249,76 @@ impl<'c> Procedure2<'c> {
             total_detected,
             target_faults,
             total_cycles,
-            complete: sim.live_count() == 0,
+            complete: exec.live_count() == 0,
             iterations,
-            undetected: sim.live().to_vec(),
+            undetected: exec.undetected(),
         }
+    }
+}
+
+/// How the driver simulates one test set against the remaining faults.
+///
+/// The contract that keeps all implementations bit-identical: `apply_set`
+/// returns the number of *unique* faults the set newly detects out of the
+/// current live list, and drops them. Which test within the set detects a
+/// fault is bookkeeping-irrelevant (the union is invariant), which is
+/// exactly what lets the pool-backed executor reorder work freely.
+trait TrialExecutor {
+    /// Number of currently undetected target faults.
+    fn live_count(&self) -> usize;
+    /// Simulates one test set, drops and counts newly detected faults.
+    fn apply_set(&mut self, tests: &[ScanTest]) -> usize;
+    /// Number of faults detected so far.
+    fn detected_count(&self) -> usize;
+    /// The undetected faults, in live-list order.
+    fn undetected(&self) -> Vec<FaultId>;
+}
+
+/// The sequential oracle: one [`FaultSimulator`], tests applied in order
+/// with fault dropping in between.
+struct SequentialExecutor<'c> {
+    sim: FaultSimulator<'c>,
+}
+
+impl TrialExecutor for SequentialExecutor<'_> {
+    fn live_count(&self) -> usize {
+        self.sim.live_count()
+    }
+
+    fn apply_set(&mut self, tests: &[ScanTest]) -> usize {
+        self.sim.run_tests(tests)
+    }
+
+    fn detected_count(&self) -> usize {
+        self.sim.detected_count()
+    }
+
+    fn undetected(&self) -> Vec<FaultId> {
+        self.sim.live().to_vec()
+    }
+}
+
+/// The pool-backed executor: each set fans out across worker threads with
+/// shared-bitset fault dropping and a deterministic reduction.
+struct PoolExecutor<'d, 'env> {
+    runner: SetRunner<'d, 'env>,
+}
+
+impl TrialExecutor for PoolExecutor<'_, '_> {
+    fn live_count(&self) -> usize {
+        self.runner.live_count()
+    }
+
+    fn apply_set(&mut self, tests: &[ScanTest]) -> usize {
+        self.runner.run_set(tests).len()
+    }
+
+    fn detected_count(&self) -> usize {
+        self.runner.detected_count()
+    }
+
+    fn undetected(&self) -> Vec<FaultId> {
+        self.runner.live().to_vec()
     }
 }
 

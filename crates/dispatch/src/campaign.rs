@@ -1,0 +1,266 @@
+//! Campaign records: what a multi-threaded Procedure 2 run did, persisted
+//! as JSONL.
+//!
+//! A campaign is one Procedure 2 execution on one circuit. The record is a
+//! line-oriented log — a `campaign` header, one `trial` line per `(I, D1)`
+//! trial (kept or not), a `workers` line with the pool's per-worker
+//! counters, and a `summary` line — written under `results/` (or any
+//! directory) so long runs are observable, diffable, and machine-readable
+//! after the fact.
+//!
+//! Timing fields record wall-clock observations; they are deliberately
+//! excluded from anything the deterministic outcome depends on.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::jsonl::{array, JsonObject};
+use crate::pool::PoolSnapshot;
+
+/// One `(I, D1)` trial of Procedure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Iteration index `I`.
+    pub i: u64,
+    /// Insertion-probability parameter `D1`.
+    pub d1: u32,
+    /// Tests in the derived set.
+    pub tests: usize,
+    /// Faults newly detected by the set.
+    pub newly_detected: usize,
+    /// Whether the pair was kept (i.e. it detected something).
+    pub kept: bool,
+    /// Live faults remaining after the trial.
+    pub live_after: usize,
+    /// Wall time of the trial in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// The end-of-campaign summary line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Total detected faults (initial + pairs).
+    pub detected: usize,
+    /// Size of the coverage target.
+    pub target_faults: usize,
+    /// Pairs kept.
+    pub pairs: usize,
+    /// Total session cycles.
+    pub total_cycles: u64,
+    /// Whether the coverage target was fully reached.
+    pub complete: bool,
+    /// Iterations run.
+    pub iterations: u64,
+}
+
+/// An in-progress campaign record.
+#[derive(Debug)]
+pub struct Campaign {
+    circuit: String,
+    threads: usize,
+    started: Instant,
+    initial: Option<(usize, usize, u64)>, // (tests, detected, wall_nanos)
+    trials: Vec<TrialRecord>,
+    workers: Option<PoolSnapshot>,
+    summary: Option<CampaignSummary>,
+}
+
+impl Campaign {
+    /// Starts a record for one circuit and thread count.
+    pub fn new(circuit: &str, threads: usize) -> Self {
+        Campaign {
+            circuit: circuit.to_string(),
+            threads,
+            started: Instant::now(),
+            initial: None,
+            trials: Vec::new(),
+            workers: None,
+            summary: None,
+        }
+    }
+
+    /// Records the `TS0` phase.
+    pub fn record_initial(&mut self, tests: usize, detected: usize, wall_nanos: u64) {
+        self.initial = Some((tests, detected, wall_nanos));
+    }
+
+    /// Records one `(I, D1)` trial.
+    pub fn record_trial(&mut self, trial: TrialRecord) {
+        self.trials.push(trial);
+    }
+
+    /// Trials recorded so far.
+    pub fn trials(&self) -> &[TrialRecord] {
+        &self.trials
+    }
+
+    /// Attaches the pool's final per-worker counters.
+    pub fn record_workers(&mut self, snapshot: PoolSnapshot) {
+        self.workers = Some(snapshot);
+    }
+
+    /// Attaches the outcome summary.
+    pub fn record_summary(&mut self, summary: CampaignSummary) {
+        self.summary = Some(summary);
+    }
+
+    /// Renders the whole record as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        let mut lines = Vec::new();
+        let mut header = JsonObject::new()
+            .str("type", "campaign")
+            .str("circuit", &self.circuit)
+            .num("threads", self.threads as u64);
+        if let Some((tests, detected, wall)) = self.initial {
+            header = header
+                .num("ts0_tests", tests as u64)
+                .num("ts0_detected", detected as u64)
+                .num("ts0_wall_nanos", wall);
+        }
+        lines.push(header.render());
+        for t in &self.trials {
+            lines.push(
+                JsonObject::new()
+                    .str("type", "trial")
+                    .num("i", t.i)
+                    .num("d1", u64::from(t.d1))
+                    .num("tests", t.tests as u64)
+                    .num("newly_detected", t.newly_detected as u64)
+                    .bool("kept", t.kept)
+                    .num("live_after", t.live_after as u64)
+                    .num("wall_nanos", t.wall_nanos)
+                    .render(),
+            );
+        }
+        if let Some(snap) = &self.workers {
+            let workers = array(snap.workers.iter().map(|w| {
+                JsonObject::new()
+                    .num("worker", w.worker as u64)
+                    .num("jobs", w.jobs)
+                    .num("batches", w.batches)
+                    .num("faults_dropped", w.faults_dropped)
+                    .num("sim_nanos", w.sim_nanos)
+                    .num("steals", w.steals)
+                    .render()
+            }));
+            lines.push(
+                JsonObject::new()
+                    .str("type", "workers")
+                    .num("threads", snap.threads as u64)
+                    .raw("workers", &workers)
+                    .render(),
+            );
+        }
+        if let Some(s) = &self.summary {
+            lines.push(
+                JsonObject::new()
+                    .str("type", "summary")
+                    .num("detected", s.detected as u64)
+                    .num("target_faults", s.target_faults as u64)
+                    .num("pairs", s.pairs as u64)
+                    .num("total_cycles", s.total_cycles)
+                    .bool("complete", s.complete)
+                    .num("iterations", s.iterations)
+                    .num("wall_nanos", self.started.elapsed().as_nanos() as u64)
+                    .render(),
+            );
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Writes the record to `<dir>/campaign-<circuit>-<threads>t-<stamp>.jsonl`,
+    /// creating the directory as needed; returns the path.
+    pub fn write_jsonl(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let stamp = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let path = dir.join(format!(
+            "campaign-{}-{}t-{stamp}.jsonl",
+            sanitize(&self.circuit),
+            self.threads
+        ));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_jsonl().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Keeps file names tame for arbitrary circuit names.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+
+    fn sample() -> Campaign {
+        let mut c = Campaign::new("s27", 4);
+        c.record_initial(16, 28, 1234);
+        c.record_trial(TrialRecord {
+            i: 1,
+            d1: 2,
+            tests: 16,
+            newly_detected: 3,
+            kept: true,
+            live_after: 1,
+            wall_nanos: 99,
+        });
+        c.record_summary(CampaignSummary {
+            detected: 31,
+            target_faults: 32,
+            pairs: 1,
+            total_cycles: 420,
+            complete: false,
+            iterations: 1,
+        });
+        c
+    }
+
+    #[test]
+    fn jsonl_has_one_record_per_line() {
+        let mut c = sample();
+        let snap = WorkerPool::new(2).scope(|d| {
+            d.submit(|w| w.add_dropped(1));
+            d.wait_idle();
+            d.snapshot()
+        });
+        c.record_workers(snap);
+        let text = c.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""type":"campaign""#));
+        assert!(lines[0].contains(r#""circuit":"s27""#));
+        assert!(lines[1].contains(r#""type":"trial""#));
+        assert!(lines[2].contains(r#""type":"workers""#));
+        assert!(lines[2].contains(r#""faults_dropped":1"#));
+        assert!(lines[3].contains(r#""type":"summary""#));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn write_jsonl_creates_file_under_dir() {
+        let dir = std::env::temp_dir().join(format!("rls-dispatch-test-{}", std::process::id()));
+        let path = sample().write_jsonl(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""type":"summary""#));
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("campaign-s27-4t-"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn sanitize_replaces_odd_chars() {
+        assert_eq!(sanitize("s27/v2 beta"), "s27_v2_beta");
+    }
+}

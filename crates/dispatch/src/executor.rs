@@ -1,0 +1,332 @@
+//! Parallel execution of one test set against the live fault list, with a
+//! deterministic reduction.
+//!
+//! # Execution model
+//!
+//! A *set* is the atomic scheduling unit of the paper's procedures: `TS0`
+//! or one derived `TS(I, D1)`. [`SetRunner::run_set`] fans a set out in
+//! two phases over the worker pool:
+//!
+//! 1. **Traces** — one job per test computes the fault-free
+//!    [`TestTrace`];
+//! 2. **Batches** — one job per `(test, 64-fault chunk)` of the live list
+//!    simulates the chunk against the test, publishing detections into
+//!    the shared [`AtomicBitset`].
+//!
+//! Workers consult the bitset *before* simulating a chunk, so a fault
+//! detected by any worker is dropped by every other worker mid-set — the
+//! cross-thread analogue of the sequential simulator's fault dropping
+//! between tests.
+//!
+//! # Determinism
+//!
+//! The reduction at the set barrier is order-independent: detection of a
+//! fault by a test depends only on `(test, fault)` — lanes of a 64-wide
+//! batch are independent, and the bitset is monotone within a set — so the
+//! set of detected faults equals the union a sequential run produces, no
+//! matter how jobs interleave. The runner then merges in live-list order
+//! (ascending fault id for the default target), giving results that are
+//! bit-identical to the sequential oracle. Skipping an already-detected
+//! fault is sound for the same reason the sequential simulator's dropping
+//! is: detection is monotone over a set, and a set's bookkeeping only uses
+//! the union.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use rls_fsim::parallel::activated_in_trace;
+use rls_fsim::{
+    simulate_batch_with, CollapsedFaults, Fault, FaultId, FaultUniverse, GoodSim, ScanTest,
+    SimOptions, TestTrace, LANES,
+};
+use rls_netlist::Circuit;
+
+use crate::bitset::AtomicBitset;
+use crate::pool::Dispatcher;
+
+/// The read-only simulation context shared by every worker of a campaign.
+///
+/// Built once per campaign (fault enumeration, collapsing, levelization),
+/// then borrowed immutably by every job; the only mutable shared state is
+/// the atomic detection bitset.
+#[derive(Debug)]
+pub struct SimContext<'c> {
+    good: GoodSim<'c>,
+    universe: FaultUniverse,
+    collapsed: CollapsedFaults,
+    options: SimOptions,
+    detected_bits: AtomicBitset,
+}
+
+impl<'c> SimContext<'c> {
+    /// Builds the context for one circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has combinational cycles.
+    pub fn new(circuit: &'c Circuit, options: SimOptions) -> Self {
+        let universe = FaultUniverse::enumerate(circuit);
+        let collapsed = CollapsedFaults::build(circuit, &universe);
+        let detected_bits = AtomicBitset::new(universe.len());
+        SimContext {
+            good: GoodSim::new(circuit),
+            universe,
+            collapsed,
+            options,
+            detected_bits,
+        }
+    }
+
+    /// The circuit under test.
+    pub fn circuit(&self) -> &Circuit {
+        self.good.circuit()
+    }
+
+    /// The collapsed representative fault list (sorted by fault id).
+    pub fn representatives(&self) -> &[FaultId] {
+        self.collapsed.representatives()
+    }
+
+    /// The shared detection bitset.
+    pub fn detected_bits(&self) -> &AtomicBitset {
+        &self.detected_bits
+    }
+}
+
+/// Drives test sets through the pool against an evolving live fault list.
+///
+/// Mirrors the bookkeeping of `rls_fsim::FaultSimulator` (live list,
+/// detected list, dropping) but executes each set in parallel. Created
+/// inside a [`crate::WorkerPool::scope`].
+pub struct SetRunner<'d, 'env> {
+    ctx: &'env SimContext<'env>,
+    disp: &'d Dispatcher<'d, 'env>,
+    live: Vec<FaultId>,
+    detected: Vec<FaultId>,
+}
+
+impl<'d, 'env> SetRunner<'d, 'env> {
+    /// A runner targeting every collapsed fault.
+    pub fn new(ctx: &'env SimContext<'env>, disp: &'d Dispatcher<'d, 'env>) -> Self {
+        let live = ctx.collapsed.representatives().to_vec();
+        ctx.detected_bits.clear();
+        SetRunner {
+            ctx,
+            disp,
+            live,
+            detected: Vec::new(),
+        }
+    }
+
+    /// Restricts the live list to `targets` (e.g. the ATPG-detectable
+    /// set), mirroring `FaultSimulator::set_targets`.
+    pub fn set_targets(&mut self, targets: &[FaultId]) {
+        self.live = targets.to_vec();
+        self.detected.clear();
+        self.ctx.detected_bits.clear();
+    }
+
+    /// Currently undetected faults, in live-list order.
+    pub fn live(&self) -> &[FaultId] {
+        &self.live
+    }
+
+    /// Number of currently undetected faults.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of faults detected so far.
+    pub fn detected_count(&self) -> usize {
+        self.detected.len()
+    }
+
+    /// Runs one test set against the live list and drops detections.
+    ///
+    /// Returns the newly detected faults merged in live-list order — the
+    /// deterministic reduction that makes a parallel campaign bit-identical
+    /// to the sequential oracle.
+    pub fn run_set(&mut self, tests: &[ScanTest]) -> Vec<FaultId> {
+        if self.live.is_empty() || tests.is_empty() {
+            return Vec::new();
+        }
+        let ctx = self.ctx;
+        let tests: Arc<Vec<ScanTest>> = Arc::new(tests.to_vec());
+        // Phase 1: fault-free traces, one job per test.
+        let traces: Arc<Vec<OnceLock<TestTrace>>> =
+            Arc::new((0..tests.len()).map(|_| OnceLock::new()).collect());
+        for t in 0..tests.len() {
+            let tests = Arc::clone(&tests);
+            let traces = Arc::clone(&traces);
+            self.disp.submit(move |counters| {
+                let start = Instant::now();
+                let trace = ctx.good.simulate_test(&tests[t]);
+                counters.add_sim_time(start.elapsed());
+                traces[t].set(trace).expect("each trace is computed once");
+            });
+        }
+        self.disp.wait_idle();
+        // Phase 2: (test, chunk) jobs over the set-start live list. Once
+        // every live fault is marked, remaining jobs see empty candidate
+        // lists and fall through (`live_left` makes that exit cheap).
+        let live_left = Arc::new(AtomicUsize::new(self.live.len()));
+        for t in 0..tests.len() {
+            for chunk in self.live.chunks(LANES) {
+                let tests = Arc::clone(&tests);
+                let traces = Arc::clone(&traces);
+                let live_left = Arc::clone(&live_left);
+                let chunk: Vec<FaultId> = chunk.to_vec();
+                self.disp.submit(move |counters| {
+                    if live_left.load(Ordering::Relaxed) == 0 {
+                        return;
+                    }
+                    let trace = traces[t].get().expect("trace barrier passed");
+                    let circuit = ctx.good.circuit();
+                    // Shared-bitset fault dropping + activation prefilter.
+                    let candidates: Vec<(FaultId, Fault)> = chunk
+                        .iter()
+                        .filter(|&&id| !ctx.detected_bits.get(id))
+                        .map(|&id| (id, ctx.universe.fault(id)))
+                        .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
+                        .collect();
+                    if candidates.is_empty() {
+                        return;
+                    }
+                    let start = Instant::now();
+                    let hits =
+                        simulate_batch_with(&ctx.good, &tests[t], trace, &candidates, ctx.options);
+                    counters.add_batch(start.elapsed());
+                    let mut newly = 0u64;
+                    for id in hits {
+                        if ctx.detected_bits.set(id) {
+                            newly += 1;
+                        }
+                    }
+                    if newly > 0 {
+                        counters.add_dropped(newly);
+                        live_left.fetch_sub(newly as usize, Ordering::Relaxed);
+                    }
+                });
+            }
+        }
+        self.disp.wait_idle();
+        // Deterministic reduction: merge in live-list order.
+        let newly: Vec<FaultId> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|&id| ctx.detected_bits.get(id))
+            .collect();
+        if !newly.is_empty() {
+            self.live.retain(|&id| !ctx.detected_bits.get(id));
+            self.detected.extend(newly.iter().copied());
+        }
+        newly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+    use rls_fsim::FaultSimulator;
+
+    fn s27_sets() -> Vec<Vec<ScanTest>> {
+        let plain =
+            ScanTest::from_strings("001", &["0111", "1001", "0111", "1001", "0100"]).unwrap();
+        let shifted = plain
+            .clone()
+            .with_shifts(vec![rls_fsim::ShiftOp {
+                at: 3,
+                amount: 1,
+                fill: vec![false],
+            }])
+            .unwrap();
+        let short = ScanTest::from_strings("110", &["1011", "0001"]).unwrap();
+        vec![vec![plain.clone(), short], vec![shifted], vec![plain]]
+    }
+
+    /// The sequential oracle: FaultSimulator over the same sets.
+    fn sequential(c: &Circuit, sets: &[Vec<ScanTest>]) -> (Vec<usize>, Vec<FaultId>) {
+        let mut sim = FaultSimulator::new(c);
+        let mut counts = Vec::new();
+        for set in sets {
+            let mut n = 0;
+            for t in set {
+                if sim.live_count() == 0 {
+                    break;
+                }
+                n += sim.run_test(t).len();
+            }
+            counts.push(n);
+        }
+        (counts, sim.live().to_vec())
+    }
+
+    #[test]
+    fn parallel_sets_match_sequential_oracle_on_s27() {
+        let c = rls_benchmarks::s27();
+        let sets = s27_sets();
+        let (seq_counts, seq_live) = sequential(&c, &sets);
+        for threads in [1, 2, 4] {
+            let ctx = SimContext::new(&c, SimOptions::default());
+            let (par_counts, par_live) = WorkerPool::new(threads).scope(|d| {
+                let mut runner = SetRunner::new(&ctx, d);
+                let counts: Vec<usize> =
+                    sets.iter().map(|set| runner.run_set(set).len()).collect();
+                (counts, runner.live().to_vec())
+            });
+            assert_eq!(par_counts, seq_counts, "threads = {threads}");
+            assert_eq!(par_live, seq_live, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn newly_detected_is_in_live_list_order() {
+        let c = rls_benchmarks::s27();
+        let ctx = SimContext::new(&c, SimOptions::default());
+        let newly = WorkerPool::new(4).scope(|d| {
+            let mut runner = SetRunner::new(&ctx, d);
+            runner.run_set(&s27_sets()[0])
+        });
+        let mut sorted = newly.clone();
+        sorted.sort_unstable();
+        assert_eq!(newly, sorted, "default live list is ascending by id");
+        assert!(!newly.is_empty());
+    }
+
+    #[test]
+    fn set_targets_mirrors_fault_simulator() {
+        let c = rls_benchmarks::s27();
+        let ctx = SimContext::new(&c, SimOptions::default());
+        let targets: Vec<FaultId> = ctx.representatives()[..7].to_vec();
+        let set = &s27_sets()[0];
+        let mut sim = FaultSimulator::new(&c);
+        sim.set_targets(&targets);
+        let mut seq = 0;
+        for t in set {
+            seq += sim.run_test(t).len();
+        }
+        let (par, live) = WorkerPool::new(2).scope(|d| {
+            let mut runner = SetRunner::new(&ctx, d);
+            runner.set_targets(&targets);
+            (runner.run_set(set).len(), runner.live().to_vec())
+        });
+        assert_eq!(par, seq);
+        assert_eq!(live, sim.live());
+    }
+
+    #[test]
+    fn counters_see_batches_and_drops() {
+        let c = rls_benchmarks::s27();
+        let ctx = SimContext::new(&c, SimOptions::default());
+        let (newly, snap) = WorkerPool::new(2).scope(|d| {
+            let mut runner = SetRunner::new(&ctx, d);
+            let newly = runner.run_set(&s27_sets()[0]);
+            (newly.len(), d.snapshot())
+        });
+        assert_eq!(snap.total_dropped() as usize, newly);
+        assert!(snap.total_batches() > 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal JSON object rendering for campaign records.
+//!
+//! The environment is offline (no `serde`), and campaign records are flat
+//! objects of numbers, strings, and booleans, so a tiny append-only
+//! builder is all that is needed. Output is one object per line (JSONL) —
+//! `jq`-friendly and append-safe for long campaigns.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An in-order JSON object builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    parts: Vec<String>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.parts
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        self.parts.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a float field (renders `null` for non-finite values).
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.parts.push(format!("\"{}\":{rendered}", escape(key)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.parts.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (array or nested object).
+    pub fn raw(mut self, key: &str, rendered: &str) -> Self {
+        self.parts.push(format!("\"{}\":{}", escape(key), rendered));
+        self
+    }
+
+    /// Renders the object on one line.
+    pub fn render(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Renders an array from pre-rendered element strings.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object() {
+        let s = JsonObject::new()
+            .str("type", "trial")
+            .num("i", 3)
+            .bool("kept", true)
+            .float("ls", 0.25)
+            .render();
+        assert_eq!(s, r#"{"type":"trial","i":3,"kept":true,"ls":0.25}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = JsonObject::new().str("name", "a\"b\\c\nd").render();
+        assert_eq!(s, r#"{"name":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn arrays_compose() {
+        let a = array((0..2).map(|i| JsonObject::new().num("w", i).render()));
+        assert_eq!(a, r#"[{"w":0},{"w":1}]"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = JsonObject::new().float("ls", f64::NAN).render();
+        assert_eq!(s, r#"{"ls":null}"#);
+    }
+}

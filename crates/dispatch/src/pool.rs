@@ -1,0 +1,413 @@
+//! A persistent scoped worker pool with per-worker queues and job
+//! stealing.
+//!
+//! [`WorkerPool::scope`] spawns the workers once and keeps them alive for
+//! the whole campaign (every `(I, D1)` trial reuses them); jobs are plain
+//! closures that may borrow anything outliving the scope, so the fault
+//! simulator's read-only context (circuit, good-machine simulator, fault
+//! universe, shared detection bitset) is shared by reference — no cloning,
+//! no `Arc<Circuit>` plumbing through the simulation crates.
+//!
+//! Scheduling: [`Dispatcher::submit`] places jobs round-robin on the
+//! per-worker queues; an idle worker first drains its own queue, then
+//! steals from its siblings (oldest-first), so an uneven trial — one slow
+//! batch, many cheap ones — still keeps every thread busy. A claim
+//! counter in the station state makes the hand-off lossless: a worker
+//! never sleeps while an unclaimed job exists.
+//!
+//! Observability: every worker owns a cache-line-padded set of atomic
+//! counters (jobs, 64-lane batches, faults dropped, simulation time,
+//! steals); [`Dispatcher::snapshot`] reads them at any time without
+//! stopping the pool.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of work: runs on one worker, may update that worker's counters.
+pub type Job<'env> = Box<dyn FnOnce(&WorkerCounters) + Send + 'env>;
+
+/// Per-worker activity counters, updated by the owning worker (and by the
+/// jobs it runs) and read concurrently by [`Dispatcher::snapshot`].
+#[derive(Debug, Default)]
+#[repr(align(64))] // avoid false sharing between neighbouring workers
+pub struct WorkerCounters {
+    jobs: AtomicU64,
+    batches: AtomicU64,
+    faults_dropped: AtomicU64,
+    sim_nanos: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl WorkerCounters {
+    /// Records one simulated 64-lane batch and its wall time.
+    #[inline]
+    pub fn add_batch(&self, elapsed: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.sim_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records wall time spent simulating without a batch (e.g. good-trace
+    /// computation).
+    #[inline]
+    pub fn add_sim_time(&self, elapsed: Duration) {
+        self.sim_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` faults this worker newly dropped (first detection).
+    #[inline]
+    pub fn add_dropped(&self, n: u64) {
+        self.faults_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, worker: usize) -> WorkerSnapshot {
+        WorkerSnapshot {
+            worker,
+            jobs: self.jobs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Worker index (`0..threads`).
+    pub worker: usize,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// 64-lane fault batches simulated.
+    pub batches: u64,
+    /// Faults this worker was first to detect (and hence drop).
+    pub faults_dropped: u64,
+    /// Nanoseconds spent in simulation work.
+    pub sim_nanos: u64,
+    /// Jobs stolen from other workers' queues.
+    pub steals: u64,
+}
+
+/// A progress snapshot of the whole pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Jobs submitted but not yet finished.
+    pub pending: usize,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl PoolSnapshot {
+    /// Total 64-lane batches simulated across workers.
+    pub fn total_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.batches).sum()
+    }
+
+    /// Total faults dropped across workers.
+    pub fn total_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.faults_dropped).sum()
+    }
+}
+
+struct StationState {
+    /// Jobs submitted and not yet finished.
+    pending: usize,
+    /// Queued jobs not yet claimed by any worker.
+    unclaimed: usize,
+    /// False once the scope is shutting down.
+    open: bool,
+}
+
+/// Shared pool state: queues, counters, and the sleep/wake machinery.
+struct Station<'env> {
+    queues: Vec<Mutex<VecDeque<Job<'env>>>>,
+    counters: Vec<WorkerCounters>,
+    state: Mutex<StationState>,
+    /// Workers wait here for work (or shutdown).
+    work_cv: Condvar,
+    /// The dispatcher waits here for `pending == 0`.
+    idle_cv: Condvar,
+    /// Round-robin submission cursor.
+    next: AtomicUsize,
+}
+
+impl<'env> Station<'env> {
+    fn new(threads: usize) -> Self {
+        Station {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            counters: (0..threads).map(|_| WorkerCounters::default()).collect(),
+            state: Mutex::new(StationState {
+                pending: 0,
+                unclaimed: 0,
+                open: true,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn submit(&self, job: Job<'env>) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[slot].lock().unwrap().push_back(job);
+        let mut st = self.state.lock().unwrap();
+        st.pending += 1;
+        st.unclaimed += 1;
+        drop(st);
+        self.work_cv.notify_one();
+    }
+
+    /// Claims one job for worker `w`: own queue first, then steal.
+    ///
+    /// Only called after the claim counter guaranteed a job exists; the
+    /// scan loops until it wins one (a sibling may transiently hold a
+    /// queue lock).
+    fn grab(&self, w: usize) -> Job<'env> {
+        loop {
+            if let Some(job) = self.queues[w].lock().unwrap().pop_front() {
+                return job;
+            }
+            for k in 1..self.queues.len() {
+                let victim = (w + k) % self.queues.len();
+                if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+                    self.counters[w].steals.fetch_add(1, Ordering::Relaxed);
+                    return job;
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn worker_loop(&self, w: usize) {
+        loop {
+            {
+                let mut st = self.state.lock().unwrap();
+                while st.unclaimed == 0 && st.open {
+                    st = self.work_cv.wait(st).unwrap();
+                }
+                if st.unclaimed == 0 {
+                    return; // closed and drained
+                }
+                st.unclaimed -= 1;
+            }
+            let job = self.grab(w);
+            job(&self.counters[w]);
+            self.counters[w].jobs.fetch_add(1, Ordering::Relaxed);
+            let mut st = self.state.lock().unwrap();
+            st.pending -= 1;
+            if st.pending == 0 {
+                self.idle_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.pending > 0 {
+            st = self.idle_cv.wait(st).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().open = false;
+        self.work_cv.notify_all();
+    }
+
+    fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            threads: self.queues.len(),
+            pending: self.state.lock().unwrap().pending,
+            workers: self
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(w, c)| c.snapshot(w))
+                .collect(),
+        }
+    }
+}
+
+/// Handle for submitting jobs into a live pool scope.
+///
+/// Obtained inside [`WorkerPool::scope`]; jobs may borrow anything that
+/// outlives the scope (`'env`).
+pub struct Dispatcher<'s, 'env> {
+    station: &'s Station<'env>,
+}
+
+impl<'s, 'env> Dispatcher<'s, 'env> {
+    /// Enqueues a job on the pool (round-robin placement, stealable).
+    pub fn submit(&self, job: impl FnOnce(&WorkerCounters) + Send + 'env) {
+        self.station.submit(Box::new(job));
+    }
+
+    /// Blocks until every submitted job has finished — the deterministic
+    /// reduction barrier between phases.
+    pub fn wait_idle(&self) {
+        self.station.wait_idle();
+    }
+
+    /// A progress snapshot (non-blocking for workers).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        self.station.snapshot()
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.station.queues.len()
+    }
+}
+
+/// A pool of `threads` persistent workers.
+///
+/// The pool itself is just a configuration; [`WorkerPool::scope`] spawns
+/// the OS threads, runs the given closure with a [`Dispatcher`], waits for
+/// outstanding jobs, and joins the workers before returning.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero (a zero-worker pool would deadlock on
+    /// the first submit; use the caller's sequential path instead).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "worker pool needs at least one thread");
+        WorkerPool { threads }
+    }
+
+    /// Number of worker threads the scope will spawn.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with worker threads live; returns its result after all
+    /// jobs finished and workers exited.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Dispatcher<'_, 'env>) -> R) -> R {
+        let station = Station::new(self.threads);
+        std::thread::scope(|s| {
+            for w in 0..self.threads {
+                let st = &station;
+                s.spawn(move || st.worker_loop(w));
+            }
+            let disp = Dispatcher { station: &station };
+            let out = f(&disp);
+            disp.wait_idle();
+            station.close();
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        WorkerPool::new(4).scope(|d| {
+            for _ in 0..100 {
+                d.submit(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            d.wait_idle();
+            assert_eq!(hits.load(Ordering::Relaxed), 100);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_result_is_returned() {
+        let r = WorkerPool::new(2).scope(|d| {
+            d.submit(|_| {});
+            41 + 1
+        });
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn jobs_may_borrow_scope_environment() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = AtomicU64::new(0);
+        WorkerPool::new(2).scope(|d| {
+            for i in 0..data.len() {
+                let data = &data;
+                let sum = &sum;
+                d.submit(move |_| {
+                    sum.fetch_add(data[i], Ordering::Relaxed);
+                });
+            }
+            d.wait_idle();
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn snapshot_accounts_for_all_jobs() {
+        let snap = WorkerPool::new(3).scope(|d| {
+            for _ in 0..30 {
+                d.submit(|c| c.add_dropped(2));
+            }
+            d.wait_idle();
+            d.snapshot()
+        });
+        assert_eq!(snap.threads, 3);
+        assert_eq!(snap.pending, 0);
+        assert_eq!(snap.workers.iter().map(|w| w.jobs).sum::<u64>(), 30);
+        assert_eq!(snap.total_dropped(), 60);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One long job pins a worker; the remaining short jobs must still
+        // all run (some of them via steals, since round-robin placement
+        // puts a share of them behind the long job).
+        let done = AtomicUsize::new(0);
+        let snap = WorkerPool::new(2).scope(|d| {
+            d.submit(|_| std::thread::sleep(Duration::from_millis(50)));
+            for _ in 0..20 {
+                d.submit(|_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            d.wait_idle();
+            d.snapshot()
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 20);
+        assert_eq!(snap.workers.iter().map(|w| w.jobs).sum::<u64>(), 21);
+    }
+
+    #[test]
+    fn sequential_submission_waves_reuse_workers() {
+        // The pool persists across waves (trials): counters accumulate.
+        let snap = WorkerPool::new(2).scope(|d| {
+            for _wave in 0..5 {
+                for _ in 0..8 {
+                    d.submit(|_| {});
+                }
+                d.wait_idle();
+            }
+            d.snapshot()
+        });
+        assert_eq!(snap.workers.iter().map(|w| w.jobs).sum::<u64>(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        WorkerPool::new(0);
+    }
+}

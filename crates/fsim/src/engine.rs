@@ -170,6 +170,24 @@ impl<'c> FaultSimulator<'c> {
         newly
     }
 
+    /// Applies externally computed detections: drops the given faults from
+    /// the live list and appends them (in the given order) to the detected
+    /// list. Ids not currently live are ignored.
+    ///
+    /// This is the hand-off point for out-of-band executors — e.g. the
+    /// `rls-dispatch` worker pool, which simulates batches across threads
+    /// and reduces detections deterministically before applying them here.
+    pub fn apply_detections(&mut self, newly: &[FaultId]) {
+        if newly.is_empty() {
+            return;
+        }
+        let live: std::collections::HashSet<FaultId> = self.live.iter().copied().collect();
+        let accepted: Vec<FaultId> = newly.iter().copied().filter(|id| live.contains(id)).collect();
+        let drop: std::collections::HashSet<FaultId> = accepted.iter().copied().collect();
+        self.live.retain(|id| !drop.contains(id));
+        self.detected.extend(accepted);
+    }
+
     /// Simulates a sequence of tests, dropping as it goes; returns the
     /// number of newly detected faults.
     pub fn run_tests<'a, I>(&mut self, tests: I) -> usize
@@ -242,6 +260,20 @@ mod tests {
         assert_eq!(sim.live_count(), 5);
         sim.run_test(&s27_test());
         assert!(sim.live_count() + sim.detected_count() == 5);
+    }
+
+    #[test]
+    fn apply_detections_drops_and_ignores_stale_ids() {
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        let picked: Vec<FaultId> = sim.live()[..3].to_vec();
+        sim.apply_detections(&picked);
+        assert_eq!(sim.detected(), &picked[..]);
+        assert_eq!(sim.live_count(), sim.total_faults() - 3);
+        // Re-applying (stale ids) changes nothing.
+        sim.apply_detections(&picked);
+        assert_eq!(sim.detected_count(), 3);
+        assert_eq!(sim.live_count(), sim.total_faults() - 3);
     }
 
     #[test]

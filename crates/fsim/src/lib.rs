@@ -65,7 +65,7 @@ pub use multichain_sim::{
     run_tests_multichain, simulate_batch_multichain, simulate_good_multichain, McScanTest,
     McShiftOp, McTrace,
 };
-pub use parallel::{simulate_batch, simulate_batch_with, SimOptions, LANES};
+pub use parallel::{activated_in_trace, simulate_batch, simulate_batch_with, SimOptions, LANES};
 pub use partial_sim::{
     run_tests_partial, simulate_batch_partial, simulate_good_partial, PartialTrace,
 };

@@ -8,7 +8,7 @@
 
 use random_limited_scan::atpg::DetectableSet;
 use random_limited_scan::core::experiment::run_combo;
-use random_limited_scan::core::{rank_combinations, CoverageTarget, D1Order};
+use random_limited_scan::core::{rank_combinations, CoverageTarget, D1Order, ExecProfile};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "s208".into());
@@ -29,6 +29,7 @@ fn main() {
         "{:>4} {:>4} {:>4} {:>8} {:>5} {:>9} {:>9}",
         "LA", "LB", "N", "Ncyc0", "app", "Ncyc", "complete"
     );
+    let exec = ExecProfile::from_env();
     for combo in rank_combinations(circuit.num_dffs()).into_iter().take(8) {
         let r = run_combo(
             &circuit,
@@ -36,6 +37,7 @@ fn main() {
             (combo.la, combo.lb, combo.n),
             D1Order::Increasing,
             &target,
+            &exec,
         );
         println!(
             "{:>4} {:>4} {:>4} {:>8} {:>5} {:>9} {:>9}",

@@ -24,6 +24,7 @@ pub use rls_atpg as atpg;
 pub use rls_benchmarks as benchmarks;
 pub use rls_bist as bist;
 pub use rls_core as core;
+pub use rls_dispatch as dispatch;
 pub use rls_fsim as fsim;
 pub use rls_lfsr as lfsr;
 pub use rls_netlist as netlist;

@@ -1,5 +1,11 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning crates.
+//!
+//! Gated behind the `proptest-suite` feature: the build environment is
+//! offline, so `proptest` is not a default dependency. To run, re-add
+//! `proptest` to the root `[dev-dependencies]` and pass
+//! `--features proptest-suite`.
+#![cfg(feature = "proptest-suite")]
 
 use proptest::prelude::*;
 
