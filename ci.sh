@@ -1,17 +1,26 @@
 #!/bin/bash
-# Offline CI: tier-1 (build + full test suite) plus the parallel
-# determinism suite. The build environment has no network, so everything
-# runs with --offline against the committed Cargo.lock.
+# Offline CI: tier-1 (build + full test suite), lint gate, the parallel
+# determinism suite, and the fault-injected resilience suite. The build
+# environment has no network, so everything runs with --offline against
+# the committed Cargo.lock.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== tier-1: build =="
 cargo build --release --offline --workspace
 
+echo "== lint: clippy -D warnings =="
+cargo clippy --offline --workspace -- -D warnings
+
 echo "== tier-1: tests =="
 cargo test -q --offline --workspace
 
 echo "== determinism: threads=4 ≡ threads=1 =="
 cargo test -q --offline --test determinism
+
+echo "== resilience: fault-injected recovery paths =="
+# Also re-runs determinism with the hooks compiled in but disarmed:
+# the fault-inject feature must be a no-op until a plan is armed.
+cargo test -q --offline --features fault-inject --test resilience --test determinism
 
 echo "CI OK"

@@ -12,6 +12,10 @@
 //!   detection mechanisms of the paper's Section 2.
 //!
 //! Usage: `ablations [circuit...]` (default: s298).
+//!
+//! Execution: `RLS_THREADS=n` shards fault simulation, `RLS_CAMPAIGN_DIR=dir`
+//! persists JSONL campaign records, and `--resume <file>` (or `RLS_RESUME`)
+//! restarts an interrupted campaign from its last checkpoint.
 
 use rls_core::experiment::detectable_target;
 use rls_core::report::{kilo, TextTable};

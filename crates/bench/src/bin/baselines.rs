@@ -4,6 +4,10 @@
 //! methods used.
 //!
 //! Usage: `baselines [circuit...]` (default: s208 s420 b09).
+//!
+//! Execution: `RLS_THREADS=n` shards fault simulation, `RLS_CAMPAIGN_DIR=dir`
+//! persists JSONL campaign records, and `--resume <file>` (or `RLS_RESUME`)
+//! restarts an interrupted campaign from its last checkpoint.
 
 use rls_core::baseline::{classic_scan_bist, two_length_bist, weighted_random_bist};
 use rls_core::report::{kilo, TextTable};

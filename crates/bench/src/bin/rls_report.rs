@@ -1,0 +1,287 @@
+//! `rls-report` — compares two campaign JSONL records.
+//!
+//! ```text
+//! rls-report <baseline.jsonl> <candidate.jsonl>
+//! ```
+//!
+//! Prints a side-by-side table of the headline metrics (fault coverage,
+//! accepted pairs, cycle and wall-clock cost, worker counters) and the
+//! coverage curve divergence point. Exit codes make it usable as a CI
+//! gate:
+//!
+//! * `0` — candidate coverage is at least the baseline's
+//! * `1` — coverage regression (fewer faults detected, or a complete
+//!   campaign turned incomplete)
+//! * `2` — a file could not be read or is not a campaign record
+//!
+//! Campaign files are written by the table binaries under
+//! `RLS_CAMPAIGN_DIR` (see the `rls-dispatch` crate).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use rls_core::report::TextTable;
+use rls_dispatch::CampaignLog;
+
+/// Headline metrics extracted from one campaign record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CampaignStats {
+    circuit: String,
+    threads: u64,
+    ts0_detected: u64,
+    detected: u64,
+    target_faults: u64,
+    pairs: u64,
+    total_cycles: u64,
+    complete: bool,
+    iterations: u64,
+    wall_nanos: u64,
+    trials: u64,
+    kept: u64,
+    respawns: u64,
+    steals: u64,
+    faults_dropped: u64,
+    /// Cumulative detected count after each *kept* trial (the coverage
+    /// curve of Procedure 2, excluding TS0).
+    curve: Vec<u64>,
+}
+
+fn stats_from(log: &CampaignLog) -> Result<CampaignStats, String> {
+    let header = log.header().ok_or("no `campaign` header record")?;
+    let summary = log.summary().ok_or("no `summary` record (campaign unfinished?)")?;
+    let ts0_detected = log
+        .of_type("initial")
+        .last()
+        .and_then(|r| r.u64_field("ts0_detected"))
+        .unwrap_or(0);
+    let mut trials = 0;
+    let mut kept = 0;
+    let mut curve = Vec::new();
+    let mut cumulative = ts0_detected;
+    for t in log.of_type("trial") {
+        trials += 1;
+        if t.bool_field("kept") == Some(true) {
+            kept += 1;
+            cumulative += t.u64_field("newly_detected").unwrap_or(0);
+            curve.push(cumulative);
+        }
+    }
+    let mut respawns = 0;
+    let mut steals = 0;
+    let mut faults_dropped = 0;
+    for w in log.of_type("workers") {
+        if let Some(items) = w.get("workers").and_then(|v| v.as_array()) {
+            for worker in items {
+                respawns += worker.u64_field("respawns").unwrap_or(0);
+                steals += worker.u64_field("steals").unwrap_or(0);
+                faults_dropped += worker.u64_field("faults_dropped").unwrap_or(0);
+            }
+        }
+    }
+    Ok(CampaignStats {
+        circuit: header.str_field("circuit").unwrap_or("?").to_string(),
+        threads: header.u64_field("threads").unwrap_or(1),
+        ts0_detected,
+        detected: summary.u64_field("detected").unwrap_or(0),
+        target_faults: summary.u64_field("target_faults").unwrap_or(0),
+        pairs: summary.u64_field("pairs").unwrap_or(0),
+        total_cycles: summary.u64_field("total_cycles").unwrap_or(0),
+        complete: summary.bool_field("complete").unwrap_or(false),
+        iterations: summary.u64_field("iterations").unwrap_or(0),
+        wall_nanos: summary.u64_field("wall_nanos").unwrap_or(0),
+        trials,
+        kept,
+        respawns,
+        steals,
+        faults_dropped,
+        curve,
+    })
+}
+
+/// `true` when the candidate loses coverage relative to the baseline.
+fn regressed(base: &CampaignStats, cand: &CampaignStats) -> bool {
+    cand.detected < base.detected || (base.complete && !cand.complete)
+}
+
+/// First kept-trial index where the coverage curves differ, if any.
+fn curve_divergence(base: &CampaignStats, cand: &CampaignStats) -> Option<usize> {
+    let shared = base.curve.len().min(cand.curve.len());
+    (0..shared)
+        .find(|&i| base.curve[i] != cand.curve[i])
+        .or((base.curve.len() != cand.curve.len()).then_some(shared))
+}
+
+fn millis(nanos: u64) -> String {
+    format!("{:.1}ms", nanos as f64 / 1e6)
+}
+
+fn render(base: &CampaignStats, cand: &CampaignStats) -> String {
+    let mut t = TextTable::new(vec!["metric", "baseline", "candidate"]);
+    let mut row = |m: &str, a: String, b: String| t.row(vec![m.to_string(), a, b]);
+    row("circuit", base.circuit.clone(), cand.circuit.clone());
+    row("threads", base.threads.to_string(), cand.threads.to_string());
+    let cov = |s: &CampaignStats| format!("{}/{}", s.detected, s.target_faults);
+    row("detected/target", cov(base), cov(cand));
+    row("ts0 detected", base.ts0_detected.to_string(), cand.ts0_detected.to_string());
+    let comp = |s: &CampaignStats| if s.complete { "yes" } else { "NO" }.to_string();
+    row("complete", comp(base), comp(cand));
+    row("pairs kept", base.pairs.to_string(), cand.pairs.to_string());
+    row("trials", base.trials.to_string(), cand.trials.to_string());
+    row("iterations", base.iterations.to_string(), cand.iterations.to_string());
+    row("total cycles", base.total_cycles.to_string(), cand.total_cycles.to_string());
+    row("wall time", millis(base.wall_nanos), millis(cand.wall_nanos));
+    row("worker steals", base.steals.to_string(), cand.steals.to_string());
+    row("worker respawns", base.respawns.to_string(), cand.respawns.to_string());
+    row("faults dropped", base.faults_dropped.to_string(), cand.faults_dropped.to_string());
+    let mut out = t.render();
+    match curve_divergence(base, cand) {
+        None => out.push_str("\ncoverage curves: identical\n"),
+        Some(i) => out.push_str(&format!(
+            "\ncoverage curves: diverge at kept trial {} (baseline {:?}, candidate {:?})\n",
+            i + 1,
+            base.curve.get(i),
+            cand.curve.get(i),
+        )),
+    }
+    out
+}
+
+fn load(path: &Path) -> Result<CampaignStats, String> {
+    let log = CampaignLog::read(path).map_err(|e| e.to_string())?;
+    stats_from(&log).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [base_path, cand_path] = args.as_slice() else {
+        eprintln!("usage: rls-report <baseline.jsonl> <candidate.jsonl>");
+        return ExitCode::from(2);
+    };
+    let (base, cand) = match (load(Path::new(base_path)), load(Path::new(cand_path))) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("rls-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", render(&base, &cand));
+    if regressed(&base, &cand) {
+        eprintln!(
+            "rls-report: COVERAGE REGRESSION: {} -> {} detected (complete: {} -> {})",
+            base.detected, cand.detected, base.complete, cand.complete
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn write_log(tag: &str, lines: &[&str]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rls-report-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.jsonl"));
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        path
+    }
+
+    fn sample(detected: u64, complete: bool, kept_newly: &[u64]) -> Vec<String> {
+        let mut lines = vec![
+            r#"{"type":"campaign","circuit":"s27","threads":4}"#.to_string(),
+            r#"{"type":"initial","ts0_tests":16,"ts0_detected":28,"ts0_wall_nanos":10}"#.into(),
+        ];
+        for (i, n) in kept_newly.iter().enumerate() {
+            lines.push(format!(
+                r#"{{"type":"trial","i":{i},"d1":4,"tests":32,"newly_detected":{n},"kept":true,"live_after":0,"wall_nanos":5}}"#
+            ));
+        }
+        lines.push(format!(
+            r#"{{"type":"summary","detected":{detected},"target_faults":32,"pairs":{},"total_cycles":900,"complete":{complete},"iterations":3,"wall_nanos":123456789}}"#,
+            kept_newly.len(),
+        ));
+        lines
+    }
+
+    #[test]
+    fn stats_extract_curve_and_totals() {
+        let lines = sample(32, true, &[3, 1]);
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let path = write_log("extract", &refs);
+        let stats = load(&path).unwrap();
+        assert_eq!(stats.circuit, "s27");
+        assert_eq!(stats.detected, 32);
+        assert_eq!(stats.curve, vec![31, 32]);
+        assert_eq!(stats.kept, 2);
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn regression_is_fewer_detected_or_lost_completeness() {
+        let mk = |detected, complete| {
+            let lines = sample(detected, complete, &[2]);
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            load(&write_log(&format!("reg-{detected}-{complete}"), &refs)).unwrap()
+        };
+        let base = mk(32, true);
+        assert!(!regressed(&base, &mk(32, true)));
+        assert!(regressed(&base, &mk(31, true)));
+        assert!(regressed(&base, &mk(32, false)));
+        // An incomplete baseline does not gate completeness.
+        assert!(!regressed(&mk(30, false), &mk(30, false)));
+    }
+
+    #[test]
+    fn divergence_points_at_first_difference() {
+        let a = CampaignStats {
+            curve: vec![10, 20, 30],
+            ..blank()
+        };
+        let same = CampaignStats {
+            curve: vec![10, 20, 30],
+            ..blank()
+        };
+        let mid = CampaignStats {
+            curve: vec![10, 21, 30],
+            ..blank()
+        };
+        let short = CampaignStats {
+            curve: vec![10, 20],
+            ..blank()
+        };
+        assert_eq!(curve_divergence(&a, &same), None);
+        assert_eq!(curve_divergence(&a, &mid), Some(1));
+        assert_eq!(curve_divergence(&a, &short), Some(2));
+    }
+
+    #[test]
+    fn unreadable_and_summaryless_files_are_errors() {
+        assert!(load(Path::new("/nonexistent/x.jsonl")).is_err());
+        let path = write_log("nosummary", &[r#"{"type":"campaign","circuit":"s27","threads":1}"#]);
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("summary"), "{err}");
+    }
+
+    fn blank() -> CampaignStats {
+        CampaignStats {
+            circuit: "s27".into(),
+            threads: 1,
+            ts0_detected: 0,
+            detected: 0,
+            target_faults: 0,
+            pairs: 0,
+            total_cycles: 0,
+            complete: false,
+            iterations: 0,
+            wall_nanos: 0,
+            trials: 0,
+            kept: 0,
+            respawns: 0,
+            steals: 0,
+            faults_dropped: 0,
+            curve: Vec::new(),
+        }
+    }
+}

@@ -7,6 +7,10 @@
 //! random streams, so their *pattern* — growth with the parameters, the
 //! occasional inversion where a larger `TS0` needs fewer pairs — is the
 //! reproduction target.
+//!
+//! Execution: `RLS_THREADS=n` shards fault simulation, `RLS_CAMPAIGN_DIR=dir`
+//! persists JSONL campaign records, and `--resume <file>` (or `RLS_RESUME`)
+//! restarts an interrupted campaign from its last checkpoint.
 
 use rls_bench::{circuit, exec_profile, target_for};
 use rls_core::experiment::cycles_grid;

@@ -1,9 +1,16 @@
 //! Reproduces the paper's Table 4: the `N_cyc` / `N_cyc0` grids of Table 3
 //! for s420 (see `table3.rs`; this binary simply defaults the circuit).
+//!
+//! Execution: `RLS_THREADS=n` shards fault simulation, `RLS_CAMPAIGN_DIR=dir`
+//! persists JSONL campaign records, and `--resume <file>` (or `RLS_RESUME`)
+//! restarts an interrupted campaign from its last checkpoint.
 
 fn main() {
     // Delegate: table3's logic with a different default circuit.
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s420".into());
+    let name = rls_bench::circuits_from_args(&["s420"])
+        .into_iter()
+        .next()
+        .expect("circuits_from_args falls back to the default list");
     let c = rls_bench::circuit(&name);
     let info = rls_bench::target_for(&c, &name);
     let rows = rls_core::experiment::cycles_grid(&c, &name, &info.target, &rls_bench::exec_profile());

@@ -12,6 +12,10 @@
 //!
 //! Usage: `table6 [circuit...]` (default: the paper's 22 circuits; the
 //! largest stand-ins take a while — pass names to restrict).
+//!
+//! Execution: `RLS_THREADS=n` shards fault simulation, `RLS_CAMPAIGN_DIR=dir`
+//! persists JSONL campaign records, and `--resume <file>` (or `RLS_RESUME`)
+//! restarts an interrupted campaign from its last checkpoint.
 
 use rls_bench::{exec_profile, render_results, table6_row};
 use rls_core::D1Order;

@@ -6,6 +6,10 @@
 //! pair count (`app`) tends to rise, with the same final coverage.
 //!
 //! Usage: `table7 [circuit...]`.
+//!
+//! Execution: `RLS_THREADS=n` shards fault simulation, `RLS_CAMPAIGN_DIR=dir`
+//! persists JSONL campaign records, and `--resume <file>` (or `RLS_RESUME`)
+//! restarts an interrupted campaign from its last checkpoint.
 
 use rls_bench::{combo_row, exec_profile, render_results, table6_row};
 use rls_core::D1Order;

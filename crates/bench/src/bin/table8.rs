@@ -6,6 +6,10 @@
 //! s5378, b09) and its per-circuit combination lists are used by default.
 //!
 //! Usage: `table8 [circuit...]`.
+//!
+//! Execution: `RLS_THREADS=n` shards fault simulation, `RLS_CAMPAIGN_DIR=dir`
+//! persists JSONL campaign records, and `--resume <file>` (or `RLS_RESUME`)
+//! restarts an interrupted campaign from its last checkpoint.
 
 use rls_bench::{combo_row, render_results};
 use rls_core::D1Order;

@@ -23,11 +23,38 @@ use rls_netlist::Circuit;
 
 /// Execution profile for the table binaries, from the environment:
 /// `RLS_THREADS=n` shards fault simulation across an `rls-dispatch`
-/// worker pool (results are bit-identical to `RLS_THREADS=1`), and
+/// worker pool (results are bit-identical to `RLS_THREADS=1`),
 /// `RLS_CAMPAIGN_DIR=dir` persists JSONL campaign records (typically
-/// `results/`). Logs the profile when it differs from the default.
+/// `results/`), and `RLS_RESUME=file` (or the `--resume <file>` flag,
+/// which takes precedence) restarts an interrupted campaign from its
+/// last checkpoint. Logs the profile when it differs from the default.
+///
+/// Misconfiguration — an unparsable variable or an unreadable /
+/// checkpoint-free resume file — terminates the process with exit
+/// code 2 and an actionable message, before any simulation starts.
 pub fn exec_profile() -> ExecProfile {
-    let exec = ExecProfile::from_env();
+    let mut exec = ExecProfile::from_env().unwrap_or_else(|e| {
+        eprintln!("[exec] {e}");
+        std::process::exit(2);
+    });
+    if let Some(path) = resume_from_args(&mut std::env::args().skip(1)) {
+        exec.resume = Some(std::path::PathBuf::from(path));
+    }
+    if let Some(path) = &exec.resume {
+        match rls_core::load_checkpoint(path) {
+            Ok(state) => eprintln!(
+                "[exec] resume armed: {} at iteration {} ({} live faults) from {}",
+                state.circuit,
+                state.iteration,
+                state.live.len(),
+                path.display(),
+            ),
+            Err(e) => {
+                eprintln!("[exec] cannot resume from {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
     if exec.threads > 1 || exec.campaign_dir.is_some() {
         eprintln!(
             "[exec] threads={} campaign_dir={}",
@@ -39,6 +66,26 @@ pub fn exec_profile() -> ExecProfile {
         );
     }
     exec
+}
+
+/// Extracts `--resume <path>` / `--resume=<path>` from an argument
+/// stream. The last occurrence wins, matching the usual CLI convention.
+fn resume_from_args(args: &mut dyn Iterator<Item = String>) -> Option<String> {
+    let mut resume = None;
+    while let Some(arg) = args.next() {
+        if arg == "--resume" {
+            match args.next() {
+                Some(path) => resume = Some(path),
+                None => {
+                    eprintln!("[exec] --resume requires a campaign JSONL path");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--resume=") {
+            resume = Some(path.to_string());
+        }
+    }
+    resume
 }
 
 /// Default PODEM backtrack limit for computing detectable targets.
@@ -77,13 +124,22 @@ pub fn target_for(c: &Circuit, name: &str) -> TargetInfo {
     info
 }
 
-/// Circuit names from argv, or the given default list.
+/// Circuit names from argv, or the given default list. The `--resume`
+/// flag (and its value) belongs to [`exec_profile`] and is skipped here.
 pub fn circuits_from_args(default: &[&str]) -> Vec<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let mut args = std::env::args().skip(1);
+    let mut names = Vec::new();
+    while let Some(arg) = args.next() {
+        if arg == "--resume" {
+            args.next();
+        } else if !arg.starts_with("--resume=") {
+            names.push(arg);
+        }
+    }
+    if names.is_empty() {
         default.iter().map(|s| s.to_string()).collect()
     } else {
-        args
+        names
     }
 }
 
@@ -167,6 +223,18 @@ mod tests {
     #[should_panic(expected = "unknown circuit")]
     fn circuit_panics_on_unknown() {
         circuit("nope");
+    }
+
+    #[test]
+    fn resume_flag_is_parsed_in_both_spellings() {
+        let mut args = ["s27".to_string(), "--resume".into(), "a.jsonl".into()].into_iter();
+        assert_eq!(resume_from_args(&mut args).as_deref(), Some("a.jsonl"));
+        let mut args = ["--resume=b.jsonl".to_string(), "s208".into()].into_iter();
+        assert_eq!(resume_from_args(&mut args).as_deref(), Some("b.jsonl"));
+        let mut args = ["--resume=a.jsonl".to_string(), "--resume=b.jsonl".into()].into_iter();
+        assert_eq!(resume_from_args(&mut args).as_deref(), Some("b.jsonl"));
+        let mut args = ["s27".to_string()].into_iter();
+        assert_eq!(resume_from_args(&mut args), None);
     }
 
     #[test]

@@ -1,9 +1,53 @@
 //! Configuration of the random limited-scan generator.
 
+use std::error::Error;
+use std::fmt;
 use std::path::PathBuf;
 
 use rls_fsim::{FaultId, SimOptions};
 use rls_lfsr::SeedSequence;
+
+/// A configuration that cannot be used, with an actionable message.
+///
+/// Mirrors `rls_netlist::NetlistError`: lowercase messages, no trailing
+/// period, `std::error::Error` so drivers can render it for operators
+/// instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structural parameter is out of range.
+    InvalidParam {
+        /// Which parameter (e.g. "L_A").
+        param: &'static str,
+        /// What the constraint is.
+        message: &'static str,
+    },
+    /// An environment variable holds an unusable value.
+    InvalidEnv {
+        /// The variable name (e.g. "RLS_THREADS").
+        var: &'static str,
+        /// The offending value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidParam { param, message } => {
+                write!(f, "invalid parameter {param}: {message}")
+            }
+            ConfigError::InvalidEnv {
+                var,
+                value,
+                expected,
+            } => write!(f, "invalid {var}=`{value}`: expected {expected}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// The order in which Procedure 2 tries `D1` values within an iteration.
 ///
@@ -108,12 +152,35 @@ impl RlsConfig {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < la <= lb` and `n > 0`.
+    /// Panics unless `0 < la <= lb` and `n > 0`; see
+    /// [`RlsConfig::try_new`] for the non-panicking variant.
     pub fn new(la: usize, lb: usize, n: usize) -> Self {
-        assert!(la > 0, "L_A must be positive");
-        assert!(la <= lb, "the paper requires L_A <= L_B");
-        assert!(n > 0, "N must be positive");
-        RlsConfig {
+        Self::try_new(la, lb, n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`RlsConfig::new`], for drivers that take the
+    /// combination from user input and want an actionable error instead
+    /// of a panic.
+    pub fn try_new(la: usize, lb: usize, n: usize) -> Result<Self, ConfigError> {
+        if la == 0 {
+            return Err(ConfigError::InvalidParam {
+                param: "L_A",
+                message: "L_A must be positive",
+            });
+        }
+        if la > lb {
+            return Err(ConfigError::InvalidParam {
+                param: "L_B",
+                message: "the paper requires L_A <= L_B",
+            });
+        }
+        if n == 0 {
+            return Err(ConfigError::InvalidParam {
+                param: "N",
+                message: "N must be positive",
+            });
+        }
+        Ok(RlsConfig {
             la,
             lb,
             n,
@@ -129,7 +196,7 @@ impl RlsConfig {
             observe: SimOptions::default(),
             threads: 1,
             campaign_dir: None,
-        }
+        })
     }
 
     /// The `D2` constant for a circuit with `n_sv` state variables: the
@@ -212,6 +279,23 @@ mod tests {
         assert_eq!(cfg.with_threads(0).threads, 1, "zero coerces to one");
         let cfg = RlsConfig::new(8, 16, 64).with_campaign_dir("results");
         assert_eq!(cfg.campaign_dir.as_deref(), Some(std::path::Path::new("results")));
+    }
+
+    #[test]
+    fn try_new_reports_each_constraint() {
+        assert!(RlsConfig::try_new(4, 8, 8).is_ok());
+        let e = RlsConfig::try_new(0, 8, 8).unwrap_err();
+        assert!(e.to_string().contains("L_A must be positive"), "{e}");
+        let e = RlsConfig::try_new(32, 16, 8).unwrap_err();
+        assert!(e.to_string().contains("L_A <= L_B"), "{e}");
+        let e = RlsConfig::try_new(4, 8, 0).unwrap_err();
+        assert!(e.to_string().contains("N must be positive"), "{e}");
+    }
+
+    #[test]
+    fn config_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
     }
 
     #[test]

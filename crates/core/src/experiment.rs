@@ -5,36 +5,76 @@ use std::path::PathBuf;
 use rls_atpg::DetectableSet;
 use rls_netlist::Circuit;
 
-use crate::config::{CoverageTarget, D1Order, RlsConfig};
+use crate::config::{ConfigError, CoverageTarget, D1Order, RlsConfig};
 use crate::params::{rank_combinations, Combo};
 use crate::procedure2::{Procedure2, Procedure2Outcome};
+use crate::resume::load_checkpoint;
 
 /// Execution settings shared by every experiment driver: how many worker
-/// threads to simulate with, and whether to persist JSONL campaign
-/// records.
+/// threads to simulate with, whether to persist JSONL campaign records,
+/// and an optional checkpoint to resume from.
 ///
-/// The default (one thread, no records) is the sequential oracle path;
-/// any thread count produces bit-identical table rows.
+/// The default (one thread, no records, no resume) is the sequential
+/// oracle path; any thread count produces bit-identical table rows.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecProfile {
     /// Worker threads (`0`/`1` = sequential).
     pub threads: usize,
     /// Directory for JSONL campaign records (e.g. `results/`).
     pub campaign_dir: Option<PathBuf>,
+    /// A campaign JSONL file holding a checkpoint to resume from. The
+    /// checkpoint only applies to the matching circuit/configuration;
+    /// non-matching runs proceed fresh (with a note on stderr).
+    pub resume: Option<PathBuf>,
 }
 
 impl ExecProfile {
-    /// Reads the settings from the environment: `RLS_THREADS` (a number)
-    /// and `RLS_CAMPAIGN_DIR` (a directory path). Unset or unparsable
-    /// variables fall back to the sequential default.
-    pub fn from_env() -> Self {
-        ExecProfile {
-            threads: std::env::var("RLS_THREADS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1),
-            campaign_dir: std::env::var("RLS_CAMPAIGN_DIR").ok().map(PathBuf::from),
-        }
+    /// Reads the settings from the environment: `RLS_THREADS` (a thread
+    /// count; `0` coerces to `1`), `RLS_CAMPAIGN_DIR` (a directory path),
+    /// and `RLS_RESUME` (a campaign JSONL file with a checkpoint). Unset
+    /// variables fall back to the sequential default; set-but-unusable
+    /// values are an error with an actionable message, not a silent
+    /// fallback.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        let threads = match env_value("RLS_THREADS")? {
+            None => 1,
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map(|t| t.max(1))
+                .map_err(|_| ConfigError::InvalidEnv {
+                    var: "RLS_THREADS",
+                    value: v,
+                    expected: "a thread count such as `4`",
+                })?,
+        };
+        let campaign_dir = match env_value("RLS_CAMPAIGN_DIR")? {
+            None => None,
+            Some(v) if v.trim().is_empty() => {
+                return Err(ConfigError::InvalidEnv {
+                    var: "RLS_CAMPAIGN_DIR",
+                    value: v,
+                    expected: "a directory path such as `results`",
+                })
+            }
+            Some(v) => Some(PathBuf::from(v)),
+        };
+        let resume = match env_value("RLS_RESUME")? {
+            None => None,
+            Some(v) if v.trim().is_empty() => {
+                return Err(ConfigError::InvalidEnv {
+                    var: "RLS_RESUME",
+                    value: v,
+                    expected: "a campaign record path such as `results/campaign-s27-4t-17.jsonl`",
+                })
+            }
+            Some(v) => Some(PathBuf::from(v)),
+        };
+        Ok(ExecProfile {
+            threads,
+            campaign_dir,
+            resume,
+        })
     }
 
     /// Applies the profile to a configuration.
@@ -42,6 +82,20 @@ impl ExecProfile {
         cfg.threads = self.threads.max(1);
         cfg.campaign_dir = self.campaign_dir.clone();
         cfg
+    }
+}
+
+/// Reads one environment variable, mapping a non-unicode value to a
+/// [`ConfigError`] instead of pretending it is unset.
+fn env_value(var: &'static str) -> Result<Option<String>, ConfigError> {
+    match std::env::var(var) {
+        Ok(v) => Ok(Some(v)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(ConfigError::InvalidEnv {
+            var,
+            value: raw.to_string_lossy().into_owned(),
+            expected: "a unicode value",
+        }),
     }
 }
 
@@ -134,7 +188,22 @@ pub fn run_combo(
     // near-miss combination cannot trickle-feed forever (the ladder will
     // reach a richer combination instead).
     cfg.max_iterations = 40;
-    let out = Procedure2::new(circuit, cfg.clone()).run();
+    let proc = Procedure2::new(circuit, cfg.clone());
+    let out = match exec.resume.as_deref() {
+        Some(path) => match load_checkpoint(path).and_then(|state| proc.resume(state)) {
+            Ok(out) => out,
+            Err(e) => {
+                // Grid drivers try many circuits/combos against one
+                // checkpoint; only the matching one resumes.
+                eprintln!(
+                    "[experiment] not resuming {name} ({la},{lb},{n}) from {}: {e}",
+                    path.display()
+                );
+                proc.run()
+            }
+        },
+        None => proc.run(),
+    };
     CircuitResult::from_outcome(name, &cfg, &out)
 }
 

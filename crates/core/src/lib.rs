@@ -46,9 +46,10 @@ pub mod params;
 pub mod procedure1;
 pub mod procedure2;
 pub mod report;
+pub mod resume;
 pub mod ts0;
 
-pub use config::{CoverageTarget, D1Order, FillMode, RlsConfig, SeedMode};
+pub use config::{ConfigError, CoverageTarget, D1Order, FillMode, RlsConfig, SeedMode};
 pub use cycles::ncyc0;
 pub use experiment::{CircuitResult, ComboOutcome, ExecProfile};
 pub use extension::{run_multichain, run_partial, MultiChainOutcome, PartialOutcome};
@@ -56,4 +57,5 @@ pub use metrics::LsAverage;
 pub use params::{rank_combinations, Combo, PAPER_LA_GRID, PAPER_LB_GRID, PAPER_N_GRID};
 pub use procedure1::derive_test_set;
 pub use procedure2::{Procedure2, Procedure2Outcome, SelectedPair};
+pub use resume::{fingerprint, load_checkpoint, ResumeError, ResumeState};
 pub use ts0::generate_ts0;

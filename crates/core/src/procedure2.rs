@@ -29,6 +29,7 @@ use crate::config::{CoverageTarget, RlsConfig};
 use crate::cycles::{ncyc0, nsh};
 use crate::metrics::LsAverage;
 use crate::procedure1::derive_test_set;
+use crate::resume::{fingerprint, ResumeError, ResumeState};
 use crate::ts0::generate_ts0;
 
 /// One selected `(I, D1)` pair and its bookkeeping.
@@ -108,21 +109,42 @@ impl<'c> Procedure2<'c> {
     /// `cfg.threads` selects the execution path: `1` is the sequential
     /// oracle, `> 1` shards every test-set simulation across an
     /// `rls-dispatch` worker pool. Both produce bit-identical outcomes.
-    /// With `cfg.campaign_dir` set, a JSONL campaign record is written
-    /// there (failures to write are reported on stderr, never fatal).
+    /// With `cfg.campaign_dir` set, a JSONL campaign record (including
+    /// resume checkpoints) streams crash-safely into that directory
+    /// (failures to persist are reported on stderr, never fatal).
     pub fn run(&self) -> Procedure2Outcome {
+        self.run_from(None)
+    }
+
+    /// Resumes the procedure from a checkpoint (see [`crate::resume`]).
+    ///
+    /// Validates that the checkpoint belongs to this circuit and that the
+    /// trajectory-relevant configuration matches (fingerprint); the
+    /// resumed run then provably converges to the same final test set as
+    /// an uninterrupted run. If the checkpoint's `source` is set, new
+    /// records append to that same campaign file.
+    pub fn resume(&self, state: ResumeState) -> Result<Procedure2Outcome, ResumeError> {
+        if state.circuit != self.circuit.name() {
+            return Err(ResumeError::CircuitMismatch {
+                expected: self.circuit.name().to_string(),
+                found: state.circuit,
+            });
+        }
+        if state.fingerprint != fingerprint(self.circuit.name(), &self.cfg) {
+            return Err(ResumeError::ConfigMismatch);
+        }
+        Ok(self.run_from(Some(state)))
+    }
+
+    fn run_from(&self, resume: Option<ResumeState>) -> Procedure2Outcome {
         let threads = self.cfg.threads.max(1);
-        let mut campaign = self
-            .cfg
-            .campaign_dir
-            .as_ref()
-            .map(|_| Campaign::new(self.circuit.name(), threads));
+        let mut campaign = self.make_campaign(threads, resume.as_ref());
         let outcome = if threads == 1 {
-            self.run_sequential(campaign.as_mut())
+            self.run_sequential(campaign.as_mut(), resume)
         } else {
-            self.run_parallel(threads, campaign.as_mut())
+            self.run_parallel(threads, campaign.as_mut(), resume)
         };
-        if let (Some(mut campaign), Some(dir)) = (campaign, self.cfg.campaign_dir.as_ref()) {
+        if let Some(campaign) = campaign.as_mut() {
             campaign.record_summary(CampaignSummary {
                 detected: outcome.total_detected,
                 target_faults: outcome.target_faults,
@@ -131,24 +153,56 @@ impl<'c> Procedure2<'c> {
                 complete: outcome.complete,
                 iterations: outcome.iterations,
             });
-            match campaign.write_jsonl(dir) {
-                Ok(path) => eprintln!("[procedure2] campaign record: {}", path.display()),
-                Err(e) => eprintln!("[procedure2] cannot write campaign record: {e}"),
+            if let Some(path) = campaign.path() {
+                eprintln!("[procedure2] campaign record: {}", path.display());
             }
         }
         outcome
     }
 
-    fn run_sequential(&self, campaign: Option<&mut Campaign>) -> Procedure2Outcome {
+    /// Builds the campaign sink: append to the resume source if there is
+    /// one, else create a fresh file under `campaign_dir`, else record in
+    /// memory only. Persistence trouble degrades to in-memory recording.
+    fn make_campaign(&self, threads: usize, resume: Option<&ResumeState>) -> Option<Campaign> {
+        let name = self.circuit.name();
+        if let Some(source) = resume.and_then(|s| s.source.as_deref()) {
+            return Some(match Campaign::append_to(source, name, threads) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("[procedure2] cannot append to campaign file: {e}");
+                    Campaign::new(name, threads)
+                }
+            });
+        }
+        let dir = self.cfg.campaign_dir.as_ref()?;
+        Some(match Campaign::create(dir, name, threads) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[procedure2] cannot create campaign file: {e}");
+                Campaign::new(name, threads)
+            }
+        })
+    }
+
+    fn run_sequential(
+        &self,
+        campaign: Option<&mut Campaign>,
+        resume: Option<ResumeState>,
+    ) -> Procedure2Outcome {
         let mut sim = FaultSimulator::new(self.circuit);
         sim.set_options(self.cfg.observe);
         if let CoverageTarget::Faults(targets) = &self.cfg.target {
             sim.set_targets(targets);
         }
-        self.drive(&mut SequentialExecutor { sim }, campaign)
+        self.drive(&mut SequentialExecutor { sim }, campaign, resume)
     }
 
-    fn run_parallel(&self, threads: usize, campaign: Option<&mut Campaign>) -> Procedure2Outcome {
+    fn run_parallel(
+        &self,
+        threads: usize,
+        campaign: Option<&mut Campaign>,
+        resume: Option<ResumeState>,
+    ) -> Procedure2Outcome {
         let ctx = SimContext::new(self.circuit, self.cfg.observe);
         WorkerPool::new(threads).scope(|dispatcher| {
             let mut runner = SetRunner::new(&ctx, dispatcher);
@@ -156,7 +210,11 @@ impl<'c> Procedure2<'c> {
                 runner.set_targets(targets);
             }
             let mut campaign = campaign;
-            let outcome = self.drive(&mut PoolExecutor { runner }, campaign.as_deref_mut());
+            let mut exec = PoolExecutor {
+                runner,
+                fallback: None,
+            };
+            let outcome = self.drive(&mut exec, campaign.as_deref_mut(), resume);
             if let Some(c) = campaign {
                 c.record_workers(dispatcher.snapshot());
             }
@@ -165,48 +223,128 @@ impl<'c> Procedure2<'c> {
     }
 
     /// The greedy selection loop, generic over how a set is simulated.
+    ///
+    /// With `resume`, the `TS0` phase is skipped (its effect is restored
+    /// by restricting the executor to the checkpointed live list) and the
+    /// loop re-enters mid-iteration at the checkpointed `D1` position;
+    /// every later trial derives its test set from `(seeds, I, D1)`
+    /// exactly as the uninterrupted run would, so the outcomes coincide.
     fn drive<E: TrialExecutor>(
         &self,
         exec: &mut E,
         mut campaign: Option<&mut Campaign>,
+        resume: Option<ResumeState>,
     ) -> Procedure2Outcome {
-        let target_faults = exec.live_count();
         let n_sv = self.circuit.num_dffs();
         let d2 = self.cfg.d2(n_sv);
         let base_cycles = ncyc0(n_sv, self.cfg.la, self.cfg.lb, self.cfg.n);
+        let print = fingerprint(self.circuit.name(), &self.cfg);
 
-        // Step 2: TS0.
+        // Step 2: TS0 (regenerated even on resume — later trials derive
+        // their sets from it).
         let ts0 = generate_ts0(self.circuit, &self.cfg);
         let vector_units: u64 = ts0.iter().map(|t| t.len() as u64).sum();
-        let ts0_start = Instant::now();
-        let initial_detected = exec.apply_set(&ts0);
-        if let Some(c) = campaign.as_deref_mut() {
-            c.record_initial(
-                ts0.len(),
-                initial_detected,
-                ts0_start.elapsed().as_nanos() as u64,
-            );
+
+        let target_faults;
+        let initial_detected;
+        let mut pairs: Vec<SelectedPair>;
+        let mut total_cycles;
+        let mut iterations;
+        let mut n_same_fc;
+        // Mid-iteration entry point: `(iteration, d1_pos, improved)`.
+        let mut entry: Option<(u64, usize, bool)> = None;
+        if let Some(state) = resume {
+            target_faults = state.target_faults;
+            initial_detected = state.initial_detected;
+            exec.restrict(&state.live);
+            pairs = state.pairs;
+            total_cycles = state.total_cycles;
+            n_same_fc = state.n_same_fc;
+            iterations = state.iteration;
+            if state.in_iteration {
+                entry = Some((state.iteration, state.d1_pos, state.improved));
+            }
+        } else {
+            target_faults = exec.live_count();
+            let ts0_start = Instant::now();
+            initial_detected = exec.apply_set(&ts0);
+            if let Some(c) = campaign.as_deref_mut() {
+                c.record_initial(
+                    ts0.len(),
+                    initial_detected,
+                    ts0_start.elapsed().as_nanos() as u64,
+                );
+            }
+            pairs = Vec::new();
+            total_cycles = base_cycles;
+            iterations = 0;
+            n_same_fc = 0;
+            // First checkpoint: the post-TS0 state.
+            if let Some(c) = campaign.as_deref_mut() {
+                if c.has_sink() {
+                    let state = ResumeState {
+                        circuit: self.circuit.name().to_string(),
+                        fingerprint: print,
+                        iteration: 0,
+                        d1_pos: 0,
+                        in_iteration: false,
+                        improved: false,
+                        n_same_fc: 0,
+                        total_cycles,
+                        initial_detected,
+                        initial_cycles: base_cycles,
+                        target_faults,
+                        live: exec.undetected(),
+                        pairs: Vec::new(),
+                        source: None,
+                    };
+                    c.record_raw(&state.render());
+                }
+            }
         }
 
-        let mut pairs: Vec<SelectedPair> = Vec::new();
-        let mut total_cycles = base_cycles;
-        let mut iterations = 0u64;
-        let mut n_same_fc = 0u32;
-        // Steps 3–6.
-        'outer: while exec.live_count() > 0
-            && n_same_fc < self.cfg.n_same_fc
-            && iterations < u64::from(self.cfg.max_iterations)
-        {
-            iterations += 1;
-            let i = iterations;
-            let mut improved = false;
-            for d1 in self.cfg.d1_order.values(self.cfg.d1_max) {
+        let d1_values = self.cfg.d1_order.values(self.cfg.d1_max);
+        let mut degrade_logged = false;
+        // Steps 3–6. A mid-iteration resume re-enters its iteration
+        // unconditionally (the uninterrupted run was already inside it —
+        // the entry guards were checked back then); fresh iterations
+        // check the guards exactly as the original `while` did.
+        'outer: loop {
+            let (i, start_pos, mut improved) = match entry.take() {
+                Some((i, pos, improved)) => {
+                    iterations = i;
+                    (i, pos, improved)
+                }
+                None => {
+                    if exec.live_count() == 0
+                        || n_same_fc >= self.cfg.n_same_fc
+                        || iterations >= u64::from(self.cfg.max_iterations)
+                    {
+                        break;
+                    }
+                    iterations += 1;
+                    (iterations, 0, false)
+                }
+            };
+            for (pos, &d1) in d1_values.iter().enumerate().skip(start_pos) {
                 if exec.live_count() == 0 {
                     break 'outer;
                 }
                 let derived = derive_test_set(&ts0, &self.cfg, i, d1, d2);
                 let trial_start = Instant::now();
                 let newly = exec.apply_set(&derived);
+                if exec.degraded() && !degrade_logged {
+                    degrade_logged = true;
+                    if let Some(c) = campaign.as_deref_mut() {
+                        c.record_raw(
+                            &rls_dispatch::jsonl::JsonObject::new()
+                                .str("type", "degrade")
+                                .num("i", i)
+                                .num("d1", u64::from(d1))
+                                .render(),
+                        );
+                    }
+                }
                 if let Some(c) = campaign.as_deref_mut() {
                     c.record_trial(TrialRecord {
                         i,
@@ -233,6 +371,29 @@ impl<'c> Procedure2<'c> {
                             .sum(),
                         vector_units,
                     });
+                    // Checkpoint after every accepted pair: the next
+                    // trial to run is `(i, pos + 1)`.
+                    if let Some(c) = campaign.as_deref_mut() {
+                        if c.has_sink() {
+                            let state = ResumeState {
+                                circuit: self.circuit.name().to_string(),
+                                fingerprint: print,
+                                iteration: i,
+                                d1_pos: pos + 1,
+                                in_iteration: true,
+                                improved: true,
+                                n_same_fc,
+                                total_cycles,
+                                initial_detected,
+                                initial_cycles: base_cycles,
+                                target_faults,
+                                live: exec.undetected(),
+                                pairs: pairs.clone(),
+                                source: None,
+                            };
+                            c.record_raw(&state.render());
+                        }
+                    }
                 }
             }
             if improved {
@@ -241,7 +402,11 @@ impl<'c> Procedure2<'c> {
                 n_same_fc += 1;
             }
         }
-        let total_detected = exec.detected_count();
+        // Arithmetic rather than asking the executor: provably equal for
+        // a fresh run (every detection is either initial or in a pair),
+        // and the only correct accounting after a resume, where the
+        // executor never saw the pre-checkpoint detections.
+        let total_detected = initial_detected + pairs.iter().map(|p| p.newly_detected).sum::<usize>();
         Procedure2Outcome {
             initial_detected,
             initial_cycles: base_cycles,
@@ -268,10 +433,15 @@ trait TrialExecutor {
     fn live_count(&self) -> usize;
     /// Simulates one test set, drops and counts newly detected faults.
     fn apply_set(&mut self, tests: &[ScanTest]) -> usize;
-    /// Number of faults detected so far.
-    fn detected_count(&self) -> usize;
     /// The undetected faults, in live-list order.
     fn undetected(&self) -> Vec<FaultId>;
+    /// Restricts the live list to exactly `live` (checkpoint resume).
+    fn restrict(&mut self, live: &[FaultId]);
+    /// Whether the executor has permanently fallen back to the
+    /// sequential path after unrecoverable job failures.
+    fn degraded(&self) -> bool {
+        false
+    }
 }
 
 /// The sequential oracle: one [`FaultSimulator`], tests applied in order
@@ -289,36 +459,75 @@ impl TrialExecutor for SequentialExecutor<'_> {
         self.sim.run_tests(tests)
     }
 
-    fn detected_count(&self) -> usize {
-        self.sim.detected_count()
-    }
-
     fn undetected(&self) -> Vec<FaultId> {
         self.sim.live().to_vec()
+    }
+
+    fn restrict(&mut self, live: &[FaultId]) {
+        self.sim.set_targets(live);
     }
 }
 
 /// The pool-backed executor: each set fans out across worker threads with
 /// shared-bitset fault dropping and a deterministic reduction.
+///
+/// If a set keeps failing through the pool's retry budget (a poisoned
+/// chunk), the executor *degrades*: the failed set — whose bookkeeping
+/// the runner left untouched — and every later set run on a sequential
+/// [`FaultSimulator`] seeded with the set-start live list. The sequential
+/// path is the oracle the pool is tested against, so the outcome is
+/// unchanged; only the wall clock suffers.
 struct PoolExecutor<'d, 'env> {
     runner: SetRunner<'d, 'env>,
+    fallback: Option<FaultSimulator<'env>>,
 }
 
 impl TrialExecutor for PoolExecutor<'_, '_> {
     fn live_count(&self) -> usize {
-        self.runner.live_count()
+        match &self.fallback {
+            Some(sim) => sim.live_count(),
+            None => self.runner.live_count(),
+        }
     }
 
     fn apply_set(&mut self, tests: &[ScanTest]) -> usize {
-        self.runner.run_set(tests).len()
-    }
-
-    fn detected_count(&self) -> usize {
-        self.runner.detected_count()
+        if let Some(sim) = self.fallback.as_mut() {
+            return sim.run_tests(tests);
+        }
+        match self.runner.try_run_set(tests) {
+            Ok(newly) => newly.len(),
+            Err(e) => {
+                eprintln!(
+                    "[procedure2] parallel set execution failed ({e}); \
+                     degrading campaign to the sequential simulator"
+                );
+                let ctx = self.runner.context();
+                let mut sim = FaultSimulator::new(ctx.circuit());
+                sim.set_options(ctx.options());
+                sim.set_targets(self.runner.live());
+                let newly = sim.run_tests(tests);
+                self.fallback = Some(sim);
+                newly
+            }
+        }
     }
 
     fn undetected(&self) -> Vec<FaultId> {
-        self.runner.live().to_vec()
+        match &self.fallback {
+            Some(sim) => sim.live().to_vec(),
+            None => self.runner.live().to_vec(),
+        }
+    }
+
+    fn restrict(&mut self, live: &[FaultId]) {
+        match self.fallback.as_mut() {
+            Some(sim) => sim.set_targets(live),
+            None => self.runner.set_targets(live),
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        self.fallback.is_some()
     }
 }
 
@@ -442,6 +651,59 @@ mod tests {
         let cfg = RlsConfig::new(4, 8, 8).with_target(CoverageTarget::Faults(easy));
         let out = Procedure2::new(&c, cfg).run();
         assert!(out.ls_average().is_none());
+    }
+
+    #[test]
+    fn resume_from_final_checkpoint_matches_uninterrupted() {
+        let c = rls_benchmarks::s27();
+        let dir = std::env::temp_dir().join(format!("rls-p2-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RlsConfig::new(4, 8, 8).with_campaign_dir(&dir);
+        let full = Procedure2::new(&c, cfg.clone()).run();
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .expect("campaign file written");
+        let state = crate::resume::load_checkpoint(&file).unwrap();
+        assert!(!state.pairs.is_empty() || state.iteration == 0);
+        let resumed = Procedure2::new(&c, cfg.clone()).resume(state).unwrap();
+        assert_eq!(resumed, full, "resume converges to the same outcome");
+        // The campaign file now carries the resume seam.
+        let text = std::fs::read_to_string(&file).unwrap();
+        assert!(text.contains(r#""type":"resume""#));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints() {
+        let c = rls_benchmarks::s27();
+        let cfg = RlsConfig::new(4, 8, 8);
+        let state = crate::resume::ResumeState {
+            circuit: "s27".to_string(),
+            fingerprint: 0, // wrong by construction
+            iteration: 0,
+            d1_pos: 0,
+            in_iteration: false,
+            improved: false,
+            n_same_fc: 0,
+            total_cycles: 0,
+            initial_detected: 0,
+            initial_cycles: 0,
+            target_faults: 32,
+            live: Vec::new(),
+            pairs: Vec::new(),
+            source: None,
+        };
+        let e = Procedure2::new(&c, cfg.clone()).resume(state.clone()).unwrap_err();
+        assert!(matches!(e, crate::resume::ResumeError::ConfigMismatch), "{e}");
+        let mut other = state;
+        other.circuit = "s208".to_string();
+        let e = Procedure2::new(&c, cfg).resume(other).unwrap_err();
+        assert!(
+            matches!(e, crate::resume::ResumeError::CircuitMismatch { .. }),
+            "{e}"
+        );
     }
 
     #[test]

@@ -30,7 +30,21 @@
 //! fault is sound for the same reason the sequential simulator's dropping
 //! is: detection is monotone over a set, and a set's bookkeeping only uses
 //! the union.
+//!
+//! # Recovery
+//!
+//! Every job carries a tag encoding what it computes (trace `t`, or batch
+//! `(t, chunk)`), and both phases run as *waves*: submit, wait for the
+//! barrier, drain [`crate::JobFailure`]s, and resubmit exactly the failed
+//! tags. Retries are idempotent — traces land in `OnceLock`s and the
+//! detection bitset is monotone — so a wave may safely re-run work that
+//! partially completed. A tag still failing after [`RETRY_ROUNDS`] retry
+//! waves aborts the set with [`SetFailure`]; [`SetRunner::try_run_set`]
+//! then guarantees the live/detected bookkeeping is untouched, so the
+//! caller can replay the whole set on the sequential oracle (see
+//! `rls_core::procedure2`'s degrade path).
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -43,7 +57,56 @@ use rls_fsim::{
 use rls_netlist::Circuit;
 
 use crate::bitset::AtomicBitset;
-use crate::pool::Dispatcher;
+use crate::pool::{Dispatcher, JobFailure};
+
+/// Retry waves allowed per phase before a set is declared failed.
+pub const RETRY_ROUNDS: usize = 3;
+
+/// Tag bit distinguishing phase-1 trace jobs from phase-2 batch jobs.
+const TRACE_TAG_BIT: u64 = 1 << 62;
+
+/// Tag of the phase-1 job computing test `t`'s fault-free trace.
+fn trace_tag(t: usize) -> u64 {
+    TRACE_TAG_BIT | t as u64
+}
+
+/// Tag of the phase-2 job simulating live-list chunk `chunk` of test `t`.
+fn batch_tag(t: usize, chunk: usize) -> u64 {
+    ((t as u64) << 32) | chunk as u64
+}
+
+/// A test set that could not be executed on the pool: some tagged job
+/// kept panicking through every retry wave.
+///
+/// The runner's live/detected bookkeeping is untouched when this is
+/// returned, so the caller can replay the set elsewhere (sequentially).
+#[derive(Debug)]
+pub struct SetFailure {
+    /// Which phase gave up ("trace" or "batch").
+    pub phase: &'static str,
+    /// Waves attempted (initial submission plus retries).
+    pub attempts: usize,
+    /// The failures of the final wave.
+    pub failures: Vec<JobFailure>,
+}
+
+impl fmt::Display for SetFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} job still failing after {} attempts ({} job(s) down",
+            self.phase,
+            self.attempts,
+            self.failures.len()
+        )?;
+        if let Some(first) = self.failures.first() {
+            write!(f, "; first: {}", first.message)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for SetFailure {}
 
 /// The read-only simulation context shared by every worker of a campaign.
 ///
@@ -52,6 +115,7 @@ use crate::pool::Dispatcher;
 /// the atomic detection bitset.
 #[derive(Debug)]
 pub struct SimContext<'c> {
+    circuit: &'c Circuit,
     good: GoodSim<'c>,
     universe: FaultUniverse,
     collapsed: CollapsedFaults,
@@ -70,6 +134,7 @@ impl<'c> SimContext<'c> {
         let collapsed = CollapsedFaults::build(circuit, &universe);
         let detected_bits = AtomicBitset::new(universe.len());
         SimContext {
+            circuit,
             good: GoodSim::new(circuit),
             universe,
             collapsed,
@@ -78,9 +143,15 @@ impl<'c> SimContext<'c> {
         }
     }
 
-    /// The circuit under test.
-    pub fn circuit(&self) -> &Circuit {
-        self.good.circuit()
+    /// The circuit under test (with the campaign's lifetime, so a
+    /// fallback sequential simulator can borrow it independently).
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The simulation options the context was built with.
+    pub fn options(&self) -> SimOptions {
+        self.options
     }
 
     /// The collapsed representative fault list (sorted by fault id).
@@ -127,6 +198,13 @@ impl<'d, 'env> SetRunner<'d, 'env> {
         self.ctx.detected_bits.clear();
     }
 
+    /// The shared simulation context the runner executes against (with
+    /// the campaign lifetime, so callers can build an independent
+    /// fallback simulator from it).
+    pub fn context(&self) -> &'env SimContext<'env> {
+        self.ctx
+    }
+
     /// Currently undetected faults, in live-list order.
     pub fn live(&self) -> &[FaultId] {
         &self.live
@@ -147,71 +225,155 @@ impl<'d, 'env> SetRunner<'d, 'env> {
     /// Returns the newly detected faults merged in live-list order — the
     /// deterministic reduction that makes a parallel campaign bit-identical
     /// to the sequential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set could not be executed even after retries; use
+    /// [`SetRunner::try_run_set`] to recover (e.g. by degrading to the
+    /// sequential simulator).
     pub fn run_set(&mut self, tests: &[ScanTest]) -> Vec<FaultId> {
-        if self.live.is_empty() || tests.is_empty() {
-            return Vec::new();
+        self.try_run_set(tests)
+            .unwrap_or_else(|e| panic!("set execution failed: {e}"))
+    }
+
+    /// Submits one wave of trace jobs for the given tags.
+    fn submit_trace_wave(
+        &self,
+        tags: &[u64],
+        tests: &Arc<Vec<ScanTest>>,
+        traces: &Arc<Vec<OnceLock<TestTrace>>>,
+    ) {
+        let ctx = self.ctx;
+        for &tag in tags {
+            let t = (tag & !TRACE_TAG_BIT) as usize;
+            let tests = Arc::clone(tests);
+            let traces = Arc::clone(traces);
+            self.disp.submit_tagged(tag, move |counters| {
+                let start = Instant::now();
+                let trace = ctx.good.simulate_test(&tests[t]);
+                counters.add_sim_time(start.elapsed());
+                // A retried job may find the trace already computed by a
+                // wave that panicked after publishing; either value is
+                // identical, so the loss is ignored.
+                let _ = traces[t].set(trace);
+            });
         }
+    }
+
+    /// Submits one wave of batch jobs for the given tags.
+    fn submit_batch_wave(
+        &self,
+        tags: &[u64],
+        tests: &Arc<Vec<ScanTest>>,
+        traces: &Arc<Vec<OnceLock<TestTrace>>>,
+        chunks: &Arc<Vec<Vec<FaultId>>>,
+        live_left: &Arc<AtomicUsize>,
+    ) {
+        let ctx = self.ctx;
+        for &tag in tags {
+            let t = (tag >> 32) as usize;
+            let c = (tag & 0xffff_ffff) as usize;
+            let tests = Arc::clone(tests);
+            let traces = Arc::clone(traces);
+            let chunks = Arc::clone(chunks);
+            let live_left = Arc::clone(live_left);
+            self.disp.submit_tagged(tag, move |counters| {
+                if live_left.load(Ordering::Relaxed) == 0 {
+                    return;
+                }
+                let trace = traces[t].get().expect("trace barrier passed");
+                let circuit = ctx.good.circuit();
+                // Shared-bitset fault dropping + activation prefilter.
+                let candidates: Vec<(FaultId, Fault)> = chunks[c]
+                    .iter()
+                    .filter(|&&id| !ctx.detected_bits.get(id))
+                    .map(|&id| (id, ctx.universe.fault(id)))
+                    .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
+                    .collect();
+                if candidates.is_empty() {
+                    return;
+                }
+                let start = Instant::now();
+                let hits =
+                    simulate_batch_with(&ctx.good, &tests[t], trace, &candidates, ctx.options);
+                counters.add_batch(start.elapsed());
+                let mut newly = 0u64;
+                for id in hits {
+                    if ctx.detected_bits.set(id) {
+                        newly += 1;
+                    }
+                }
+                if newly > 0 {
+                    counters.add_dropped(newly);
+                    live_left.fetch_sub(newly as usize, Ordering::Relaxed);
+                }
+            });
+        }
+    }
+
+    /// Runs waves of `submit(tags)` until none fail, retrying only the
+    /// failed tags, up to [`RETRY_ROUNDS`] retry waves.
+    fn run_waves(
+        &self,
+        phase: &'static str,
+        mut tags: Vec<u64>,
+        submit: impl Fn(&[u64]),
+    ) -> Result<(), SetFailure> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            submit(&tags);
+            self.disp.wait_idle();
+            let failures = self.disp.take_failures();
+            if failures.is_empty() {
+                return Ok(());
+            }
+            if attempts > RETRY_ROUNDS {
+                return Err(SetFailure {
+                    phase,
+                    attempts,
+                    failures,
+                });
+            }
+            tags = failures.iter().map(|f| f.tag).collect();
+        }
+    }
+
+    /// Fallible variant of [`SetRunner::run_set`]: executes the set with
+    /// bounded retries of panicked jobs, and on exhaustion returns
+    /// [`SetFailure`] *without* touching the live/detected bookkeeping —
+    /// the set can then be replayed in full on the sequential simulator.
+    pub fn try_run_set(&mut self, tests: &[ScanTest]) -> Result<Vec<FaultId>, SetFailure> {
+        if self.live.is_empty() || tests.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Drop failures left over from before this set (a degraded caller
+        // may have abandoned a failing set without draining).
+        let _ = self.disp.take_failures();
         let ctx = self.ctx;
         let tests: Arc<Vec<ScanTest>> = Arc::new(tests.to_vec());
         // Phase 1: fault-free traces, one job per test.
         let traces: Arc<Vec<OnceLock<TestTrace>>> =
             Arc::new((0..tests.len()).map(|_| OnceLock::new()).collect());
-        for t in 0..tests.len() {
-            let tests = Arc::clone(&tests);
-            let traces = Arc::clone(&traces);
-            self.disp.submit(move |counters| {
-                let start = Instant::now();
-                let trace = ctx.good.simulate_test(&tests[t]);
-                counters.add_sim_time(start.elapsed());
-                traces[t].set(trace).expect("each trace is computed once");
-            });
-        }
-        self.disp.wait_idle();
+        let trace_tags: Vec<u64> = (0..tests.len()).map(trace_tag).collect();
+        self.run_waves("trace", trace_tags, |tags| {
+            self.submit_trace_wave(tags, &tests, &traces)
+        })?;
         // Phase 2: (test, chunk) jobs over the set-start live list. Once
         // every live fault is marked, remaining jobs see empty candidate
         // lists and fall through (`live_left` makes that exit cheap).
+        let chunks: Arc<Vec<Vec<FaultId>>> =
+            Arc::new(self.live.chunks(LANES).map(<[FaultId]>::to_vec).collect());
         let live_left = Arc::new(AtomicUsize::new(self.live.len()));
-        for t in 0..tests.len() {
-            for chunk in self.live.chunks(LANES) {
-                let tests = Arc::clone(&tests);
-                let traces = Arc::clone(&traces);
-                let live_left = Arc::clone(&live_left);
-                let chunk: Vec<FaultId> = chunk.to_vec();
-                self.disp.submit(move |counters| {
-                    if live_left.load(Ordering::Relaxed) == 0 {
-                        return;
-                    }
-                    let trace = traces[t].get().expect("trace barrier passed");
-                    let circuit = ctx.good.circuit();
-                    // Shared-bitset fault dropping + activation prefilter.
-                    let candidates: Vec<(FaultId, Fault)> = chunk
-                        .iter()
-                        .filter(|&&id| !ctx.detected_bits.get(id))
-                        .map(|&id| (id, ctx.universe.fault(id)))
-                        .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
-                        .collect();
-                    if candidates.is_empty() {
-                        return;
-                    }
-                    let start = Instant::now();
-                    let hits =
-                        simulate_batch_with(&ctx.good, &tests[t], trace, &candidates, ctx.options);
-                    counters.add_batch(start.elapsed());
-                    let mut newly = 0u64;
-                    for id in hits {
-                        if ctx.detected_bits.set(id) {
-                            newly += 1;
-                        }
-                    }
-                    if newly > 0 {
-                        counters.add_dropped(newly);
-                        live_left.fetch_sub(newly as usize, Ordering::Relaxed);
-                    }
-                });
-            }
-        }
-        self.disp.wait_idle();
-        // Deterministic reduction: merge in live-list order.
+        let batch_tags: Vec<u64> = (0..tests.len())
+            .flat_map(|t| (0..chunks.len()).map(move |c| batch_tag(t, c)))
+            .collect();
+        self.run_waves("batch", batch_tags, |tags| {
+            self.submit_batch_wave(tags, &tests, &traces, &chunks, &live_left)
+        })?;
+        // Deterministic reduction: merge in live-list order. Reached only
+        // when both phases fully succeeded, so the bookkeeping below is
+        // exactly what the infallible path always did.
         let newly: Vec<FaultId> = self
             .live
             .iter()
@@ -222,7 +384,7 @@ impl<'d, 'env> SetRunner<'d, 'env> {
             self.live.retain(|&id| !ctx.detected_bits.get(id));
             self.detected.extend(newly.iter().copied());
         }
-        newly
+        Ok(newly)
     }
 }
 
@@ -315,6 +477,70 @@ mod tests {
         });
         assert_eq!(par, seq);
         assert_eq!(live, sim.live());
+    }
+
+    /// Suppresses panic-hook spew for tests that panic on purpose.
+    fn quiet_panics() -> impl Drop {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let _ = std::panic::take_hook();
+            }
+        }
+        std::panic::set_hook(Box::new(|_| {}));
+        Restore
+    }
+
+    #[test]
+    fn run_waves_retries_only_failed_tags() {
+        let _quiet = quiet_panics();
+        let c = rls_benchmarks::s27();
+        let ctx = SimContext::new(&c, SimOptions::default());
+        let flaky_runs = AtomicUsize::new(0);
+        let total_jobs = AtomicUsize::new(0);
+        WorkerPool::new(2).scope(|d| {
+            let runner = SetRunner::new(&ctx, d);
+            let r = runner.run_waves("trace", vec![1, 2, 3], |tags| {
+                for &tag in tags {
+                    let flaky_runs = &flaky_runs;
+                    let total_jobs = &total_jobs;
+                    d.submit_tagged(tag, move |_| {
+                        total_jobs.fetch_add(1, Ordering::Relaxed);
+                        if tag == 2 && flaky_runs.fetch_add(1, Ordering::Relaxed) == 0 {
+                            panic!("flaky once");
+                        }
+                    });
+                }
+            });
+            assert!(r.is_ok());
+        });
+        // Wave 1 runs tags {1,2,3}; tag 2 panics and is the only job of
+        // wave 2.
+        assert_eq!(total_jobs.load(Ordering::Relaxed), 4);
+        assert_eq!(flaky_runs.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_waves_gives_up_after_bounded_retries() {
+        let _quiet = quiet_panics();
+        let c = rls_benchmarks::s27();
+        let ctx = SimContext::new(&c, SimOptions::default());
+        WorkerPool::new(2).scope(|d| {
+            let runner = SetRunner::new(&ctx, d);
+            let err = runner
+                .run_waves("batch", vec![7], |tags| {
+                    for &tag in tags {
+                        d.submit_tagged(tag, |_| panic!("always down"));
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err.phase, "batch");
+            assert_eq!(err.attempts, RETRY_ROUNDS + 1);
+            assert_eq!(err.failures.len(), 1);
+            assert_eq!(err.failures[0].tag, 7);
+            let msg = err.to_string();
+            assert!(msg.contains("always down"), "{msg}");
+        });
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Deterministic fault injection for the resilience test suite.
+//!
+//! Behind the `fault-inject` feature this module lets tests inject worker
+//! panics, delayed jobs, and IO errors at seeded points: the pool calls
+//! [`on_job_start`] before running every job, and campaign persistence
+//! calls [`on_io`] before every file operation. Injection decisions are a
+//! pure function of a global call counter and the armed [`InjectionPlan`],
+//! so a given plan fires at the same *logical* points on every run —
+//! which jobs those are may vary with scheduling, but the dispatch layer
+//! is built so that outcomes are invariant under exactly that kind of
+//! perturbation (that invariance is what the suite verifies).
+//!
+//! With the feature disabled every hook compiles to an empty inline
+//! function; production builds pay nothing.
+//!
+//! The plan is process-global: tests that arm it must serialize on a lock
+//! (see `tests/resilience.rs`) and [`disarm`] when done.
+
+/// What to inject, and how often.
+#[derive(Debug, Clone, Default)]
+#[cfg(feature = "fault-inject")]
+pub struct InjectionPlan {
+    /// Panic at every `n`-th job start (1-based count over all jobs).
+    pub panic_every: Option<u64>,
+    /// Always panic jobs carrying this tag — a "poisoned chunk" that
+    /// exhausts the retry budget and forces the degrade path.
+    pub poison_tag: Option<u64>,
+    /// Sleep `millis` at every `n`-th job start: `(n, millis)`.
+    pub delay_every: Option<(u64, u64)>,
+    /// Fail every `n`-th campaign IO operation with `ErrorKind::Other`.
+    pub io_error_every: Option<u64>,
+}
+
+#[cfg(feature = "fault-inject")]
+mod armed {
+    use super::InjectionPlan;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, PoisonError};
+
+    struct State {
+        plan: InjectionPlan,
+        job_calls: u64,
+        io_calls: u64,
+    }
+
+    static STATE: Mutex<Option<State>> = Mutex::new(None);
+    static FIRED: AtomicU64 = AtomicU64::new(0);
+
+    /// Arms the plan and resets call/fired counters.
+    pub fn arm(plan: InjectionPlan) {
+        let mut st = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+        *st = Some(State {
+            plan,
+            job_calls: 0,
+            io_calls: 0,
+        });
+        FIRED.store(0, Ordering::Relaxed);
+    }
+
+    /// Disarms injection; hooks become no-ops again.
+    pub fn disarm() {
+        *STATE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Number of faults injected since the last [`arm`].
+    pub fn fired() -> u64 {
+        FIRED.load(Ordering::Relaxed)
+    }
+
+    /// Pool hook: runs before every job. May panic or sleep.
+    pub fn on_job_start(tag: u64) {
+        let mut delay = None;
+        let mut boom: Option<String> = None;
+        {
+            let mut st = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(state) = st.as_mut() else { return };
+            state.job_calls += 1;
+            let n = state.job_calls;
+            if state.plan.poison_tag == Some(tag) {
+                FIRED.fetch_add(1, Ordering::Relaxed);
+                boom = Some(format!("injected panic: poisoned job tag {tag:#x}"));
+            } else if state.plan.panic_every.is_some_and(|k| n % k == 0) {
+                FIRED.fetch_add(1, Ordering::Relaxed);
+                boom = Some(format!("injected panic: job call #{n}"));
+            } else if let Some((k, millis)) = state.plan.delay_every {
+                if n % k == 0 {
+                    FIRED.fetch_add(1, Ordering::Relaxed);
+                    delay = Some(millis);
+                }
+            }
+            // Lock dropped before panicking or sleeping: a panic while
+            // holding it would poison every later hook call.
+        }
+        if let Some(message) = boom {
+            panic!("{message}");
+        }
+        if let Some(millis) = delay {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+        }
+    }
+
+    /// IO hook: runs before every campaign file operation.
+    pub fn on_io(site: &str) -> std::io::Result<()> {
+        let mut st = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(state) = st.as_mut() else {
+            return Ok(());
+        };
+        state.io_calls += 1;
+        if state.plan.io_error_every.is_some_and(|k| state.io_calls % k == 0) {
+            FIRED.fetch_add(1, Ordering::Relaxed);
+            return Err(std::io::Error::other(format!(
+                "injected io error at {site} (op #{})",
+                state.io_calls
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use armed::{arm, disarm, fired, on_job_start, on_io};
+
+/// No-op hook (fault injection compiled out).
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn on_job_start(_tag: u64) {}
+
+/// No-op hook (fault injection compiled out).
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn on_io(_site: &str) -> std::io::Result<()> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+
+    // Injection state is process-global; these unit tests serialize on a
+    // local lock (the e2e suite in tests/resilience.rs has its own).
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn panic_every_fires_on_schedule() {
+        let _g = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        arm(InjectionPlan {
+            panic_every: Some(2),
+            ..InjectionPlan::default()
+        });
+        on_job_start(0); // #1: no fire
+        let err = std::panic::catch_unwind(|| on_job_start(0)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected panic"), "{msg}");
+        assert_eq!(fired(), 1);
+        disarm();
+        on_job_start(0); // disarmed: no fire
+        assert_eq!(fired(), 1);
+    }
+
+    #[test]
+    fn io_errors_fire_on_schedule() {
+        let _g = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        arm(InjectionPlan {
+            io_error_every: Some(3),
+            ..InjectionPlan::default()
+        });
+        assert!(on_io("t").is_ok());
+        assert!(on_io("t").is_ok());
+        let e = on_io("t").unwrap_err();
+        assert!(e.to_string().contains("injected io error"), "{e}");
+        disarm();
+    }
+
+    #[test]
+    fn poison_tag_only_hits_its_tag() {
+        let _g = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        arm(InjectionPlan {
+            poison_tag: Some(7),
+            ..InjectionPlan::default()
+        });
+        on_job_start(3);
+        assert!(std::panic::catch_unwind(|| on_job_start(7)).is_err());
+        assert!(std::panic::catch_unwind(|| on_job_start(7)).is_err(), "persistent");
+        disarm();
+    }
+}

@@ -21,8 +21,21 @@
 //!   `(test, 64-fault chunk)` jobs and reduces detections in live-list
 //!   order at the set barrier;
 //! - [`campaign`]: [`Campaign`] JSONL records — header, per-trial lines,
-//!   per-worker counters, summary — persisted under `results/`;
-//! - [`jsonl`]: the dependency-free JSON rendering underneath.
+//!   checkpoints, per-worker counters, summary — appended crash-safely
+//!   under `results/` and read back by [`CampaignLog`];
+//! - [`jsonl`]: the dependency-free JSON rendering and parsing underneath;
+//! - [`error`]: structured [`DispatchError`] for persistence and parsing;
+//! - [`inject`]: deterministic fault injection behind the `fault-inject`
+//!   feature (no-op inlines otherwise), driving `tests/resilience.rs`.
+//!
+//! # Resilience
+//!
+//! Workers are supervised: a panicking job is caught at the thread's top
+//! level, recorded as a classified [`JobFailure`] under the tag it was
+//! submitted with, and the worker loop is respawned. [`SetRunner`] retries
+//! failed chunks for a bounded number of waves; if a chunk keeps failing,
+//! the campaign degrades to the sequential executor — the bit-identical
+//! oracle — rather than aborting.
 //!
 //! # Determinism guarantee
 //!
@@ -53,11 +66,16 @@
 
 pub mod bitset;
 pub mod campaign;
+pub mod error;
 pub mod executor;
+pub mod inject;
 pub mod jsonl;
 pub mod pool;
 
 pub use bitset::AtomicBitset;
-pub use campaign::{Campaign, CampaignSummary, TrialRecord};
-pub use executor::{SetRunner, SimContext};
-pub use pool::{Dispatcher, PoolSnapshot, WorkerCounters, WorkerPool, WorkerSnapshot};
+pub use campaign::{Campaign, CampaignLog, CampaignSummary, TrialRecord};
+pub use error::DispatchError;
+pub use executor::{SetFailure, SetRunner, SimContext};
+pub use pool::{
+    Dispatcher, FailureClass, JobFailure, PoolSnapshot, WorkerCounters, WorkerPool, WorkerSnapshot,
+};

@@ -1,5 +1,5 @@
-//! A persistent scoped worker pool with per-worker queues and job
-//! stealing.
+//! A persistent scoped worker pool with per-worker queues, job stealing,
+//! and supervised workers.
 //!
 //! [`WorkerPool::scope`] spawns the workers once and keeps them alive for
 //! the whole campaign (every `(I, D1)` trial reuses them); jobs are plain
@@ -15,18 +15,91 @@
 //! counter in the station state makes the hand-off lossless: a worker
 //! never sleeps while an unclaimed job exists.
 //!
+//! Supervision: each worker thread runs its job loop under a top-level
+//! supervisor. A panicking job unwinds to the supervisor, which settles
+//! the job's accounting (so [`Dispatcher::wait_idle`] never hangs on a
+//! dead job), records a classified [`JobFailure`] against the job's tag,
+//! and respawns the worker loop — one poisoned job can neither hang nor
+//! abort a campaign. Callers drain failures with
+//! [`Dispatcher::take_failures`] at the barrier and decide whether to
+//! retry the failed tags (see `executor`) or degrade.
+//!
 //! Observability: every worker owns a cache-line-padded set of atomic
 //! counters (jobs, 64-lane batches, faults dropped, simulation time,
-//! steals); [`Dispatcher::snapshot`] reads them at any time without
-//! stopping the pool.
+//! steals, respawns); [`Dispatcher::snapshot`] reads them at any time
+//! without stopping the pool.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// A unit of work: runs on one worker, may update that worker's counters.
 pub type Job<'env> = Box<dyn FnOnce(&WorkerCounters) + Send + 'env>;
+
+/// Tag for jobs submitted without an explicit tag.
+pub const UNTAGGED: u64 = u64::MAX - 1;
+
+/// Sentinel for "no job in flight" in the per-worker tag slot.
+const NO_JOB: u64 = u64::MAX;
+
+/// A coarse classification of why a job failed, derived from the panic
+/// payload. Used for reporting and post-mortem triage; recovery treats
+/// every class the same (retry, then degrade).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// A deliberately injected fault (`fault-inject` feature).
+    Injected,
+    /// An assertion or invariant violation.
+    Assertion,
+    /// An out-of-bounds access.
+    OutOfBounds,
+    /// An arithmetic failure (overflow, divide by zero).
+    Arithmetic,
+    /// Anything else (including non-string panic payloads).
+    Other,
+}
+
+/// One job that panicked: which worker it was on, the tag it carried, the
+/// panic message, and a coarse classification.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Worker index the job ran on.
+    pub worker: usize,
+    /// The tag the job was submitted with ([`UNTAGGED`] if none).
+    pub tag: u64,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+    /// Coarse classification of the failure.
+    pub class: FailureClass,
+}
+
+/// Classifies a panic message.
+fn classify(message: &str) -> FailureClass {
+    if message.contains("injected") {
+        FailureClass::Injected
+    } else if message.contains("out of bounds") || message.contains("out of range") {
+        FailureClass::OutOfBounds
+    } else if message.contains("overflow") || message.contains("divide by zero") {
+        FailureClass::Arithmetic
+    } else if message.contains("assert") || message.contains("expect") {
+        FailureClass::Assertion
+    } else {
+        FailureClass::Other
+    }
+}
+
+/// Extracts a readable message from a panic payload.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Per-worker activity counters, updated by the owning worker (and by the
 /// jobs it runs) and read concurrently by [`Dispatcher::snapshot`].
@@ -38,6 +111,7 @@ pub struct WorkerCounters {
     faults_dropped: AtomicU64,
     sim_nanos: AtomicU64,
     steals: AtomicU64,
+    respawns: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -71,6 +145,7 @@ impl WorkerCounters {
             faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,7 +155,7 @@ impl WorkerCounters {
 pub struct WorkerSnapshot {
     /// Worker index (`0..threads`).
     pub worker: usize,
-    /// Jobs executed.
+    /// Jobs executed (completed without panicking).
     pub jobs: u64,
     /// 64-lane fault batches simulated.
     pub batches: u64,
@@ -90,6 +165,8 @@ pub struct WorkerSnapshot {
     pub sim_nanos: u64,
     /// Jobs stolen from other workers' queues.
     pub steals: u64,
+    /// Times this worker's loop was respawned after a job panic.
+    pub respawns: u64,
 }
 
 /// A progress snapshot of the whole pool.
@@ -113,6 +190,17 @@ impl PoolSnapshot {
     pub fn total_dropped(&self) -> u64 {
         self.workers.iter().map(|w| w.faults_dropped).sum()
     }
+
+    /// Total worker respawns after job panics.
+    pub fn total_respawns(&self) -> u64 {
+        self.workers.iter().map(|w| w.respawns).sum()
+    }
+}
+
+/// A queued job with the tag failures are reported under.
+struct Tagged<'env> {
+    tag: u64,
+    job: Job<'env>,
 }
 
 struct StationState {
@@ -124,10 +212,16 @@ struct StationState {
     open: bool,
 }
 
-/// Shared pool state: queues, counters, and the sleep/wake machinery.
+/// Shared pool state: queues, counters, failure log, and the sleep/wake
+/// machinery.
 struct Station<'env> {
-    queues: Vec<Mutex<VecDeque<Job<'env>>>>,
+    queues: Vec<Mutex<VecDeque<Tagged<'env>>>>,
     counters: Vec<WorkerCounters>,
+    /// Tag of the job each worker is currently running (`NO_JOB` if idle);
+    /// read by the supervisor to attribute a panic.
+    inflight: Vec<AtomicU64>,
+    /// Jobs that panicked, drained by [`Dispatcher::take_failures`].
+    failures: Mutex<Vec<JobFailure>>,
     state: Mutex<StationState>,
     /// Workers wait here for work (or shutdown).
     work_cv: Condvar,
@@ -142,6 +236,8 @@ impl<'env> Station<'env> {
         Station {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             counters: (0..threads).map(|_| WorkerCounters::default()).collect(),
+            inflight: (0..threads).map(|_| AtomicU64::new(NO_JOB)).collect(),
+            failures: Mutex::new(Vec::new()),
             state: Mutex::new(StationState {
                 pending: 0,
                 unclaimed: 0,
@@ -153,10 +249,13 @@ impl<'env> Station<'env> {
         }
     }
 
-    fn submit(&self, job: Job<'env>) {
+    fn submit(&self, tag: u64, job: Job<'env>) {
         let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-        self.queues[slot].lock().unwrap().push_back(job);
-        let mut st = self.state.lock().unwrap();
+        self.queues[slot]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(Tagged { tag, job });
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.pending += 1;
         st.unclaimed += 1;
         drop(st);
@@ -168,14 +267,22 @@ impl<'env> Station<'env> {
     /// Only called after the claim counter guaranteed a job exists; the
     /// scan loops until it wins one (a sibling may transiently hold a
     /// queue lock).
-    fn grab(&self, w: usize) -> Job<'env> {
+    fn grab(&self, w: usize) -> Tagged<'env> {
         loop {
-            if let Some(job) = self.queues[w].lock().unwrap().pop_front() {
+            if let Some(job) = self.queues[w]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
                 return job;
             }
             for k in 1..self.queues.len() {
                 let victim = (w + k) % self.queues.len();
-                if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+                if let Some(job) = self.queues[victim]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop_front()
+                {
                     self.counters[w].steals.fetch_add(1, Ordering::Relaxed);
                     return job;
                 }
@@ -184,45 +291,99 @@ impl<'env> Station<'env> {
         }
     }
 
+    /// Marks one claimed job as finished and wakes the barrier waiter.
+    fn settle(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.pending -= 1;
+        if st.pending == 0 {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// The job loop of one worker. Returns on clean shutdown; unwinds if a
+    /// job panics (the supervisor catches and respawns it).
     fn worker_loop(&self, w: usize) {
         loop {
             {
-                let mut st = self.state.lock().unwrap();
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
                 while st.unclaimed == 0 && st.open {
-                    st = self.work_cv.wait(st).unwrap();
+                    st = self
+                        .work_cv
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 if st.unclaimed == 0 {
                     return; // closed and drained
                 }
                 st.unclaimed -= 1;
             }
-            let job = self.grab(w);
+            let Tagged { tag, job } = self.grab(w);
+            self.inflight[w].store(tag, Ordering::Relaxed);
+            crate::inject::on_job_start(tag);
             job(&self.counters[w]);
+            self.inflight[w].store(NO_JOB, Ordering::Relaxed);
             self.counters[w].jobs.fetch_add(1, Ordering::Relaxed);
-            let mut st = self.state.lock().unwrap();
-            st.pending -= 1;
-            if st.pending == 0 {
-                self.idle_cv.notify_all();
+            self.settle();
+        }
+    }
+
+    /// The supervisor: runs the worker loop, and on a job panic settles
+    /// the job's accounting, records the failure, and respawns the loop.
+    fn supervised_loop(&self, w: usize) {
+        loop {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| self.worker_loop(w))) {
+                Ok(()) => return, // clean shutdown
+                Err(payload) => {
+                    let tag = self.inflight[w].swap(NO_JOB, Ordering::Relaxed);
+                    if tag == NO_JOB {
+                        // The panic did not come from a job — a pool
+                        // invariant is broken; do not mask it.
+                        std::panic::resume_unwind(payload);
+                    }
+                    let message = payload_message(payload.as_ref());
+                    let class = classify(&message);
+                    self.failures
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(JobFailure {
+                            worker: w,
+                            tag,
+                            message,
+                            class,
+                        });
+                    self.counters[w].respawns.fetch_add(1, Ordering::Relaxed);
+                    self.settle();
+                }
             }
         }
     }
 
     fn wait_idle(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         while st.pending > 0 {
-            st = self.idle_cv.wait(st).unwrap();
+            st = self
+                .idle_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.state.lock().unwrap().open = false;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .open = false;
         self.work_cv.notify_all();
     }
 
     fn snapshot(&self) -> PoolSnapshot {
         PoolSnapshot {
             threads: self.queues.len(),
-            pending: self.state.lock().unwrap().pending,
+            pending: self
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pending,
             workers: self
                 .counters
                 .iter()
@@ -244,13 +405,34 @@ pub struct Dispatcher<'s, 'env> {
 impl<'s, 'env> Dispatcher<'s, 'env> {
     /// Enqueues a job on the pool (round-robin placement, stealable).
     pub fn submit(&self, job: impl FnOnce(&WorkerCounters) + Send + 'env) {
-        self.station.submit(Box::new(job));
+        self.station.submit(UNTAGGED, Box::new(job));
+    }
+
+    /// Enqueues a job under a caller-chosen tag. If the job panics, the
+    /// tag identifies it in [`Dispatcher::take_failures`], so the caller
+    /// can rebuild and retry exactly the failed work.
+    pub fn submit_tagged(&self, tag: u64, job: impl FnOnce(&WorkerCounters) + Send + 'env) {
+        self.station.submit(tag, Box::new(job));
     }
 
     /// Blocks until every submitted job has finished — the deterministic
-    /// reduction barrier between phases.
+    /// reduction barrier between phases. Panicked jobs count as finished
+    /// (their failures are waiting in [`Dispatcher::take_failures`]).
     pub fn wait_idle(&self) {
         self.station.wait_idle();
+    }
+
+    /// Drains the failures recorded since the last call. Call at a
+    /// [`Dispatcher::wait_idle`] barrier; an empty result means every job
+    /// since the last drain completed.
+    pub fn take_failures(&self) -> Vec<JobFailure> {
+        std::mem::take(
+            &mut self
+                .station
+                .failures
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 
     /// A progress snapshot (non-blocking for workers).
@@ -264,7 +446,7 @@ impl<'s, 'env> Dispatcher<'s, 'env> {
     }
 }
 
-/// A pool of `threads` persistent workers.
+/// A pool of `threads` persistent supervised workers.
 ///
 /// The pool itself is just a configuration; [`WorkerPool::scope`] spawns
 /// the OS threads, runs the given closure with a [`Dispatcher`], waits for
@@ -298,7 +480,7 @@ impl WorkerPool {
         std::thread::scope(|s| {
             for w in 0..self.threads {
                 let st = &station;
-                s.spawn(move || st.worker_loop(w));
+                s.spawn(move || st.supervised_loop(w));
             }
             let disp = Dispatcher { station: &station };
             let out = f(&disp);
@@ -368,6 +550,7 @@ mod tests {
         assert_eq!(snap.pending, 0);
         assert_eq!(snap.workers.iter().map(|w| w.jobs).sum::<u64>(), 30);
         assert_eq!(snap.total_dropped(), 60);
+        assert_eq!(snap.total_respawns(), 0);
     }
 
     #[test]
@@ -409,5 +592,82 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         WorkerPool::new(0);
+    }
+
+    /// Suppresses the default panic-hook spew for tests that panic on
+    /// purpose; restores the previous hook on drop.
+    fn quiet_panics() -> impl Drop {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let _ = std::panic::take_hook();
+            }
+        }
+        std::panic::set_hook(Box::new(|_| {}));
+        Restore
+    }
+
+    #[test]
+    fn panicking_job_is_recorded_and_pool_survives() {
+        let _quiet = quiet_panics();
+        let done = AtomicUsize::new(0);
+        let (failures, snap) = WorkerPool::new(2).scope(|d| {
+            d.submit_tagged(0xbeef, |_| panic!("boom in job"));
+            for _ in 0..10 {
+                d.submit(|_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            d.wait_idle();
+            (d.take_failures(), d.snapshot())
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 10, "other jobs unaffected");
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].tag, 0xbeef);
+        assert!(failures[0].message.contains("boom"), "{}", failures[0].message);
+        assert_eq!(snap.total_respawns(), 1);
+        assert_eq!(snap.pending, 0, "panicked job was settled");
+    }
+
+    #[test]
+    fn respawned_worker_keeps_processing() {
+        let _quiet = quiet_panics();
+        // Single worker: the panic and all follow-up jobs hit the same
+        // thread, proving the loop is re-entered after the unwind.
+        let done = AtomicUsize::new(0);
+        let failures = WorkerPool::new(1).scope(|d| {
+            d.submit_tagged(1, |_| panic!("first"));
+            d.wait_idle();
+            for _ in 0..5 {
+                d.submit(|_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            d.wait_idle();
+            d.take_failures()
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 5);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].worker, 0);
+    }
+
+    #[test]
+    fn take_failures_drains() {
+        let _quiet = quiet_panics();
+        WorkerPool::new(2).scope(|d| {
+            d.submit_tagged(7, |_| panic!("x"));
+            d.wait_idle();
+            assert_eq!(d.take_failures().len(), 1);
+            assert!(d.take_failures().is_empty(), "drained");
+        });
+    }
+
+    #[test]
+    fn failure_classification() {
+        assert_eq!(classify("injected panic: job call #3"), FailureClass::Injected);
+        assert_eq!(classify("index out of bounds: the len is 4"), FailureClass::OutOfBounds);
+        assert_eq!(classify("attempt to add with overflow"), FailureClass::Arithmetic);
+        assert_eq!(classify("assertion failed: x > 0"), FailureClass::Assertion);
+        assert_eq!(classify("something else"), FailureClass::Other);
     }
 }

@@ -395,6 +395,53 @@ mod tests {
     }
 
     #[test]
+    fn syntax_errors_carry_the_line_number_and_message() {
+        // One case per distinct syntax diagnostic, each with the error on
+        // a different line so the reported number is provably the line's,
+        // not a constant.
+        let cases: &[(&str, usize, &str)] = &[
+            ("INPUT(a)\nOUTPUT(y\n", 2, "expected `(name)`"),
+            ("# comment\n\nINPUT( )\n", 3, "empty signal name"),
+            ("INPUT(a)\ny NOT(a)\n", 2, "expected `name = GATE(...)`"),
+            (" = NOT(a)\n", 1, "empty signal name before `=`"),
+            ("INPUT(a)\n\ny = NOT\n", 3, "expected `GATE(...)`"),
+            ("y = NOT(a\n", 1, "missing closing `)`"),
+            ("y = NOT)a(\n", 1, "mismatched parentheses"),
+            ("INPUT(a)\ny = AND(a, )\n", 2, "empty fanin name"),
+            ("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n", 3, "DFF takes exactly one fanin"),
+        ];
+        for (src, line, message) in cases {
+            assert_eq!(
+                parse_bench("bad", src).unwrap_err(),
+                NetlistError::Syntax {
+                    line: *line,
+                    message: (*message).to_string(),
+                },
+                "source: {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_arity_reports_gate_kind_and_count() {
+        let cases: &[(&str, &str, &str, usize)] = &[
+            ("INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n", "y", "NOT", 2),
+            ("INPUT(a)\nz = BUF(a, a, a)\n", "z", "BUF", 3),
+        ];
+        for (src, gate, kind, arity) in cases {
+            assert_eq!(
+                parse_bench("bad", src).unwrap_err(),
+                NetlistError::BadArity {
+                    gate: (*gate).to_string(),
+                    kind,
+                    arity: *arity,
+                },
+                "source: {src:?}"
+            );
+        }
+    }
+
+    #[test]
     fn parse_rejects_binary_not() {
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n";
         assert!(matches!(

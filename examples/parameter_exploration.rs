@@ -29,7 +29,10 @@ fn main() {
         "{:>4} {:>4} {:>4} {:>8} {:>5} {:>9} {:>9}",
         "LA", "LB", "N", "Ncyc0", "app", "Ncyc", "complete"
     );
-    let exec = ExecProfile::from_env();
+    let exec = ExecProfile::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     for combo in rank_combinations(circuit.num_dffs()).into_iter().take(8) {
         let r = run_combo(
             &circuit,
