@@ -12,6 +12,12 @@ cargo build --release --offline --workspace
 echo "== lint: clippy -D warnings =="
 cargo clippy --offline --workspace -- -D warnings
 
+echo "== lint: rls-lint baseline gate =="
+# Project-specific invariants clippy cannot see: determinism, panic-safety,
+# atomic-ordering audit, persistence hygiene. Fails only on findings not in
+# the committed baseline; regenerate with --update-baseline after review.
+cargo run -q -p rls-lint --offline -- --baseline lint-baseline.json
+
 echo "== tier-1: tests =="
 cargo test -q --offline --workspace
 

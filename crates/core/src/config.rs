@@ -155,7 +155,7 @@ impl RlsConfig {
     /// Panics unless `0 < la <= lb` and `n > 0`; see
     /// [`RlsConfig::try_new`] for the non-panicking variant.
     pub fn new(la: usize, lb: usize, n: usize) -> Self {
-        Self::try_new(la, lb, n).unwrap_or_else(|e| panic!("{e}"))
+        Self::try_new(la, lb, n).unwrap_or_else(|e| panic!("{e}")) // lint: panic-ok(documented contract: try_new is the fallible path, this is its asserting wrapper)
     }
 
     /// Fallible variant of [`RlsConfig::new`], for drivers that take the

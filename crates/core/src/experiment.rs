@@ -88,7 +88,7 @@ impl ExecProfile {
 /// Reads one environment variable, mapping a non-unicode value to a
 /// [`ConfigError`] instead of pretending it is unset.
 fn env_value(var: &'static str) -> Result<Option<String>, ConfigError> {
-    match std::env::var(var) {
+    match std::env::var(var) { // lint: det-ok(the one sanctioned config entry point; values land in ExecProfile and are recorded in campaign headers)
         Ok(v) => Ok(Some(v)),
         Err(std::env::VarError::NotPresent) => Ok(None),
         Err(std::env::VarError::NotUnicode(raw)) => Err(ConfigError::InvalidEnv {

@@ -85,7 +85,7 @@ pub fn derive_one<R: RandomSource>(test: &ScanTest, rng: &mut R, d1: u32, d2: u3
     }
     test.clone()
         .with_shifts(shifts)
-        .expect("derived schedule is valid by construction")
+        .expect("derived schedule is valid by construction") // lint: panic-ok(shift count is copied from the source schedule, which with_shifts already validated)
 }
 
 #[cfg(test)]

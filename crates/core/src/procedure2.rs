@@ -266,7 +266,7 @@ impl<'c> Procedure2<'c> {
             }
         } else {
             target_faults = exec.live_count();
-            let ts0_start = Instant::now();
+            let ts0_start = Instant::now(); // lint: det-ok(wall time is campaign-record metadata; selection never reads it)
             initial_detected = exec.apply_set(&ts0);
             if let Some(c) = campaign.as_deref_mut() {
                 c.record_initial(
@@ -331,7 +331,7 @@ impl<'c> Procedure2<'c> {
                     break 'outer;
                 }
                 let derived = derive_test_set(&ts0, &self.cfg, i, d1, d2);
-                let trial_start = Instant::now();
+                let trial_start = Instant::now(); // lint: det-ok(wall time is campaign-record metadata; selection never reads it)
                 let newly = exec.apply_set(&derived);
                 if exec.degraded() && !degrade_logged {
                     degrade_logged = true;

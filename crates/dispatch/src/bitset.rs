@@ -44,6 +44,7 @@ impl AtomicBitset {
         let i = id.index();
         assert!(i < self.capacity, "fault id {i} out of bitset capacity");
         let mask = 1u64 << (i % 64);
+        // lint: panic-ok(i / 64 < words.len() follows from the capacity assert above)
         let prev = self.words[i / 64].fetch_or(mask, Ordering::AcqRel);
         prev & mask == 0
     }
@@ -57,6 +58,7 @@ impl AtomicBitset {
     pub fn get(&self, id: FaultId) -> bool {
         let i = id.index();
         assert!(i < self.capacity, "fault id {i} out of bitset capacity");
+        // lint: panic-ok(i / 64 < words.len() follows from the capacity assert above)
         self.words[i / 64].load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
     }
 

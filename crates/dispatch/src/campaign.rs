@@ -96,10 +96,16 @@ impl CampaignFile {
         let name = path
             .file_name()
             .and_then(|n| n.to_str())
-            .expect("reserved name is utf-8");
+            .ok_or_else(|| {
+                DispatchError::io(
+                    "reserve campaign file",
+                    &path,
+                    std::io::Error::new(ErrorKind::InvalidData, "reserved name is not valid UTF-8"),
+                )
+            })?;
         let tmp = dir.join(format!(".{name}.tmp"));
         let write_header = || -> std::io::Result<File> {
-            let mut f = File::create(&tmp)?;
+            let mut f = File::create(&tmp)?; // lint: persist-ok(this is the rename helper itself; hidden temp, fsync, then rename below)
             f.write_all(header.as_bytes())?;
             f.write_all(b"\n")?;
             f.sync_all()?;
@@ -149,7 +155,7 @@ impl CampaignFile {
 /// suffixing a monotonic counter on collision (two campaigns for the same
 /// circuit in the same nanosecond must not overwrite each other).
 fn reserve_unique(dir: &Path, circuit: &str, threads: usize) -> std::io::Result<(PathBuf, File)> {
-    let stamp = SystemTime::now()
+    let stamp = SystemTime::now() // lint: det-ok(filename stamp only; uniqueness comes from the create_new loop, results never read it)
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_nanos())
         .unwrap_or(0);
@@ -204,7 +210,7 @@ impl Campaign {
         Campaign {
             circuit: circuit.to_string(),
             threads,
-            started: Instant::now(),
+            started: Instant::now(), // lint: det-ok(wall-clock is observability metadata in records, never a campaign outcome)
             initial: None,
             trials: Vec::new(),
             workers: None,

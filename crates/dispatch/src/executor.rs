@@ -233,7 +233,7 @@ impl<'d, 'env> SetRunner<'d, 'env> {
     /// sequential simulator).
     pub fn run_set(&mut self, tests: &[ScanTest]) -> Vec<FaultId> {
         self.try_run_set(tests)
-            .unwrap_or_else(|e| panic!("set execution failed: {e}"))
+            .unwrap_or_else(|e| panic!("set execution failed: {e}")) // lint: panic-ok(documented contract: the fallible path is try_run_set, this is its asserting wrapper)
     }
 
     /// Submits one wave of trace jobs for the given tags.
@@ -249,13 +249,14 @@ impl<'d, 'env> SetRunner<'d, 'env> {
             let tests = Arc::clone(tests);
             let traces = Arc::clone(traces);
             self.disp.submit_tagged(tag, move |counters| {
-                let start = Instant::now();
+                let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
+                // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
                 let trace = ctx.good.simulate_test(&tests[t]);
                 counters.add_sim_time(start.elapsed());
                 // A retried job may find the trace already computed by a
                 // wave that panicked after publishing; either value is
                 // identical, so the loss is ignored.
-                let _ = traces[t].set(trace);
+                let _ = traces[t].set(trace); // lint: panic-ok(t decodes from a tag minted over 0..traces.len())
             });
         }
     }
@@ -278,12 +279,14 @@ impl<'d, 'env> SetRunner<'d, 'env> {
             let chunks = Arc::clone(chunks);
             let live_left = Arc::clone(live_left);
             self.disp.submit_tagged(tag, move |counters| {
-                if live_left.load(Ordering::Relaxed) == 0 {
+                if live_left.load(Ordering::Relaxed) == 0 { // lint: ordering-ok(early-exit hint only; a stale read just simulates a batch whose hits are already in the bitset)
                     return;
                 }
+                // lint: panic-ok(the trace wave idles before any batch wave is submitted, so the OnceLock is populated)
                 let trace = traces[t].get().expect("trace barrier passed");
                 let circuit = ctx.good.circuit();
                 // Shared-bitset fault dropping + activation prefilter.
+                // lint: panic-ok(c decodes from a tag minted over 0..chunks.len())
                 let candidates: Vec<(FaultId, Fault)> = chunks[c]
                     .iter()
                     .filter(|&&id| !ctx.detected_bits.get(id))
@@ -293,9 +296,9 @@ impl<'d, 'env> SetRunner<'d, 'env> {
                 if candidates.is_empty() {
                     return;
                 }
-                let start = Instant::now();
+                let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
                 let hits =
-                    simulate_batch_with(&ctx.good, &tests[t], trace, &candidates, ctx.options);
+                    simulate_batch_with(&ctx.good, &tests[t], trace, &candidates, ctx.options); // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
                 counters.add_batch(start.elapsed());
                 let mut newly = 0u64;
                 for id in hits {
@@ -305,7 +308,7 @@ impl<'d, 'env> SetRunner<'d, 'env> {
                 }
                 if newly > 0 {
                     counters.add_dropped(newly);
-                    live_left.fetch_sub(newly as usize, Ordering::Relaxed);
+                    live_left.fetch_sub(newly as usize, Ordering::Relaxed); // lint: ordering-ok(monotone countdown used only for the early-exit hint; the bitset carries the authoritative drops)
                 }
             });
         }

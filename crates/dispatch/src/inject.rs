@@ -54,7 +54,7 @@ mod armed {
             job_calls: 0,
             io_calls: 0,
         });
-        FIRED.store(0, Ordering::Relaxed);
+        FIRED.store(0, Ordering::Relaxed); // lint: ordering-ok(test-only telemetry counter; asserted after the campaign joins, never read mid-run)
     }
 
     /// Disarms injection; hooks become no-ops again.
@@ -64,7 +64,7 @@ mod armed {
 
     /// Number of faults injected since the last [`arm`].
     pub fn fired() -> u64 {
-        FIRED.load(Ordering::Relaxed)
+        FIRED.load(Ordering::Relaxed) // lint: ordering-ok(test-only telemetry counter; asserted after the campaign joins, never read mid-run)
     }
 
     /// Pool hook: runs before every job. May panic or sleep.
@@ -77,14 +77,14 @@ mod armed {
             state.job_calls += 1;
             let n = state.job_calls;
             if state.plan.poison_tag == Some(tag) {
-                FIRED.fetch_add(1, Ordering::Relaxed);
+                FIRED.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(test-only telemetry counter; asserted after the campaign joins)
                 boom = Some(format!("injected panic: poisoned job tag {tag:#x}"));
             } else if state.plan.panic_every.is_some_and(|k| n % k == 0) {
-                FIRED.fetch_add(1, Ordering::Relaxed);
+                FIRED.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(test-only telemetry counter; asserted after the campaign joins)
                 boom = Some(format!("injected panic: job call #{n}"));
             } else if let Some((k, millis)) = state.plan.delay_every {
                 if n % k == 0 {
-                    FIRED.fetch_add(1, Ordering::Relaxed);
+                    FIRED.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(test-only telemetry counter; asserted after the campaign joins)
                     delay = Some(millis);
                 }
             }
@@ -92,7 +92,7 @@ mod armed {
             // holding it would poison every later hook call.
         }
         if let Some(message) = boom {
-            panic!("{message}");
+            panic!("{message}"); // lint: panic-ok(the injected fault IS the panic; the supervisor under test must catch it)
         }
         if let Some(millis) = delay {
             std::thread::sleep(std::time::Duration::from_millis(millis));
@@ -107,7 +107,7 @@ mod armed {
         };
         state.io_calls += 1;
         if state.plan.io_error_every.is_some_and(|k| state.io_calls % k == 0) {
-            FIRED.fetch_add(1, Ordering::Relaxed);
+            FIRED.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(test-only telemetry counter; asserted after the campaign joins)
             return Err(std::io::Error::other(format!(
                 "injected io error at {site} (op #{})",
                 state.io_calls

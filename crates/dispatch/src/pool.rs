@@ -118,9 +118,9 @@ impl WorkerCounters {
     /// Records one simulated 64-lane batch and its wall time.
     #[inline]
     pub fn add_batch(&self, elapsed: Duration) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
         self.sim_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
     }
 
     /// Records wall time spent simulating without a batch (e.g. good-trace
@@ -128,24 +128,24 @@ impl WorkerCounters {
     #[inline]
     pub fn add_sim_time(&self, elapsed: Duration) {
         self.sim_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
     }
 
     /// Records `n` faults this worker newly dropped (first detection).
     #[inline]
     pub fn add_dropped(&self, n: u64) {
-        self.faults_dropped.fetch_add(n, Ordering::Relaxed);
+        self.faults_dropped.fetch_add(n, Ordering::Relaxed); // lint: ordering-ok(observability counter; the authoritative drop set lives in the bitset with Release publishes)
     }
 
     fn snapshot(&self, worker: usize) -> WorkerSnapshot {
         WorkerSnapshot {
             worker,
-            jobs: self.jobs.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
-            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
-            respawns: self.respawns.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
+            batches: self.batches.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
+            steals: self.steals.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
+            respawns: self.respawns.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
         }
     }
 }
@@ -250,7 +250,8 @@ impl<'env> Station<'env> {
     }
 
     fn submit(&self, tag: u64, job: Job<'env>) {
-        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len(); // lint: ordering-ok(round-robin placement hint only; results are reduced in tag order, not queue order)
+        // lint: panic-ok(slot < queues.len() by the modulo above)
         self.queues[slot]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -269,6 +270,7 @@ impl<'env> Station<'env> {
     /// queue lock).
     fn grab(&self, w: usize) -> Tagged<'env> {
         loop {
+            // lint: panic-ok(w < queues.len(): worker indices come from the spawn loop, length-checked in new())
             if let Some(job) = self.queues[w]
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
@@ -278,12 +280,14 @@ impl<'env> Station<'env> {
             }
             for k in 1..self.queues.len() {
                 let victim = (w + k) % self.queues.len();
+                // lint: panic-ok(victim < queues.len() by the modulo above)
                 if let Some(job) = self.queues[victim]
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .pop_front()
                 {
-                    self.counters[w].steals.fetch_add(1, Ordering::Relaxed);
+                    // lint: panic-ok(w < counters.len(): worker indices come from the spawn loop)
+                    self.counters[w].steals.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles)
                     return job;
                 }
             }
@@ -318,11 +322,15 @@ impl<'env> Station<'env> {
                 st.unclaimed -= 1;
             }
             let Tagged { tag, job } = self.grab(w);
-            self.inflight[w].store(tag, Ordering::Relaxed);
+            // lint: panic-ok(w < inflight.len(): worker indices come from the spawn loop)
+            self.inflight[w].store(tag, Ordering::Relaxed); // lint: ordering-ok(single-writer slot; the supervisor reads it on the same thread after catch_unwind, sequenced-before)
             crate::inject::on_job_start(tag);
+            // lint: panic-ok(w < counters.len(): worker indices come from the spawn loop)
             job(&self.counters[w]);
-            self.inflight[w].store(NO_JOB, Ordering::Relaxed);
-            self.counters[w].jobs.fetch_add(1, Ordering::Relaxed);
+            // lint: panic-ok(w < inflight.len(): worker indices come from the spawn loop)
+            self.inflight[w].store(NO_JOB, Ordering::Relaxed); // lint: ordering-ok(single-writer slot; the supervisor reads it on the same thread after catch_unwind, sequenced-before)
+            // lint: panic-ok(w < counters.len(): worker indices come from the spawn loop)
+            self.counters[w].jobs.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles)
             self.settle();
         }
     }
@@ -334,7 +342,8 @@ impl<'env> Station<'env> {
             match std::panic::catch_unwind(AssertUnwindSafe(|| self.worker_loop(w))) {
                 Ok(()) => return, // clean shutdown
                 Err(payload) => {
-                    let tag = self.inflight[w].swap(NO_JOB, Ordering::Relaxed);
+                    // lint: panic-ok(w < inflight.len(): worker indices come from the spawn loop)
+                    let tag = self.inflight[w].swap(NO_JOB, Ordering::Relaxed); // lint: ordering-ok(same-thread read: the unwind happened on this worker, sequenced after its store)
                     if tag == NO_JOB {
                         // The panic did not come from a job — a pool
                         // invariant is broken; do not mask it.
@@ -351,7 +360,8 @@ impl<'env> Station<'env> {
                             message,
                             class,
                         });
-                    self.counters[w].respawns.fetch_add(1, Ordering::Relaxed);
+                    // lint: panic-ok(w < counters.len(): worker indices come from the spawn loop)
+                    self.counters[w].respawns.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles)
                     self.settle();
                 }
             }

@@ -138,7 +138,7 @@ impl FaultBatch {
                 }
             }
         }
-        batch.ff_pos = ff_forces.into_iter().collect();
+        batch.ff_pos = ff_forces.into_iter().collect(); // lint: det-ok(hash order is erased by the sort on the next line)
         batch.ff_pos.sort_unstable_by_key(|&(p, _)| p);
         batch
     }

@@ -104,7 +104,7 @@ pub fn simulate_batch_transition(
         *slot |= 1u64 << lane;
     }
     let mut has_force = vec![false; circuit.len()];
-    for &n in str_mask.keys().chain(stf_mask.keys()) {
+    for &n in str_mask.keys().chain(stf_mask.keys()) { // lint: det-ok(order-free: sets independent per-key flags, no cross-key state)
         has_force[n as usize] = true;
     }
     // Previous-cycle faulty values of the forced nets; `armed` is false for
@@ -143,7 +143,7 @@ pub fn simulate_batch_transition(
         // Sources can also carry transition faults (flip-flop outputs and
         // primary inputs); apply forcing to them before the sweep.
         if armed {
-            for (&n, &mask) in &str_mask {
+            for (&n, &mask) in &str_mask { // lint: det-ok(order-free: each key updates only its own values slot)
                 let idx = n as usize;
                 if !circuit.node(NetId(n)).is_gate() {
                     let p = prev.get(&n).copied().unwrap_or(values[idx]);
@@ -151,7 +151,7 @@ pub fn simulate_batch_transition(
                     values[idx] = (values[idx] & !mask) | (forced & mask);
                 }
             }
-            for (&n, &mask) in &stf_mask {
+            for (&n, &mask) in &stf_mask { // lint: det-ok(order-free: each key updates only its own values slot)
                 let idx = n as usize;
                 if !circuit.node(NetId(n)).is_gate() {
                     let p = prev.get(&n).copied().unwrap_or(values[idx]);
@@ -181,7 +181,7 @@ pub fn simulate_batch_transition(
         }
         // Record the (possibly forced) site values as the next launch
         // reference.
-        for &n in str_mask.keys().chain(stf_mask.keys()) {
+        for &n in str_mask.keys().chain(stf_mask.keys()) { // lint: det-ok(order-free: inserts independent per-key snapshots, no cross-key state)
             prev.insert(n, values[n as usize]);
         }
         armed = true;

@@ -1,0 +1,211 @@
+//! `rls-lint` — std-only invariant linter for the random-limited-scan
+//! workspace.
+//!
+//! Clippy sees Rust; it cannot see *this project's* invariants. The
+//! reproduction's correctness story rests on bit-identical replay
+//! (`TS(I, D1)` selection, checkpoint/resume, the threads=N ≡ threads=1
+//! oracle), and those break silently if a result path gains an unordered
+//! `HashMap` iteration, a wall-clock read, or an `unwrap()` that bypasses
+//! the supervised-worker recovery model. This crate enforces them:
+//!
+//! - its own lightweight lexer ([`lexer`]) — raw strings, nested block
+//!   comments, char-vs-lifetime disambiguation; no `syn`, the build is
+//!   offline,
+//! - scope tracking and the marker grammar ([`scope`]) — `#[cfg(test)]`
+//!   regions are exempt, and deliberate sites are blessed with a `lint:`
+//!   marker carrying a reason,
+//! - the rule engine ([`rules`]) — determinism, panic-safety,
+//!   atomic-ordering, and persistence-hygiene rules,
+//! - the baseline gate ([`baseline`]) — pre-existing findings are
+//!   committed to `lint-baseline.json`; CI fails only on new ones.
+//!
+//! See DESIGN.md §8 for the rule catalogue and workflow.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{lint_source, Finding, RuleSet};
+
+/// Crates whose outputs feed campaign results: determinism rules apply.
+const DET_CRATES: &[&str] = &["core", "fsim", "lfsr", "scan", "netlist", "dispatch", "root"];
+
+/// Crates that own on-disk campaign artifacts: persistence rules apply.
+const PERSIST_CRATES: &[&str] = &["dispatch"];
+
+/// Crates excluded from scanning entirely (benchmark harness binaries —
+/// operator tooling, not result paths).
+const SKIP_CRATES: &[&str] = &["bench"];
+
+/// An I/O failure while walking or reading the workspace.
+#[derive(Debug)]
+pub struct LintError {
+    /// What the linter was doing.
+    pub context: &'static str,
+    /// The path involved.
+    pub path: PathBuf,
+    /// The underlying error.
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} `{}`: {}",
+            self.context,
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The rule classes for a crate, by directory name under `crates/`
+/// (`"root"` for the umbrella crate's `src/`).
+///
+/// Panic-safety and the atomic-ordering audit apply everywhere that is
+/// scanned — including this crate, which must pass its own rules.
+pub fn rules_for_crate(name: &str) -> RuleSet {
+    RuleSet {
+        det: DET_CRATES.contains(&name),
+        panic: true,
+        atomics: true,
+        persist: PERSIST_CRATES.contains(&name),
+    }
+}
+
+/// Lints one file on disk under the given rule classes, labelling
+/// findings with `label` (the workspace-relative path).
+pub fn lint_file(path: &Path, label: &str, rules: RuleSet) -> Result<Vec<Finding>, LintError> {
+    let source = fs::read_to_string(path).map_err(|e| LintError {
+        context: "reading",
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+    Ok(lint_source(label, rules, &source))
+}
+
+/// Lints the whole workspace rooted at `root`: `src/` (the umbrella
+/// crate) and every `crates/<name>/src/` except the skip list. Binary
+/// entry points (`main.rs`, `src/bin/`) are exempt, matching the
+/// panic-safety rule's scope (failures there surface to the operator
+/// directly). Findings are sorted by path, line, then rule — the order is
+/// deterministic, as the linter demands of everyone else.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
+    let mut findings = Vec::new();
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        lint_dir(&umbrella, root, rules_for_crate("root"), &mut findings)?;
+    }
+    let crates = root.join("crates");
+    for name in sorted_dir_names(&crates)? {
+        if SKIP_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        let src = crates.join(&name).join("src");
+        if src.is_dir() {
+            lint_dir(&src, root, rules_for_crate(&name), &mut findings)?;
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule))
+    });
+    Ok(findings)
+}
+
+/// Recursively lints `.rs` files under `dir` (sorted traversal),
+/// skipping `bin/` directories and `main.rs` files.
+fn lint_dir(
+    dir: &Path,
+    root: &Path,
+    rules: RuleSet,
+    findings: &mut Vec<Finding>,
+) -> Result<(), LintError> {
+    for name in sorted_dir_names(dir)? {
+        let path = dir.join(&name);
+        if path.is_dir() {
+            if name != "bin" {
+                lint_dir(&path, root, rules, findings)?;
+            }
+            continue;
+        }
+        if !name.ends_with(".rs") || name == "main.rs" {
+            continue;
+        }
+        let label: String = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        findings.extend(lint_file(&path, &label, rules)?);
+    }
+    Ok(())
+}
+
+/// Directory entry names, sorted for deterministic traversal.
+fn sorted_dir_names(dir: &Path) -> Result<Vec<String>, LintError> {
+    let entries = fs::read_dir(dir).map_err(|e| LintError {
+        context: "listing",
+        path: dir.to_path_buf(),
+        source: e,
+    })?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError {
+            context: "listing",
+            path: dir.to_path_buf(),
+            source: e,
+        })?;
+        names.push(entry.file_name().to_string_lossy().into_owned());
+    }
+    names.sort();
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_scoping_matches_the_design() {
+        let core = rules_for_crate("core");
+        assert!(core.det && core.panic && core.atomics && !core.persist);
+        let dispatch = rules_for_crate("dispatch");
+        assert!(dispatch.det && dispatch.persist);
+        let lint = rules_for_crate("lint");
+        assert!(!lint.det && lint.panic && lint.atomics && !lint.persist);
+        let atpg = rules_for_crate("atpg");
+        assert!(!atpg.det && atpg.panic);
+    }
+
+    #[test]
+    fn workspace_walk_is_deterministic_and_labels_are_relative() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let a = lint_workspace(&root).map(|f| f.len());
+        let b = lint_workspace(&root).map(|f| f.len());
+        assert!(a.is_ok(), "{a:?}");
+        let first = lint_workspace(&root).ok().and_then(|f| f.into_iter().next());
+        if let Some(f) = first {
+            assert!(!f.file.starts_with('/'), "label should be relative: {}", f.file);
+            assert!(f.file.ends_with(".rs"));
+        }
+        assert_eq!(a.ok(), b.ok());
+    }
+}

@@ -1,0 +1,163 @@
+//! `rls-lint` command-line entry point.
+//!
+//! ```text
+//! rls-lint [--root DIR] [--baseline FILE] [--update-baseline] [--json]
+//! ```
+//!
+//! Exit codes: 0 — clean (or no findings beyond the baseline); 1 —
+//! findings (new findings when a baseline is given); 2 — usage or I/O
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rls_lint::baseline;
+use rls_lint::rules::Finding;
+
+const USAGE: &str = "\
+rls-lint: workspace invariant linter (determinism, panic-safety, atomics, persistence)
+
+USAGE:
+    rls-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR           workspace root to lint (default: .)
+    --baseline FILE      gate against a committed baseline: only findings
+                         absent from FILE fail the run
+    --update-baseline    rewrite FILE (requires --baseline) with the
+                         current findings and exit 0
+    --json               emit findings as JSON lines instead of text
+    -h, --help           print this help
+";
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        update_baseline: false,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = it.next().ok_or("--root requires a value")?;
+                opts.root = PathBuf::from(value);
+            }
+            "--baseline" => {
+                let value = it.next().ok_or("--baseline requires a value")?;
+                opts.baseline = Some(PathBuf::from(value));
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => opts.json = true,
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.update_baseline && opts.baseline.is_none() {
+        return Err("--update-baseline requires --baseline".to_string());
+    }
+    Ok(Some(opts))
+}
+
+fn print_finding(f: &Finding, json: bool) {
+    if json {
+        let line = rls_dispatch::jsonl::JsonObject::new()
+            .str("file", &f.file)
+            .num("line", u64::from(f.line))
+            .str("rule", &f.rule)
+            .str("snippet", &f.snippet)
+            .str("message", &f.message)
+            .render();
+        println!("{line}");
+    } else {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            println!("    {}", f.snippet);
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    let findings =
+        rls_lint::lint_workspace(&opts.root).map_err(|e| format!("lint walk failed: {e}"))?;
+
+    if opts.update_baseline {
+        if let Some(path) = &opts.baseline {
+            std::fs::write(path, baseline::render(&findings))
+                .map_err(|e| format!("writing baseline `{}`: {e}", path.display()))?;
+            eprintln!(
+                "rls-lint: baseline `{}` updated with {} finding(s)",
+                path.display(),
+                findings.len()
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
+
+    let report: Vec<&Finding> = match &opts.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline `{}`: {e}", path.display()))?;
+            let entries = baseline::parse(&text)
+                .map_err(|e| format!("parsing baseline `{}`: {e}", path.display()))?;
+            baseline::new_findings(&findings, &entries)
+        }
+        None => findings.iter().collect(),
+    };
+
+    for f in &report {
+        print_finding(f, opts.json);
+    }
+    let gated = opts.baseline.is_some();
+    if report.is_empty() {
+        if gated {
+            eprintln!(
+                "rls-lint: clean — {} baselined finding(s), 0 new",
+                findings.len()
+            );
+        } else {
+            eprintln!("rls-lint: clean — 0 findings");
+        }
+        Ok(ExitCode::SUCCESS)
+    } else {
+        if gated {
+            eprintln!(
+                "rls-lint: {} NEW finding(s) not in the baseline (of {} total); fix them or bless deliberate sites with a `lint:` marker",
+                report.len(),
+                findings.len()
+            );
+        } else {
+            eprintln!("rls-lint: {} finding(s)", report.len());
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Some(opts)) => match run(&opts) {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("rls-lint: error: {message}");
+                ExitCode::from(2)
+            }
+        },
+        Ok(None) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("rls-lint: error: {message}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

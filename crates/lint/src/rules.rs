@@ -1,0 +1,751 @@
+//! The rule engine: token-sequence rules over one file, with per-file
+//! rule classes and `lint:` marker suppression.
+//!
+//! Each rule guards an invariant established by an earlier PR (see
+//! DESIGN.md §8 for the rationale table):
+//!
+//! | rule | class | guards |
+//! |------|-------|--------|
+//! | `det-hash-iter` | determinism | bit-identical replay: no unordered iteration in result paths |
+//! | `det-wall-clock` | determinism | outcomes never depend on `Instant`/`SystemTime` |
+//! | `det-thread-id` | determinism | outcomes never depend on which worker ran a job |
+//! | `det-env-read` | determinism | configuration flows through `ExecProfile`, not scattered reads |
+//! | `panic-unwrap` / `panic-expect` / `panic-macro` / `panic-slice-index` | panic-safety | failures route through `DispatchError`/`ConfigError`, not unwinds |
+//! | `atomic-ordering` | atomics | every `Relaxed`/`SeqCst` states why it cannot reorder past its barrier |
+//! | `persist-raw-create` | persistence | campaign files are created via temp-file + atomic rename |
+//! | `lint-annotation` | hygiene | markers are well-formed and still suppress something |
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::scope::{AnnKey, FileScope};
+
+/// Which rule classes apply to a file (derived from its crate, see
+/// [`crate::config`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet {
+    /// Determinism rules (`det-*`).
+    pub det: bool,
+    /// Panic-safety rules (`panic-*`).
+    pub panic: bool,
+    /// Atomic-ordering audit.
+    pub atomics: bool,
+    /// Persistence hygiene (`persist-*`).
+    pub persist: bool,
+}
+
+impl RuleSet {
+    /// Every rule class enabled.
+    pub fn all() -> RuleSet {
+        RuleSet {
+            det: true,
+            panic: true,
+            atomics: true,
+            persist: true,
+        }
+    }
+}
+
+/// One reported invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `det-hash-iter`).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The trimmed source line (the baseline matches on this, so findings
+    /// survive line drift).
+    pub snippet: String,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// The suppression class a rule belongs to (`None` for hygiene findings,
+/// which cannot be blessed away).
+fn class_of(rule: &str) -> Option<AnnKey> {
+    if rule.starts_with("det-") {
+        Some(AnnKey::DetOk)
+    } else if rule.starts_with("panic-") {
+        Some(AnnKey::PanicOk)
+    } else if rule == "atomic-ordering" {
+        Some(AnnKey::OrderingOk)
+    } else if rule.starts_with("persist-") {
+        Some(AnnKey::PersistOk)
+    } else {
+        None
+    }
+}
+
+/// Iteration methods that expose hash-bucket order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Keywords that may legally precede a `[` without it being an index
+/// expression (slice patterns, array expressions in statement position).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "else", "match", "if", "while", "loop", "move", "box",
+    "as", "dyn", "impl", "for", "where", "const", "static", "break", "continue", "await", "unsafe",
+    "pub", "fn", "use", "struct", "enum", "type", "yield",
+];
+
+/// Lints one file's source text under the given rule classes.
+///
+/// `file` is the label used in findings (workspace-relative path).
+pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let scope = FileScope::build(&tokens);
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    // Non-comment tokens with their index in the full stream (for test
+    // scope lookups).
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect();
+    let ident_at = |k: usize| -> Option<&str> {
+        code.get(k).and_then(|(_, t)| {
+            if t.kind == TokKind::Ident {
+                Some(t.text.as_str())
+            } else {
+                None
+            }
+        })
+    };
+    let punct_at = |k: usize, c: char| -> bool { code.get(k).is_some_and(|(_, t)| t.is_punct(c)) };
+    let line_at = |k: usize| -> u32 { code.get(k).map(|(_, t)| t.line).unwrap_or(0) };
+    let in_test = |k: usize| -> bool { code.get(k).is_some_and(|(i, _)| scope.is_test(*i)) };
+
+    let hash_names = hash_bound_names(&code, &scope);
+    // A `let`-bound local only matches when NOT accessed as a field
+    // (`self.live` is some struct's field, not the local that happens to
+    // share its name); a field binding matches in either position.
+    let is_hash_name = |k: usize| -> bool {
+        ident_at(k).is_some_and(|name| {
+            hash_names.iter().any(|(h, kind)| {
+                h == name
+                    && (*kind == BindKind::Field
+                        || !(k > 0 && code.get(k - 1).is_some_and(|(_, t)| t.is_punct('.'))))
+            })
+        })
+    };
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut emit = |rule: &str, line: u32, message: String| {
+        raw.push(Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            snippet: snippet(line),
+            message,
+        });
+    };
+
+    for k in 0..code.len() {
+        if in_test(k) {
+            continue;
+        }
+        let line = line_at(k);
+
+        // --- atomics: Ordering::Relaxed / Ordering::SeqCst ---
+        if rules.atomics
+            && ident_at(k) == Some("Ordering")
+            && punct_at(k + 1, ':')
+            && punct_at(k + 2, ':')
+        {
+            if let Some(which @ ("Relaxed" | "SeqCst")) = ident_at(k + 3) {
+                emit(
+                    "atomic-ordering",
+                    line,
+                    format!(
+                        "`Ordering::{which}` on shared state needs an ordering-ok justification \
+                         (why can this access not reorder past its reduction barrier?)"
+                    ),
+                );
+            }
+        }
+
+        // --- determinism: wall clock, thread identity, env reads ---
+        if rules.det {
+            if let Some(clock @ ("Instant" | "SystemTime")) = ident_at(k) {
+                if punct_at(k + 1, ':') && punct_at(k + 2, ':') && ident_at(k + 3) == Some("now") {
+                    emit(
+                        "det-wall-clock",
+                        line,
+                        format!("`{clock}::now()` in a result-affecting crate — outcomes must not depend on wall time"),
+                    );
+                }
+            }
+            if ident_at(k) == Some("thread")
+                && punct_at(k + 1, ':')
+                && punct_at(k + 2, ':')
+                && ident_at(k + 3) == Some("current")
+            {
+                emit(
+                    "det-thread-id",
+                    line,
+                    "`thread::current()` in a result-affecting crate — outcomes must not depend on worker identity".to_string(),
+                );
+            }
+            if ident_at(k) == Some("env") && punct_at(k + 1, ':') && punct_at(k + 2, ':') {
+                if let Some(read @ ("var" | "var_os" | "vars" | "vars_os")) = ident_at(k + 3) {
+                    emit(
+                        "det-env-read",
+                        line,
+                        format!("`env::{read}` in a result-affecting crate — configuration flows through `ExecProfile`"),
+                    );
+                }
+            }
+            // Hash iteration: `h.iter()`-family on a hash-bound name …
+            if is_hash_name(k) && punct_at(k + 1, '.') {
+                if let Some(m) = ident_at(k + 2) {
+                    if ITER_METHODS.contains(&m) {
+                        emit(
+                            "det-hash-iter",
+                            line,
+                            format!(
+                                "`.{m}()` on a HashMap/HashSet iterates in hash order — sort the \
+                                 result or use an ordered structure"
+                            ),
+                        );
+                    }
+                }
+            }
+            // … or `for x in [&[mut]] h` with the loop body following.
+            if is_hash_name(k) {
+                let mut p = k;
+                while p > 0 && (punct_at(p - 1, '&') || ident_at(p - 1) == Some("mut")) {
+                    p -= 1;
+                }
+                if p > 0 && ident_at(p - 1) == Some("in") && punct_at(k + 1, '{') {
+                    emit(
+                        "det-hash-iter",
+                        line,
+                        "`for … in` over a HashMap/HashSet iterates in hash order — sort the \
+                         result or use an ordered structure"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        // --- panic-safety ---
+        if rules.panic {
+            if ident_at(k) == Some("unwrap")
+                && k > 0
+                && punct_at(k - 1, '.')
+                && punct_at(k + 1, '(')
+                && punct_at(k + 2, ')')
+            {
+                emit(
+                    "panic-unwrap",
+                    line,
+                    "`.unwrap()` outside test code — route the failure through `DispatchError`/`ConfigError`".to_string(),
+                );
+            }
+            if ident_at(k) == Some("expect") && k > 0 && punct_at(k - 1, '.') && punct_at(k + 1, '(')
+            {
+                emit(
+                    "panic-expect",
+                    line,
+                    "`.expect(…)` outside test code — route the failure through `DispatchError`/`ConfigError`".to_string(),
+                );
+            }
+            if let Some(mac @ ("panic" | "unreachable" | "todo" | "unimplemented")) = ident_at(k) {
+                if punct_at(k + 1, '!') {
+                    emit(
+                        "panic-macro",
+                        line,
+                        format!("`{mac}!` outside test code — supervised workers expect classified errors, not unwinds"),
+                    );
+                }
+            }
+            if punct_at(k, '[') && k > 0 {
+                let prev_indexable = match code.get(k - 1) {
+                    Some((_, t)) => match &t.kind {
+                        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&t.text.as_str()),
+                        TokKind::Punct(')') | TokKind::Punct(']') => true,
+                        _ => false,
+                    },
+                    None => false,
+                };
+                if prev_indexable {
+                    emit(
+                        "panic-slice-index",
+                        line,
+                        "slice/array index can panic — use `.get(…)` or establish the bound and bless it".to_string(),
+                    );
+                }
+            }
+        }
+
+        // --- persistence hygiene ---
+        if rules.persist
+            && ident_at(k) == Some("File")
+            && punct_at(k + 1, ':')
+            && punct_at(k + 2, ':')
+            && ident_at(k + 3) == Some("create")
+        {
+            emit(
+                "persist-raw-create",
+                line,
+                "raw `File::create` — campaign artifacts go through the temp-file + atomic-rename helper".to_string(),
+            );
+        }
+    }
+
+    // Suppression: a marker of the matching class on the finding's line
+    // blesses it (and is thereby consumed).
+    let mut used = vec![false; scope.annotations.len()];
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let class = class_of(&f.rule);
+        let suppressed = class.is_some_and(|c| {
+            scope
+                .annotations
+                .iter()
+                .enumerate()
+                .find(|(_, a)| a.key == c && a.target_line == f.line)
+                .map(|(i, _)| {
+                    if let Some(slot) = used.get_mut(i) {
+                        *slot = true;
+                    }
+                })
+                .is_some()
+        });
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    // Hygiene: malformed markers, and markers that bless nothing.
+    for bad in &scope.bad_annotations {
+        findings.push(Finding {
+            rule: "lint-annotation".to_string(),
+            file: file.to_string(),
+            line: bad.line,
+            snippet: snippet(bad.line),
+            message: bad.message.clone(),
+        });
+    }
+    for (i, a) in scope.annotations.iter().enumerate() {
+        if !used.get(i).copied().unwrap_or(false) {
+            findings.push(Finding {
+                rule: "lint-annotation".to_string(),
+                file: file.to_string(),
+                line: a.line,
+                snippet: snippet(a.line),
+                message: format!(
+                    "stale `{}` marker: it suppresses nothing on line {}",
+                    a.key.name(),
+                    a.target_line
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    findings
+}
+
+/// How a hash-bound name was introduced — determines whether a `.name`
+/// field access can refer to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BindKind {
+    /// `let [mut] name … HashMap…` — a local; `.name` is something else.
+    Local,
+    /// `name: HashMap<…>` — a struct field or typed parameter.
+    Field,
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` values in live code:
+/// `let [mut] name … HashMap…` bindings and `name: HashMap<…>` struct
+/// fields, resolved per line. A file-scoped heuristic — a later `name` in
+/// an unrelated function also counts, which errs toward reporting.
+fn hash_bound_names(code: &[(usize, &Token)], scope: &FileScope) -> Vec<(String, BindKind)> {
+    let mut names: Vec<(String, BindKind)> = Vec::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        let hash_here = code.get(k).is_some_and(|(i, t)| {
+            (t.is_ident("HashMap") || t.is_ident("HashSet")) && !scope.is_test(*i)
+        });
+        if !hash_here {
+            k += 1;
+            continue;
+        }
+        let line = code.get(k).map(|(_, t)| t.line).unwrap_or(0);
+        // Tokens of the same line, up to the HashMap/HashSet occurrence.
+        let line_start = code
+            .iter()
+            .position(|(_, t)| t.line == line)
+            .unwrap_or(k);
+        let before: Vec<&Token> = code
+            .get(line_start..k)
+            .unwrap_or(&[])
+            .iter()
+            .map(|(_, t)| *t)
+            .collect();
+        let mut bound: Option<(String, BindKind)> = None;
+        // `let [mut] name` anywhere before the type wins.
+        for (j, t) in before.iter().enumerate() {
+            if t.is_ident("let") {
+                let mut n = j + 1;
+                if before.get(n).is_some_and(|t| t.is_ident("mut")) {
+                    n += 1;
+                }
+                if let Some(name_tok) = before.get(n) {
+                    if name_tok.kind == TokKind::Ident {
+                        bound = Some((name_tok.text.clone(), BindKind::Local));
+                    }
+                }
+            }
+        }
+        // Otherwise the last `name :` pair (struct field / typed param),
+        // skipping `path::segments`.
+        if bound.is_none() {
+            for (j, t) in before.iter().enumerate() {
+                if t.kind == TokKind::Ident
+                    && before.get(j + 1).is_some_and(|p| p.is_punct(':'))
+                    && !before.get(j + 2).is_some_and(|p| p.is_punct(':'))
+                    && !before.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct(':'))
+                {
+                    bound = Some((t.text.clone(), BindKind::Field));
+                }
+            }
+        }
+        if let Some((name, kind)) = bound {
+            match names.iter_mut().find(|(n, _)| *n == name) {
+                // `Field` is the more permissive kind; keep it.
+                Some(entry) => {
+                    if kind == BindKind::Field {
+                        entry.1 = BindKind::Field;
+                    }
+                }
+                None => names.push((name, kind)),
+            }
+        }
+        k += 1;
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str, rules: RuleSet) -> Vec<String> {
+        lint_source("fixture.rs", rules, src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    fn all(src: &str) -> Vec<String> {
+        rules_of(src, RuleSet::all())
+    }
+
+    // --- acceptance fixtures: the synthetic hazards the issue names ---
+
+    #[test]
+    fn synthetic_hashmap_iteration_in_core_is_flagged() {
+        // Mirrors introducing an unordered reduction into `crates/core`.
+        let src = r#"
+            use std::collections::HashMap;
+            fn reduce() {
+                let mut newly: HashMap<u64, u64> = HashMap::new();
+                newly.insert(1, 2);
+                for (id, n) in &newly {
+                    record(*id, *n);
+                }
+            }
+        "#;
+        assert!(all(src).contains(&"det-hash-iter".to_string()), "{:?}", all(src));
+    }
+
+    #[test]
+    fn synthetic_unannotated_relaxed_is_flagged_and_blessing_clears_it() {
+        let hazard = r#"
+            fn publish(flag: &std::sync::atomic::AtomicU64) {
+                flag.store(1, Ordering::Relaxed);
+            }
+        "#;
+        assert_eq!(all(hazard), ["atomic-ordering"]);
+        let blessed = r#"
+            fn publish(flag: &std::sync::atomic::AtomicU64) {
+                flag.store(1, Ordering::Relaxed); // lint: ordering-ok(monotone flag; readers re-check under the pool mutex)
+            }
+        "#;
+        assert!(all(blessed).is_empty(), "{:?}", all(blessed));
+    }
+
+    // --- determinism rules ---
+
+    #[test]
+    fn hash_method_iteration_is_flagged() {
+        for call in ["keys", "values", "iter", "drain", "into_iter"] {
+            let src = format!(
+                "fn f() {{ let m: HashMap<u32, u32> = HashMap::new(); let _ = m.{call}(); }}"
+            );
+            assert_eq!(all(&src), ["det-hash-iter"], "method {call}");
+        }
+    }
+
+    #[test]
+    fn hash_field_iteration_is_flagged() {
+        let src = r#"
+            struct Batch { pin: HashMap<(u32, u32), u8> }
+            fn f(b: &Batch) {
+                for (k, v) in b.pin.iter() { use_it(k, v); }
+            }
+        "#;
+        assert_eq!(all(src), ["det-hash-iter"]);
+    }
+
+    #[test]
+    fn hash_lookup_is_not_iteration() {
+        let src = r#"
+            fn f() {
+                let m: HashMap<u32, u32> = HashMap::new();
+                let _ = m.get(&1);
+                let _ = m.contains_key(&2);
+                m2.insert(1, 2);
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+    }
+
+    #[test]
+    fn vec_field_sharing_a_local_hash_name_is_not_flagged() {
+        let src = r#"
+            fn f(&mut self) {
+                let ids: Vec<u32> = self.live.iter().copied().collect();
+                let live: HashSet<u32> = HashSet::new();
+                let _ = live.contains(&1);
+                let _ = ids;
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+        let genuine = r#"
+            fn f() {
+                let live: HashSet<u32> = HashSet::new();
+                for x in &live { use_it(x); }
+            }
+        "#;
+        assert_eq!(all(genuine), ["det-hash-iter"]);
+    }
+
+    #[test]
+    fn vec_iteration_is_not_flagged() {
+        let src = "fn f(v: &Vec<u32>) { for x in v.iter() { use_it(x); } }";
+        assert!(all(src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_thread_id_env_are_flagged() {
+        let src = r#"
+            fn f() {
+                let t = Instant::now();
+                let s = SystemTime::now();
+                let id = thread::current();
+                let v = env::var("X");
+            }
+        "#;
+        assert_eq!(
+            all(src),
+            ["det-wall-clock", "det-wall-clock", "det-thread-id", "det-env-read"]
+        );
+    }
+
+    #[test]
+    fn det_rules_respect_scope() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let no_det = RuleSet {
+            det: false,
+            ..RuleSet::all()
+        };
+        assert!(rules_of(src, no_det).is_empty());
+    }
+
+    // --- panic-safety rules ---
+
+    #[test]
+    fn unwrap_expect_macros_and_indexing_are_flagged() {
+        let src = r#"
+            fn f(v: &[u8], o: Option<u8>) -> u8 {
+                let a = o.unwrap();
+                let b = o.expect("present");
+                if v.is_empty() { panic!("empty"); }
+                match a { 0 => unreachable!(), _ => {} }
+                v[0] + data[i]
+            }
+        "#;
+        assert_eq!(
+            all(src),
+            [
+                "panic-unwrap",
+                "panic-expect",
+                "panic-macro",
+                "panic-macro",
+                "panic-slice-index",
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = r#"
+            fn f(m: &Mutex<u8>) -> u8 {
+                *m.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            fn live(v: &[u8]) -> u8 { v.first().copied().unwrap_or(0) }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn check() {
+                    let v = vec![1u8];
+                    assert_eq!(v[0], super::live(&v).unwrap());
+                    panic!("fine here");
+                }
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+    }
+
+    #[test]
+    fn slice_patterns_and_array_types_are_not_indexing() {
+        let src = r#"
+            fn f(pair: [u8; 2], s: &[u8]) -> [u8; 2] {
+                let [a, b] = pair;
+                let _: &[u8] = s;
+                let arr = [a, b];
+                arr
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+    }
+
+    #[test]
+    fn macro_brackets_are_not_indexing_but_chained_index_is() {
+        assert!(all("fn f() { let v = vec![1, 2]; }").is_empty());
+        assert_eq!(
+            all("fn f() { let x = vec![1, 2][0]; }"),
+            ["panic-slice-index"]
+        );
+    }
+
+    #[test]
+    fn panic_blessing_covers_all_panic_findings_on_the_line() {
+        let src = r#"
+            fn f(traces: &[Trace], t: usize) -> u8 {
+                traces[t].get().expect("barrier passed") // lint: panic-ok(supervised job; unwind is classified and retried)
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+    }
+
+    // --- atomics ---
+
+    #[test]
+    fn seqcst_needs_blessing_and_acquire_release_do_not() {
+        let src = r#"
+            fn f(a: &AtomicU64) {
+                a.store(1, Ordering::SeqCst);
+                a.store(2, Ordering::Release);
+                let _ = a.load(Ordering::Acquire);
+                let _ = a.swap(3, Ordering::AcqRel);
+            }
+        "#;
+        assert_eq!(all(src), ["atomic-ordering"]);
+    }
+
+    #[test]
+    fn standalone_marker_line_blesses_next_line() {
+        let src = r#"
+            fn f(a: &AtomicU64) {
+                // lint: ordering-ok(counter is observational; snapshot happens at the idle barrier)
+                a.fetch_add(1, Ordering::Relaxed);
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+    }
+
+    // --- persistence ---
+
+    #[test]
+    fn raw_file_create_is_flagged_only_in_persist_scope() {
+        let src = r#"fn f(p: &Path) { let _ = File::create(p); }"#;
+        assert_eq!(all(src), ["persist-raw-create"]);
+        let no_persist = RuleSet {
+            persist: false,
+            ..RuleSet::all()
+        };
+        assert!(rules_of(src, no_persist).is_empty());
+    }
+
+    #[test]
+    fn create_new_reservation_is_not_raw_create() {
+        let src = r#"
+            fn f(p: &Path) -> std::io::Result<File> {
+                OpenOptions::new().write(true).create_new(true).open(p)
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+    }
+
+    // --- marker hygiene ---
+
+    #[test]
+    fn stale_marker_is_reported() {
+        let src = r#"
+            fn f() {
+                // lint: ordering-ok(nothing here needs it)
+                let x = 1;
+            }
+        "#;
+        let found = lint_source("fixture.rs", RuleSet::all(), src);
+        assert_eq!(found.len(), 1);
+        let f = found.first().map(|f| (f.rule.as_str(), f.line));
+        assert_eq!(f, Some(("lint-annotation", 3)));
+    }
+
+    #[test]
+    fn misspelled_marker_is_reported() {
+        let src = "fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); } // lint: orderin-ok(typo)";
+        let rules: Vec<String> = all(src);
+        assert!(rules.contains(&"atomic-ordering".to_string()), "{rules:?}");
+        assert!(rules.contains(&"lint-annotation".to_string()), "{rules:?}");
+    }
+
+    #[test]
+    fn findings_carry_snippets_for_baseline_matching() {
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n";
+        let found = lint_source("x.rs", RuleSet::all(), src);
+        assert_eq!(
+            found.first().map(|f| f.snippet.as_str()),
+            Some("o.unwrap()")
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The invariant linter gates its own workspace.
+//!
+//! Two guarantees, checked in-process (no subprocess spawning, so the
+//! test works under `cargo test -q --offline --workspace`):
+//!
+//! 1. The committed tree produces no findings beyond the committed
+//!    `lint-baseline.json` — the same check `ci.sh` runs via the CLI.
+//! 2. The `dispatch` crate — the burned-down baseline slice — lints to
+//!    zero findings outright: every remaining panic, atomic ordering,
+//!    wall-clock read, and raw file create there is either fixed or
+//!    carries a `lint:` marker with a reason.
+
+use std::path::{Path, PathBuf};
+
+use rls_lint::baseline;
+use rls_lint::rules::Finding;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn render(findings: &[&Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn workspace_has_no_findings_beyond_the_baseline() {
+    let root = workspace_root();
+    let findings = rls_lint::lint_workspace(&root).expect("lint walk");
+    let text = std::fs::read_to_string(root.join("lint-baseline.json")).expect("baseline file");
+    let entries = baseline::parse(&text).expect("baseline parses");
+    let fresh = baseline::new_findings(&findings, &entries);
+    assert!(
+        fresh.is_empty(),
+        "{} new lint finding(s); fix them, bless deliberate sites with a `lint:` marker, \
+         or (after review) run `cargo run -p rls-lint --offline -- --baseline \
+         lint-baseline.json --update-baseline`:\n{}",
+        fresh.len(),
+        render(&fresh)
+    );
+}
+
+#[test]
+fn dispatch_crate_lints_to_zero_findings() {
+    let root = workspace_root();
+    let findings = rls_lint::lint_workspace(&root).expect("lint walk");
+    let dispatch: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/dispatch/"))
+        .collect();
+    assert!(
+        dispatch.is_empty(),
+        "dispatch is the burned-down slice and must stay at zero findings:\n{}",
+        render(&dispatch)
+    );
+}
+
+#[test]
+fn baseline_matches_are_line_drift_tolerant() {
+    // The committed baseline must keep gating even as unrelated edits
+    // move code around: matching is on (file, rule, snippet), never on
+    // the recorded line number.
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint-baseline.json")).expect("baseline file");
+    let entries = baseline::parse(&text).expect("baseline parses");
+    assert!(!entries.is_empty(), "baseline should carry the kernel debt");
+    let first = entries.first().expect("non-empty");
+    let drifted = [Finding {
+        rule: first.rule.clone(),
+        file: first.file.clone(),
+        line: 999_999,
+        snippet: first.snippet.clone(),
+        message: String::new(),
+    }];
+    assert!(baseline::new_findings(&drifted, &entries).is_empty());
+}
+
+#[test]
+fn rule_scopes_cover_the_result_affecting_crates() {
+    for name in ["core", "fsim", "lfsr", "scan", "netlist", "dispatch"] {
+        assert!(
+            rls_lint::rules_for_crate(name).det,
+            "determinism rules must cover `{name}`"
+        );
+    }
+    assert!(rls_lint::rules_for_crate("dispatch").persist);
+    // And the linter holds itself to the panic/atomics rules.
+    let own = rls_lint::rules_for_crate("lint");
+    assert!(own.panic && own.atomics);
+    let _ = Path::new("crates/lint");
+}
