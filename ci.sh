@@ -29,4 +29,18 @@ echo "== resilience: fault-injected recovery paths =="
 # the fault-inject feature must be a no-op until a plan is armed.
 cargo test -q --offline --features fault-inject --test resilience --test determinism
 
+echo "== obs: smoke =="
+# A real table run with tracing on: the metrics JSONL must appear, parse,
+# and end with the summary line; the stderr sink must not disturb stdout.
+OBS_DIR=$(mktemp -d)
+RLS_OBS=1 RLS_OBS_SINK=jsonl RLS_THREADS=2 RLS_CAMPAIGN_DIR="$OBS_DIR" \
+    cargo run -q --release --offline -p rls-bench --bin table6 -- s27 > "$OBS_DIR/table6.out"
+OBS_STREAM=$(ls "$OBS_DIR"/obs-*.jsonl)
+grep -q '"type":"obs"' "$OBS_STREAM"
+grep -q '"name":"procedure2.run"' "$OBS_STREAM"
+grep -q '"name":"dispatch.set"' "$OBS_STREAM"
+tail -n 1 "$OBS_STREAM" | grep -q '"type":"obs_summary"'
+grep -q 's27' "$OBS_DIR/table6.out"
+rm -rf "$OBS_DIR"
+
 echo "CI OK"

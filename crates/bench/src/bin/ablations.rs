@@ -74,7 +74,9 @@ fn variants() -> Vec<Variant> {
 fn main() {
     let names = rls_bench::circuits_from_args(&["s298"]);
     let exec = rls_bench::exec_profile();
+    let table = rls_bench::table_span("ablations");
     for name in &names {
+        let _circuit = rls_bench::circuit_span(name);
         let c = rls_bench::circuit(name);
         let info = detectable_target(&c, rls_bench::DEFAULT_BACKTRACK_LIMIT);
         println!(
@@ -99,4 +101,5 @@ fn main() {
         }
         println!("{}", t.render());
     }
+    rls_bench::finish_obs(table);
 }

@@ -1,21 +1,27 @@
-//! `rls-report` — compares two campaign JSONL records.
+//! `rls-report` — compares two campaign or obs-metrics JSONL records.
 //!
 //! ```text
 //! rls-report <baseline.jsonl> <candidate.jsonl>
 //! ```
 //!
-//! Prints a side-by-side table of the headline metrics (fault coverage,
-//! accepted pairs, cycle and wall-clock cost, worker counters) and the
-//! coverage curve divergence point. Exit codes make it usable as a CI
-//! gate:
+//! With two campaign records (written by the table binaries under
+//! `RLS_CAMPAIGN_DIR`), prints a side-by-side table of the headline
+//! metrics (fault coverage, accepted pairs, cycle and wall-clock cost,
+//! worker counters) and the coverage curve divergence point.
+//!
+//! With two obs metrics streams (written by `RLS_OBS=1`, named
+//! `obs-<run_id>.jsonl`), prints a per-phase wall-time breakdown — every
+//! span name with its count and total duration, side by side — the share
+//! of wall time covered by top-level spans, and the coverage-trajectory
+//! divergence point from the `procedure2.coverage` gauges.
+//!
+//! Exit codes make both modes usable as a CI gate:
 //!
 //! * `0` — candidate coverage is at least the baseline's
 //! * `1` — coverage regression (fewer faults detected, or a complete
 //!   campaign turned incomplete)
-//! * `2` — a file could not be read or is not a campaign record
-//!
-//! Campaign files are written by the table binaries under
-//! `RLS_CAMPAIGN_DIR` (see the `rls-dispatch` crate).
+//! * `2` — a file could not be read, is not a campaign/obs record, or the
+//!   two files are of different kinds
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -98,17 +104,77 @@ fn stats_from(log: &CampaignLog) -> Result<CampaignStats, String> {
     })
 }
 
+/// Aggregated timings of one span name inside an obs metrics stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PhaseStats {
+    count: u64,
+    nanos: u64,
+}
+
+/// Headline metrics extracted from one obs metrics stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ObsStats {
+    run_id: String,
+    wall_nanos: u64,
+    /// Per-span-name aggregates, keyed by the registered span name.
+    phases: std::collections::BTreeMap<String, PhaseStats>,
+    /// Total duration of top-level spans (no parent) — the numerator of
+    /// the "spans cover N% of the wall" figure.
+    root_nanos: u64,
+    /// `procedure2.coverage` gauge values in emission order (the coverage
+    /// trajectory across trials).
+    coverage: Vec<u64>,
+}
+
+fn obs_stats_from(log: &CampaignLog) -> Result<ObsStats, String> {
+    let header = log.of_type("obs").next().ok_or("no `obs` header record")?;
+    let mut phases: std::collections::BTreeMap<String, PhaseStats> =
+        std::collections::BTreeMap::new();
+    let mut root_nanos = 0;
+    let mut span_end = 0u64;
+    for s in log.of_type("span") {
+        let name = s.str_field("name").unwrap_or("?").to_string();
+        let nanos = s.u64_field("nanos").unwrap_or(0);
+        let agg = phases.entry(name).or_insert(PhaseStats { count: 0, nanos: 0 });
+        agg.count += 1;
+        agg.nanos += nanos;
+        if s.u64_field("parent") == Some(0) {
+            root_nanos += nanos;
+        }
+        span_end = span_end.max(s.u64_field("start_nanos").unwrap_or(0) + nanos);
+    }
+    // A killed run has no summary line; the last span end is the best
+    // wall-clock estimate then.
+    let wall_nanos = log
+        .of_type("obs_summary")
+        .last()
+        .and_then(|r| r.u64_field("wall_nanos"))
+        .unwrap_or(span_end);
+    let coverage = log
+        .of_type("metric")
+        .filter(|m| m.str_field("name") == Some("procedure2.coverage"))
+        .filter_map(|m| m.u64_field("value"))
+        .collect();
+    Ok(ObsStats {
+        run_id: header.str_field("run_id").unwrap_or("?").to_string(),
+        wall_nanos,
+        phases,
+        root_nanos,
+        coverage,
+    })
+}
+
 /// `true` when the candidate loses coverage relative to the baseline.
 fn regressed(base: &CampaignStats, cand: &CampaignStats) -> bool {
     cand.detected < base.detected || (base.complete && !cand.complete)
 }
 
-/// First kept-trial index where the coverage curves differ, if any.
-fn curve_divergence(base: &CampaignStats, cand: &CampaignStats) -> Option<usize> {
-    let shared = base.curve.len().min(cand.curve.len());
+/// First index where two coverage curves differ, if any.
+fn curve_divergence(base: &[u64], cand: &[u64]) -> Option<usize> {
+    let shared = base.len().min(cand.len());
     (0..shared)
-        .find(|&i| base.curve[i] != cand.curve[i])
-        .or((base.curve.len() != cand.curve.len()).then_some(shared))
+        .find(|&i| base[i] != cand[i])
+        .or((base.len() != cand.len()).then_some(shared))
 }
 
 fn millis(nanos: u64) -> String {
@@ -134,7 +200,7 @@ fn render(base: &CampaignStats, cand: &CampaignStats) -> String {
     row("worker respawns", base.respawns.to_string(), cand.respawns.to_string());
     row("faults dropped", base.faults_dropped.to_string(), cand.faults_dropped.to_string());
     let mut out = t.render();
-    match curve_divergence(base, cand) {
+    match curve_divergence(&base.curve, &cand.curve) {
         None => out.push_str("\ncoverage curves: identical\n"),
         Some(i) => out.push_str(&format!(
             "\ncoverage curves: diverge at kept trial {} (baseline {:?}, candidate {:?})\n",
@@ -146,9 +212,77 @@ fn render(base: &CampaignStats, cand: &CampaignStats) -> String {
     out
 }
 
-fn load(path: &Path) -> Result<CampaignStats, String> {
+/// Side-by-side per-phase wall-time breakdown of two obs metrics streams,
+/// plus the coverage-trajectory divergence point.
+fn render_obs(base: &ObsStats, cand: &ObsStats) -> String {
+    let mut out = format!(
+        "obs runs: baseline {} ({}), candidate {} ({})\n\n",
+        base.run_id,
+        millis(base.wall_nanos),
+        cand.run_id,
+        millis(cand.wall_nanos),
+    );
+    let mut t = TextTable::new(vec!["phase", "base n", "base time", "cand n", "cand time", "delta"]);
+    // Every phase either run saw, heaviest candidate phases first.
+    let mut names: Vec<&String> = base.phases.keys().chain(cand.phases.keys()).collect();
+    names.sort_by_key(|n| {
+        std::cmp::Reverse(cand.phases.get(*n).or_else(|| base.phases.get(*n)).map_or(0, |p| p.nanos))
+    });
+    names.dedup();
+    let zero = PhaseStats { count: 0, nanos: 0 };
+    for name in names {
+        let b = base.phases.get(name).unwrap_or(&zero);
+        let c = cand.phases.get(name).unwrap_or(&zero);
+        let delta = c.nanos as i64 - b.nanos as i64;
+        t.row(vec![
+            name.clone(),
+            b.count.to_string(),
+            millis(b.nanos),
+            c.count.to_string(),
+            millis(c.nanos),
+            format!("{}{}", if delta >= 0 { "+" } else { "-" }, millis(delta.unsigned_abs())),
+        ]);
+    }
+    out.push_str(&t.render());
+    let share = |s: &ObsStats| {
+        if s.wall_nanos == 0 {
+            0.0
+        } else {
+            100.0 * s.root_nanos.min(s.wall_nanos) as f64 / s.wall_nanos as f64
+        }
+    };
+    out.push_str(&format!(
+        "\nspan coverage of wall time: baseline {:.1}%, candidate {:.1}%\n",
+        share(base),
+        share(cand),
+    ));
+    match curve_divergence(&base.coverage, &cand.coverage) {
+        None => out.push_str("coverage trajectories: identical\n"),
+        Some(i) => out.push_str(&format!(
+            "coverage trajectories: diverge at trial {} (baseline {:?}, candidate {:?})\n",
+            i + 1,
+            base.coverage.get(i),
+            cand.coverage.get(i),
+        )),
+    }
+    out
+}
+
+/// One parsed input file: a campaign record or an obs metrics stream.
+#[derive(Debug)]
+enum Loaded {
+    Campaign(CampaignStats),
+    Obs(ObsStats),
+}
+
+fn load(path: &Path) -> Result<Loaded, String> {
     let log = CampaignLog::read(path).map_err(|e| e.to_string())?;
-    stats_from(&log).map_err(|e| format!("{}: {e}", path.display()))
+    let stats = if log.of_type("obs").next().is_some() {
+        Loaded::Obs(obs_stats_from(&log).map_err(|e| format!("{}: {e}", path.display()))?)
+    } else {
+        Loaded::Campaign(stats_from(&log).map_err(|e| format!("{}: {e}", path.display()))?)
+    };
+    Ok(stats)
 }
 
 fn main() -> ExitCode {
@@ -164,13 +298,32 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    print!("{}", render(&base, &cand));
-    if regressed(&base, &cand) {
-        eprintln!(
-            "rls-report: COVERAGE REGRESSION: {} -> {} detected (complete: {} -> {})",
-            base.detected, cand.detected, base.complete, cand.complete
-        );
-        return ExitCode::from(1);
+    match (base, cand) {
+        (Loaded::Campaign(base), Loaded::Campaign(cand)) => {
+            print!("{}", render(&base, &cand));
+            if regressed(&base, &cand) {
+                eprintln!(
+                    "rls-report: COVERAGE REGRESSION: {} -> {} detected (complete: {} -> {})",
+                    base.detected, cand.detected, base.complete, cand.complete
+                );
+                return ExitCode::from(1);
+            }
+        }
+        (Loaded::Obs(base), Loaded::Obs(cand)) => {
+            print!("{}", render_obs(&base, &cand));
+            let (b, c) = (base.coverage.last(), cand.coverage.last());
+            if c < b {
+                eprintln!("rls-report: COVERAGE REGRESSION: {b:?} -> {c:?} detected");
+                return ExitCode::from(1);
+            }
+        }
+        _ => {
+            eprintln!(
+                "rls-report: cannot compare a campaign record with an obs metrics \
+                 stream; pass two files of the same kind"
+            );
+            return ExitCode::from(2);
+        }
     }
     ExitCode::SUCCESS
 }
@@ -205,12 +358,19 @@ mod tests {
         lines
     }
 
+    fn load_campaign(path: &Path) -> CampaignStats {
+        match load(path).unwrap() {
+            Loaded::Campaign(s) => s,
+            Loaded::Obs(_) => panic!("expected a campaign record"),
+        }
+    }
+
     #[test]
     fn stats_extract_curve_and_totals() {
         let lines = sample(32, true, &[3, 1]);
         let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
         let path = write_log("extract", &refs);
-        let stats = load(&path).unwrap();
+        let stats = load_campaign(&path);
         assert_eq!(stats.circuit, "s27");
         assert_eq!(stats.detected, 32);
         assert_eq!(stats.curve, vec![31, 32]);
@@ -223,7 +383,7 @@ mod tests {
         let mk = |detected, complete| {
             let lines = sample(detected, complete, &[2]);
             let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
-            load(&write_log(&format!("reg-{detected}-{complete}"), &refs)).unwrap()
+            load_campaign(&write_log(&format!("reg-{detected}-{complete}"), &refs))
         };
         let base = mk(32, true);
         assert!(!regressed(&base, &mk(32, true)));
@@ -235,25 +395,10 @@ mod tests {
 
     #[test]
     fn divergence_points_at_first_difference() {
-        let a = CampaignStats {
-            curve: vec![10, 20, 30],
-            ..blank()
-        };
-        let same = CampaignStats {
-            curve: vec![10, 20, 30],
-            ..blank()
-        };
-        let mid = CampaignStats {
-            curve: vec![10, 21, 30],
-            ..blank()
-        };
-        let short = CampaignStats {
-            curve: vec![10, 20],
-            ..blank()
-        };
-        assert_eq!(curve_divergence(&a, &same), None);
-        assert_eq!(curve_divergence(&a, &mid), Some(1));
-        assert_eq!(curve_divergence(&a, &short), Some(2));
+        let a = [10u64, 20, 30];
+        assert_eq!(curve_divergence(&a, &[10, 20, 30]), None);
+        assert_eq!(curve_divergence(&a, &[10, 21, 30]), Some(1));
+        assert_eq!(curve_divergence(&a, &[10, 20]), Some(2));
     }
 
     #[test]
@@ -262,6 +407,56 @@ mod tests {
         let path = write_log("nosummary", &[r#"{"type":"campaign","circuit":"s27","threads":1}"#]);
         let err = load(&path).unwrap_err();
         assert!(err.contains("summary"), "{err}");
+    }
+
+    fn obs_sample(tag: &str, trial_nanos: u64, coverage: &[u64]) -> PathBuf {
+        let mut lines = vec![
+            format!(r#"{{"type":"obs","version":1,"run_id":"{tag}"}}"#),
+            format!(
+                r#"{{"type":"span","name":"procedure2.trial","path":"procedure2.run/procedure2.trial","id":2,"parent":1,"start_nanos":100,"nanos":{trial_nanos},"fields":{{"i":1,"d1":4}}}}"#
+            ),
+            r#"{"type":"span","name":"procedure2.run","path":"procedure2.run","id":1,"parent":0,"start_nanos":0,"nanos":9500,"fields":{}}"#.to_string(),
+        ];
+        for (i, c) in coverage.iter().enumerate() {
+            lines.push(format!(
+                r#"{{"type":"metric","kind":"gauge","name":"procedure2.coverage","value":{c},"fields":{{"i":1,"d1":{i}}}}}"#
+            ));
+        }
+        lines.push(r#"{"type":"obs_summary","wall_nanos":10000}"#.to_string());
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        write_log(tag, &refs)
+    }
+
+    #[test]
+    fn obs_stats_extract_phases_wall_and_trajectory() {
+        let path = obs_sample("obs-a", 4000, &[28, 30, 32]);
+        let stats = match load(&path).unwrap() {
+            Loaded::Obs(s) => s,
+            Loaded::Campaign(_) => panic!("expected an obs stream"),
+        };
+        assert_eq!(stats.run_id, "obs-a");
+        assert_eq!(stats.wall_nanos, 10_000);
+        assert_eq!(stats.root_nanos, 9_500);
+        assert_eq!(stats.coverage, vec![28, 30, 32]);
+        let trial = &stats.phases["procedure2.trial"];
+        assert_eq!((trial.count, trial.nanos), (1, 4_000));
+    }
+
+    #[test]
+    fn obs_report_diffs_phases_and_trajectories() {
+        let a = match load(&obs_sample("obs-base", 4000, &[28, 32])).unwrap() {
+            Loaded::Obs(s) => s,
+            Loaded::Campaign(_) => unreachable!(),
+        };
+        let b = match load(&obs_sample("obs-cand", 6000, &[28, 30, 32])).unwrap() {
+            Loaded::Obs(s) => s,
+            Loaded::Campaign(_) => unreachable!(),
+        };
+        let out = render_obs(&a, &b);
+        assert!(out.contains("procedure2.trial"), "{out}");
+        assert!(out.contains("+0.0ms"), "{out}"); // 2000ns delta renders as ms
+        assert!(out.contains("span coverage of wall time: baseline 95.0%"), "{out}");
+        assert!(out.contains("diverge at trial 2"), "{out}");
     }
 
     fn blank() -> CampaignStats {

@@ -70,6 +70,10 @@ fn print_accurate_timing(test: &ScanTest, good: &TestTrace, faulty: &TestTrace) 
 }
 
 fn main() {
+    // The worked example is sequential, but the profile still arms the
+    // obs layer (RLS_OBS) so even this binary emits a span tree.
+    let _exec = rls_bench::exec_profile();
+    let table = rls_bench::table_span("table1");
     let c = rls_benchmarks::s27();
     let sim = GoodSim::new(&c);
     let plain = ScanTest::from_strings("001", &["0111", "1001", "0111", "1001", "0100"]).unwrap();
@@ -128,4 +132,5 @@ fn main() {
         "Fault-free columns match the paper exactly: states 001,000,010,010,010,011 \
          without limited scan; 001,000,010,001,101,001 with it."
     );
+    rls_bench::finish_obs(table);
 }

@@ -18,10 +18,12 @@ use rls_core::report::TextTable;
 use rls_core::{PAPER_LA_GRID, PAPER_LB_GRID, PAPER_N_GRID};
 
 fn main() {
+    let exec = exec_profile();
+    let table = rls_bench::table_span("table3");
     let name = std::env::args().nth(1).unwrap_or_else(|| "s208".into());
     let c = circuit(&name);
     let info = target_for(&c, &name);
-    let rows = cycles_grid(&c, &name, &info.target, &exec_profile());
+    let rows = cycles_grid(&c, &name, &info.target, &exec);
     let cell = |la: usize, lb: usize, n: usize| -> Option<&rls_core::experiment::GridCell> {
         rows.iter()
             .find(|((a, b, m), _)| (*a, *b, *m) == (la, lb, n))
@@ -58,4 +60,5 @@ fn main() {
         }
         println!("{}", t.render());
     }
+    rls_bench::finish_obs(table);
 }

@@ -6,6 +6,8 @@
 //! restarts an interrupted campaign from its last checkpoint.
 
 fn main() {
+    let exec = rls_bench::exec_profile();
+    let table = rls_bench::table_span("table4");
     // Delegate: table3's logic with a different default circuit.
     let name = rls_bench::circuits_from_args(&["s420"])
         .into_iter()
@@ -13,7 +15,7 @@ fn main() {
         .expect("circuits_from_args falls back to the default list");
     let c = rls_bench::circuit(&name);
     let info = rls_bench::target_for(&c, &name);
-    let rows = rls_core::experiment::cycles_grid(&c, &name, &info.target, &rls_bench::exec_profile());
+    let rows = rls_core::experiment::cycles_grid(&c, &name, &info.target, &exec);
     use rls_core::report::TextTable;
     use rls_core::{PAPER_LA_GRID, PAPER_LB_GRID, PAPER_N_GRID};
     let cell = |la: usize, lb: usize, n: usize| {
@@ -52,4 +54,5 @@ fn main() {
         }
         println!("{}", t.render());
     }
+    rls_bench::finish_obs(table);
 }

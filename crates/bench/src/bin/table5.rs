@@ -8,6 +8,8 @@ use rls_core::rank_combinations;
 use rls_core::report::TextTable;
 
 fn main() {
+    let _exec = rls_bench::exec_profile();
+    let table = rls_bench::table_span("table5");
     let args: Vec<usize> = std::env::args()
         .skip(1)
         .map(|a| a.parse().expect("N_SV arguments must be integers"))
@@ -26,4 +28,5 @@ fn main() {
         }
         println!("{}", t.render());
     }
+    rls_bench::finish_obs(table);
 }

@@ -28,8 +28,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
     let exec = exec_profile();
+    let table = rls_bench::table_span("table6");
     for name in &names {
         eprintln!("[table6] running {name}…");
+        let _circuit = rls_bench::circuit_span(name);
         let row = table6_row(name, D1Order::Increasing, max_tries, &exec);
         // Incremental progress (stderr) so long runs are salvageable.
         eprintln!(
@@ -49,4 +51,5 @@ fn main() {
         "{}",
         render_results("Table 6: first complete combination per circuit", &rows)
     );
+    rls_bench::finish_obs(table);
 }

@@ -18,8 +18,10 @@ fn main() {
     let names = rls_bench::circuits_from_args(&rls_benchmarks::table6_names());
     let mut rows = Vec::new();
     let exec = exec_profile();
+    let table = rls_bench::table_span("table7");
     for name in &names {
         eprintln!("[table7] running {name}…");
+        let _circuit = rls_bench::circuit_span(name);
         // The paper uses the same (L_A, L_B, N) as Table 6: find it with
         // the increasing-order run, then re-run decreasing on it.
         let chosen = table6_row(name, D1Order::Increasing, 20, &exec);
@@ -37,4 +39,5 @@ fn main() {
         "{}",
         render_results("Table 7: D1 tried in decreasing order (10..1)", &rows)
     );
+    rls_bench::finish_obs(table);
 }

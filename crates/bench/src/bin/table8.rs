@@ -68,8 +68,10 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     let exec = rls_bench::exec_profile();
+    let table = rls_bench::table_span("table8");
     for name in &names {
         eprintln!("[table8] running {name}…");
+        let _circuit = rls_bench::circuit_span(name);
         let c = rls_bench::circuit(name);
         let info = rls_bench::target_for(&c, name);
         for combo in combos_for(name) {
@@ -89,4 +91,5 @@ fn main() {
             &rows
         )
     );
+    rls_bench::finish_obs(table);
 }

@@ -25,9 +25,12 @@ use rls_netlist::Circuit;
 /// `RLS_THREADS=n` shards fault simulation across an `rls-dispatch`
 /// worker pool (results are bit-identical to `RLS_THREADS=1`),
 /// `RLS_CAMPAIGN_DIR=dir` persists JSONL campaign records (typically
-/// `results/`), and `RLS_RESUME=file` (or the `--resume <file>` flag,
-/// which takes precedence) restarts an interrupted campaign from its
-/// last checkpoint. Logs the profile when it differs from the default.
+/// `results/`), `RLS_OBS=1` turns on the `rls-obs` tracing/metrics layer
+/// (`RLS_OBS_SINK` picks `stderr`, `jsonl`, or `both`; the metrics
+/// stream lands next to the campaign records), and `RLS_RESUME=file`
+/// (or the `--resume <file>` flag, which takes precedence) restarts an
+/// interrupted campaign from its last checkpoint. Logs the profile when
+/// it differs from the default.
 ///
 /// Misconfiguration — an unparsable variable or an unreadable /
 /// checkpoint-free resume file — terminates the process with exit
@@ -37,6 +40,18 @@ pub fn exec_profile() -> ExecProfile {
         eprintln!("[exec] {e}");
         std::process::exit(2);
     });
+    if exec.obs && !rls_obs::enabled() {
+        let dir = exec
+            .campaign_dir
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("results"));
+        match rls_obs::install_standard(exec.obs_sink, &dir, 0) {
+            Ok(Some(path)) => eprintln!("[obs] metrics stream: {}", path.display()),
+            Ok(None) => eprintln!("[obs] tracing to stderr"),
+            // Observability must never block the run: degrade to off.
+            Err(e) => eprintln!("[obs] cannot install sinks ({e}); tracing disabled"),
+        }
+    }
     if let Some(path) = resume_from_args(&mut std::env::args().skip(1)) {
         exec.resume = Some(std::path::PathBuf::from(path));
     }
@@ -66,6 +81,26 @@ pub fn exec_profile() -> ExecProfile {
         );
     }
     exec
+}
+
+/// Top-level tracing span for one table binary. Bind the guard for the
+/// length of `main` and pass it to [`finish_obs`] so the span lands in
+/// the sinks before they flush.
+pub fn table_span(table: &'static str) -> rls_obs::SpanGuard {
+    rls_obs::span!("bench.table", table = table)
+}
+
+/// Per-circuit tracing span inside a table run.
+pub fn circuit_span(name: &str) -> rls_obs::SpanGuard {
+    rls_obs::span!("bench.circuit", circuit = name)
+}
+
+/// Closes the table span and flushes/uninstalls the obs sinks (renders
+/// the stderr profile, writes the metrics-stream summary line). A no-op
+/// when `RLS_OBS` was never enabled.
+pub fn finish_obs(table_span: rls_obs::SpanGuard) {
+    drop(table_span);
+    let _ = rls_obs::finish();
 }
 
 /// Extracts `--resume <path>` / `--resume=<path>` from an argument

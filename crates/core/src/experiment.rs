@@ -26,15 +26,24 @@ pub struct ExecProfile {
     /// checkpoint only applies to the matching circuit/configuration;
     /// non-matching runs proceed fresh (with a note on stderr).
     pub resume: Option<PathBuf>,
+    /// Whether the `rls-obs` tracing/metrics layer is enabled
+    /// (`RLS_OBS=1`). Off by default: the instrumentation then costs one
+    /// atomic load per site.
+    pub obs: bool,
+    /// Where obs events go when enabled (`RLS_OBS_SINK`): the stderr
+    /// profile renderer, a crash-safe metrics JSONL stream next to the
+    /// campaign records, or both (the default).
+    pub obs_sink: rls_obs::SinkMode,
 }
 
 impl ExecProfile {
     /// Reads the settings from the environment: `RLS_THREADS` (a thread
     /// count; `0` coerces to `1`), `RLS_CAMPAIGN_DIR` (a directory path),
-    /// and `RLS_RESUME` (a campaign JSONL file with a checkpoint). Unset
-    /// variables fall back to the sequential default; set-but-unusable
-    /// values are an error with an actionable message, not a silent
-    /// fallback.
+    /// `RLS_RESUME` (a campaign JSONL file with a checkpoint), `RLS_OBS`
+    /// (`1`/`true`/`on` enables tracing and metrics), and `RLS_OBS_SINK`
+    /// (`stderr`, `jsonl`, or `both`). Unset variables fall back to the
+    /// sequential default; set-but-unusable values are an error with an
+    /// actionable message, not a silent fallback.
     pub fn from_env() -> Result<Self, ConfigError> {
         let threads = match env_value("RLS_THREADS")? {
             None => 1,
@@ -70,10 +79,39 @@ impl ExecProfile {
             }
             Some(v) => Some(PathBuf::from(v)),
         };
+        let obs = match env_value("RLS_OBS")? {
+            None => false,
+            Some(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" => true,
+                "0" | "false" | "off" | "" => false,
+                _ => {
+                    return Err(ConfigError::InvalidEnv {
+                        var: "RLS_OBS",
+                        value: v,
+                        expected: "`1`/`true`/`on` or `0`/`false`/`off`",
+                    })
+                }
+            },
+        };
+        let obs_sink = match env_value("RLS_OBS_SINK")? {
+            None => rls_obs::SinkMode::default(),
+            Some(v) => match rls_obs::SinkMode::parse(&v) {
+                Some(mode) => mode,
+                None => {
+                    return Err(ConfigError::InvalidEnv {
+                        var: "RLS_OBS_SINK",
+                        value: v,
+                        expected: "`stderr`, `jsonl`, or `both`",
+                    })
+                }
+            },
+        };
         Ok(ExecProfile {
             threads,
             campaign_dir,
             resume,
+            obs,
+            obs_sink,
         })
     }
 

@@ -138,6 +138,12 @@ impl<'c> Procedure2<'c> {
 
     fn run_from(&self, resume: Option<ResumeState>) -> Procedure2Outcome {
         let threads = self.cfg.threads.max(1);
+        let _run_span = rls_obs::span!(
+            "procedure2.run",
+            circuit = self.circuit.name(),
+            threads = threads as u64,
+            resumed = resume.is_some()
+        );
         let mut campaign = self.make_campaign(threads, resume.as_ref());
         let outcome = if threads == 1 {
             self.run_sequential(campaign.as_mut(), resume)
@@ -175,7 +181,8 @@ impl<'c> Procedure2<'c> {
             });
         }
         let dir = self.cfg.campaign_dir.as_ref()?;
-        Some(match Campaign::create(dir, name, threads) {
+        let print = fingerprint(name, &self.cfg);
+        Some(match Campaign::create(dir, name, threads, print) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("[procedure2] cannot create campaign file: {e}");
@@ -254,6 +261,7 @@ impl<'c> Procedure2<'c> {
         // Mid-iteration entry point: `(iteration, d1_pos, improved)`.
         let mut entry: Option<(u64, usize, bool)> = None;
         if let Some(state) = resume {
+            rls_obs::counter!("procedure2.resumes", 1, iteration = state.iteration);
             target_faults = state.target_faults;
             initial_detected = state.initial_detected;
             exec.restrict(&state.live);
@@ -266,8 +274,10 @@ impl<'c> Procedure2<'c> {
             }
         } else {
             target_faults = exec.live_count();
+            let ts0_span = rls_obs::span!("procedure2.ts0", tests = ts0.len());
             let ts0_start = Instant::now(); // lint: det-ok(wall time is campaign-record metadata; selection never reads it)
             initial_detected = exec.apply_set(&ts0);
+            drop(ts0_span);
             if let Some(c) = campaign.as_deref_mut() {
                 c.record_initial(
                     ts0.len(),
@@ -299,6 +309,7 @@ impl<'c> Procedure2<'c> {
                         source: None,
                     };
                     c.record_raw(&state.render());
+                    rls_obs::counter!("procedure2.checkpoints", 1);
                 }
             }
         }
@@ -326,15 +337,27 @@ impl<'c> Procedure2<'c> {
                     (iterations, 0, false)
                 }
             };
+            let _iter_span = rls_obs::span!("procedure2.iter", i = i, live = exec.live_count());
             for (pos, &d1) in d1_values.iter().enumerate().skip(start_pos) {
                 if exec.live_count() == 0 {
                     break 'outer;
                 }
                 let derived = derive_test_set(&ts0, &self.cfg, i, d1, d2);
+                let trial_span =
+                    rls_obs::span!("procedure2.trial", i = i, d1 = u64::from(d1));
+                rls_obs::counter!("procedure2.trials", 1);
                 let trial_start = Instant::now(); // lint: det-ok(wall time is campaign-record metadata; selection never reads it)
                 let newly = exec.apply_set(&derived);
+                drop(trial_span);
+                rls_obs::gauge!(
+                    "procedure2.coverage",
+                    (target_faults.saturating_sub(exec.live_count())) as u64,
+                    i = i,
+                    d1 = u64::from(d1)
+                );
                 if exec.degraded() && !degrade_logged {
                     degrade_logged = true;
+                    rls_obs::counter!("procedure2.degrades", 1, i = i, d1 = u64::from(d1));
                     if let Some(c) = campaign.as_deref_mut() {
                         c.record_raw(
                             &rls_dispatch::jsonl::JsonObject::new()
@@ -359,6 +382,8 @@ impl<'c> Procedure2<'c> {
                 if newly > 0 {
                     improved = true;
                     let shift_cycles = nsh(&derived);
+                    rls_obs::counter!("procedure2.pairs_kept", 1, i = i, d1 = u64::from(d1));
+                    rls_obs::histogram!("procedure2.trial_cycles", base_cycles + shift_cycles);
                     total_cycles += base_cycles + shift_cycles;
                     pairs.push(SelectedPair {
                         i,
@@ -392,6 +417,7 @@ impl<'c> Procedure2<'c> {
                                 source: None,
                             };
                             c.record_raw(&state.render());
+                            rls_obs::counter!("procedure2.checkpoints", 1);
                         }
                     }
                 }

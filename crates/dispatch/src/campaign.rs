@@ -30,7 +30,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{ErrorKind, Write as _};
 use std::path::{Path, PathBuf};
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::Instant;
 
 use crate::error::DispatchError;
 use crate::inject;
@@ -81,14 +81,20 @@ struct CampaignFile {
 }
 
 impl CampaignFile {
-    /// Creates `<dir>/campaign-<circuit>-<threads>t-<stamp>[-k].jsonl`
+    /// Creates `<dir>/campaign-<circuit>-<threads>t-<run_id>[-k].jsonl`
     /// atomically with `header` as its first record.
-    fn create(dir: &Path, circuit: &str, threads: usize, header: &str) -> Result<Self, DispatchError> {
+    fn create(
+        dir: &Path,
+        circuit: &str,
+        threads: usize,
+        fingerprint: u64,
+        header: &str,
+    ) -> Result<Self, DispatchError> {
         inject::on_io("create campaign file")
             .map_err(|e| DispatchError::io("create campaign file", dir, e))?;
         std::fs::create_dir_all(dir)
             .map_err(|e| DispatchError::io("create campaign directory", dir, e))?;
-        let (path, _reservation) = reserve_unique(dir, circuit, threads)
+        let (path, _reservation) = reserve_unique(dir, circuit, threads, fingerprint)
             .map_err(|e| DispatchError::io("reserve campaign file", dir, e))?;
         // Write the header to a hidden temp file (the leading dot keeps it
         // out of `campaign-*.jsonl` globs), fsync, then rename over the
@@ -151,24 +157,29 @@ impl CampaignFile {
     }
 }
 
-/// Reserves a unique campaign file name in `dir` with `create_new`,
-/// suffixing a monotonic counter on collision (two campaigns for the same
-/// circuit in the same nanosecond must not overwrite each other).
-fn reserve_unique(dir: &Path, circuit: &str, threads: usize) -> std::io::Result<(PathBuf, File)> {
-    let stamp = SystemTime::now() // lint: det-ok(filename stamp only; uniqueness comes from the create_new loop, results never read it)
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_nanos())
-        .unwrap_or(0);
-    reserve_with_stamp(dir, circuit, threads, stamp)
+/// Reserves a unique campaign file name in `dir` with `create_new`.
+///
+/// The name stamp is an `rls-obs` run id — config fingerprint plus a
+/// process-monotonic counter — instead of the wall clock, so resumed or
+/// rapid-fire runs can no longer collide on nanosecond resolution. The
+/// `-k` collision suffix stays as the backstop for names left by *other*
+/// processes (run ids are only process-unique).
+fn reserve_unique(
+    dir: &Path,
+    circuit: &str,
+    threads: usize,
+    fingerprint: u64,
+) -> std::io::Result<(PathBuf, File)> {
+    reserve_with_stamp(dir, circuit, threads, &rls_obs::run_id(fingerprint))
 }
 
 /// Collision loop of [`reserve_unique`], stamp supplied by the caller
-/// (tests mock it to force same-nanosecond collisions).
+/// (tests mock it to force collisions).
 fn reserve_with_stamp(
     dir: &Path,
     circuit: &str,
     threads: usize,
-    stamp: u128,
+    stamp: &str,
 ) -> std::io::Result<(PathBuf, File)> {
     let mut k = 0u32;
     loop {
@@ -220,10 +231,24 @@ impl Campaign {
     }
 
     /// Starts a record that streams crash-safely to a fresh file under
-    /// `dir`; the header is on disk when this returns.
-    pub fn create(dir: &Path, circuit: &str, threads: usize) -> Result<Self, DispatchError> {
+    /// `dir`; the header is on disk when this returns. `fingerprint` is
+    /// the campaign's config fingerprint — it stamps the file name (via
+    /// the `rls-obs` run id) so distinct configurations are tellable
+    /// apart on disk and repeated runs never collide.
+    pub fn create(
+        dir: &Path,
+        circuit: &str,
+        threads: usize,
+        fingerprint: u64,
+    ) -> Result<Self, DispatchError> {
         let mut c = Campaign::new(circuit, threads);
-        c.sink = Some(CampaignFile::create(dir, circuit, threads, &c.header_line())?);
+        c.sink = Some(CampaignFile::create(
+            dir,
+            circuit,
+            threads,
+            fingerprint,
+            &c.header_line(),
+        )?);
         Ok(c)
     }
 
@@ -263,6 +288,9 @@ impl Campaign {
         if let Err(e) = sink.append(line) {
             eprintln!("warning: campaign persistence disabled: {e}");
             self.sink = None;
+            rls_obs::counter!("campaign.sink_errors", 1);
+        } else {
+            rls_obs::counter!("campaign.records", 1);
         }
     }
 
@@ -306,6 +334,8 @@ impl Campaign {
                 .num("sim_nanos", w.sim_nanos)
                 .num("steals", w.steals)
                 .num("respawns", w.respawns)
+                .num("lanes_used", w.lanes_used)
+                .num("lanes_capacity", w.lanes_capacity)
                 .render()
         }));
         JsonObject::new()
@@ -390,7 +420,7 @@ impl Campaign {
     /// the path. Prefer [`Campaign::create`] for crash-safe streaming.
     pub fn write_jsonl(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let (path, mut f) = reserve_unique(dir, &self.circuit, self.threads)?;
+        let (path, mut f) = reserve_unique(dir, &self.circuit, self.threads, 0)?;
         f.write_all(self.to_jsonl().as_bytes())?;
         f.sync_all()?;
         Ok(path)
@@ -547,13 +577,14 @@ mod tests {
 
     #[test]
     fn same_stamp_campaigns_get_distinct_names() {
-        // Two campaigns for the same circuit in the same nanosecond (a
-        // mocked clock here) must get distinct files, not overwrite.
+        // Two campaigns reserving the same stamp (a run id left by
+        // another process, mocked here) must get distinct files, not
+        // overwrite.
         let dir = scratch_dir("collide");
         std::fs::create_dir_all(&dir).unwrap();
-        let (p1, _f1) = reserve_with_stamp(&dir, "s27", 4, 12345).unwrap();
-        let (p2, _f2) = reserve_with_stamp(&dir, "s27", 4, 12345).unwrap();
-        let (p3, _f3) = reserve_with_stamp(&dir, "s27", 4, 12345).unwrap();
+        let (p1, _f1) = reserve_with_stamp(&dir, "s27", 4, "12345").unwrap();
+        let (p2, _f2) = reserve_with_stamp(&dir, "s27", 4, "12345").unwrap();
+        let (p3, _f3) = reserve_with_stamp(&dir, "s27", 4, "12345").unwrap();
         assert_eq!(p1.file_name().unwrap(), "campaign-s27-4t-12345.jsonl");
         assert_eq!(p2.file_name().unwrap(), "campaign-s27-4t-12345-1.jsonl");
         assert_eq!(p3.file_name().unwrap(), "campaign-s27-4t-12345-2.jsonl");
@@ -564,9 +595,33 @@ mod tests {
     }
 
     #[test]
+    fn campaign_names_carry_the_config_fingerprint_run_id() {
+        // Names come from the rls-obs run id (fingerprint + monotonic
+        // counter), not the wall clock: same-config runs in the same
+        // process get distinct names by construction, not by luck.
+        let dir = scratch_dir("runid");
+        let a = Campaign::create(&dir, "s27", 4, 0xabcd).unwrap();
+        let b = Campaign::create(&dir, "s27", 4, 0xabcd).unwrap();
+        let name = |c: &Campaign| {
+            c.path().unwrap().file_name().unwrap().to_str().unwrap().to_string()
+        };
+        assert!(
+            name(&a).starts_with("campaign-s27-4t-000000000000abcd-r"),
+            "{}",
+            name(&a)
+        );
+        assert_ne!(name(&a), name(&b));
+        let (pa, pb) = (a.path().unwrap().to_path_buf(), b.path().unwrap().to_path_buf());
+        drop((a, b));
+        let _ = std::fs::remove_file(pa);
+        let _ = std::fs::remove_file(pb);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
     fn streaming_campaign_is_readable_at_every_point() {
         let dir = scratch_dir("stream");
-        let mut c = Campaign::create(&dir, "s27", 2).unwrap();
+        let mut c = Campaign::create(&dir, "s27", 2, 0xfeed).unwrap();
         let path = c.path().unwrap().to_path_buf();
         // Header is on disk before anything else happens.
         let log = CampaignLog::read(&path).unwrap();
@@ -594,7 +649,7 @@ mod tests {
     #[test]
     fn append_to_marks_resume_seam() {
         let dir = scratch_dir("resume");
-        let c = Campaign::create(&dir, "s27", 1).unwrap();
+        let c = Campaign::create(&dir, "s27", 1, 0xfeed).unwrap();
         let path = c.path().unwrap().to_path_buf();
         drop(c);
         let mut r = Campaign::append_to(&path, "s27", 4).unwrap();

@@ -9,9 +9,13 @@
 //!
 //! 1. **Traces** — one job per test computes the fault-free
 //!    [`TestTrace`];
-//! 2. **Batches** — one job per `(test, 64-fault chunk)` of the live list
+//! 2. **Batches** — one job per `(test, fault chunk)` of the live list
 //!    simulates the chunk against the test, publishing detections into
-//!    the shared [`AtomicBitset`].
+//!    the shared [`AtomicBitset`]. Chunks are sized adaptively by
+//!    [`chunk_size`] (live-list length over `threads × 8`, floor 16) so
+//!    big circuits do not drown the queues in per-job overhead; a chunk
+//!    wider than [`LANES`] is simulated as consecutive 64-lane
+//!    sub-batches inside the job.
 //!
 //! Workers consult the bitset *before* simulating a chunk, so a fault
 //! detected by any worker is dropped by every other worker mid-set — the
@@ -73,6 +77,19 @@ fn trace_tag(t: usize) -> u64 {
 /// Tag of the phase-2 job simulating live-list chunk `chunk` of test `t`.
 fn batch_tag(t: usize, chunk: usize) -> u64 {
     ((t as u64) << 32) | chunk as u64
+}
+
+/// Adaptive batch-chunk size for one set: `max(16, live_faults / (threads × 8))`.
+///
+/// Fixed 64-fault chunks made submit overhead scale with circuit size:
+/// a large live list became thousands of tiny jobs per test. Sizing by
+/// live-list length keeps roughly eight chunks per worker per test —
+/// enough slack for stealing to balance uneven work, few enough that
+/// queue traffic stays cheap — with a floor of 16 so small circuits
+/// still fan out. The kernel itself stays 64-wide: jobs split oversized
+/// chunks into [`LANES`]-lane sub-batches.
+pub fn chunk_size(live_faults: usize, threads: usize) -> usize {
+    (live_faults / (threads.max(1) * 8)).max(16)
 }
 
 /// A test set that could not be executed on the pool: some tagged job
@@ -296,14 +313,20 @@ impl<'d, 'env> SetRunner<'d, 'env> {
                 if candidates.is_empty() {
                     return;
                 }
-                let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
-                let hits =
-                    simulate_batch_with(&ctx.good, &tests[t], trace, &candidates, ctx.options); // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
-                counters.add_batch(start.elapsed());
+                // An adaptive chunk may exceed the kernel width; simulate
+                // it as consecutive 64-lane sub-batches, timing each kernel
+                // invocation separately so `batches` keeps meaning "one
+                // 64-lane kernel call".
                 let mut newly = 0u64;
-                for id in hits {
-                    if ctx.detected_bits.set(id) {
-                        newly += 1;
+                for sub in candidates.chunks(LANES) {
+                    let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
+                    let hits = simulate_batch_with(&ctx.good, &tests[t], trace, sub, ctx.options); // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
+                    counters.add_batch(start.elapsed());
+                    counters.add_lanes(sub.len() as u64, LANES as u64);
+                    for id in hits {
+                        if ctx.detected_bits.set(id) {
+                            newly += 1;
+                        }
                     }
                 }
                 if newly > 0 {
@@ -326,6 +349,11 @@ impl<'d, 'env> SetRunner<'d, 'env> {
         loop {
             attempts += 1;
             submit(&tags);
+            rls_obs::gauge!(
+                "dispatch.queue_depth",
+                self.disp.snapshot().pending as u64,
+                phase = phase
+            );
             self.disp.wait_idle();
             let failures = self.disp.take_failures();
             if failures.is_empty() {
@@ -338,6 +366,7 @@ impl<'d, 'env> SetRunner<'d, 'env> {
                     failures,
                 });
             }
+            rls_obs::counter!("dispatch.retry_waves", 1, phase = phase);
             tags = failures.iter().map(|f| f.tag).collect();
         }
     }
@@ -350,6 +379,11 @@ impl<'d, 'env> SetRunner<'d, 'env> {
         if self.live.is_empty() || tests.is_empty() {
             return Ok(Vec::new());
         }
+        let _span = rls_obs::span!(
+            "dispatch.set",
+            tests = tests.len(),
+            live = self.live.len()
+        );
         // Drop failures left over from before this set (a degraded caller
         // may have abandoned a failing set without draining).
         let _ = self.disp.take_failures();
@@ -365,8 +399,11 @@ impl<'d, 'env> SetRunner<'d, 'env> {
         // Phase 2: (test, chunk) jobs over the set-start live list. Once
         // every live fault is marked, remaining jobs see empty candidate
         // lists and fall through (`live_left` makes that exit cheap).
+        let size = chunk_size(self.live.len(), self.disp.threads());
         let chunks: Arc<Vec<Vec<FaultId>>> =
-            Arc::new(self.live.chunks(LANES).map(<[FaultId]>::to_vec).collect());
+            Arc::new(self.live.chunks(size).map(<[FaultId]>::to_vec).collect());
+        rls_obs::gauge!("dispatch.chunk_size", size as u64);
+        rls_obs::counter!("dispatch.chunks", chunks.len() as u64);
         let live_left = Arc::new(AtomicUsize::new(self.live.len()));
         let batch_tags: Vec<u64> = (0..tests.len())
             .flat_map(|t| (0..chunks.len()).map(move |c| batch_tag(t, c)))
@@ -544,6 +581,38 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains("always down"), "{msg}");
         });
+    }
+
+    #[test]
+    fn chunk_size_targets_eight_chunks_per_worker() {
+        // Floor dominates for small circuits.
+        assert_eq!(chunk_size(100, 4), 16);
+        assert_eq!(chunk_size(0, 1), 16);
+        // Large live lists: live / (threads * 8), so ~8 chunks per worker.
+        assert_eq!(chunk_size(64_000, 4), 2_000);
+        assert_eq!(chunk_size(64_000, 1), 8_000);
+        // Degenerate thread count is clamped.
+        assert_eq!(chunk_size(1_024, 0), 128);
+    }
+
+    #[test]
+    fn adaptive_chunks_preserve_the_oracle_and_lane_accounting() {
+        let c = rls_benchmarks::s27();
+        let sets = s27_sets();
+        let (seq_counts, seq_live) = sequential(&c, &sets);
+        let ctx = SimContext::new(&c, SimOptions::default());
+        let (par_counts, par_live, snap) = WorkerPool::new(2).scope(|d| {
+            let mut runner = SetRunner::new(&ctx, d);
+            let counts: Vec<usize> = sets.iter().map(|set| runner.run_set(set).len()).collect();
+            (counts, runner.live().to_vec(), d.snapshot())
+        });
+        assert_eq!(par_counts, seq_counts);
+        assert_eq!(par_live, seq_live);
+        // Every kernel invocation is at most 64 lanes wide and its
+        // occupancy was recorded.
+        assert!(snap.total_lanes_capacity() >= snap.total_lanes_used());
+        assert_eq!(snap.total_lanes_capacity(), snap.total_batches() * LANES as u64);
+        assert!(snap.total_lanes_used() > 0);
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub mod pool;
 pub use bitset::AtomicBitset;
 pub use campaign::{Campaign, CampaignLog, CampaignSummary, TrialRecord};
 pub use error::DispatchError;
-pub use executor::{SetFailure, SetRunner, SimContext};
+pub use executor::{chunk_size, SetFailure, SetRunner, SimContext};
 pub use pool::{
     Dispatcher, FailureClass, JobFailure, PoolSnapshot, WorkerCounters, WorkerPool, WorkerSnapshot,
 };

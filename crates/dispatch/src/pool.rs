@@ -112,6 +112,8 @@ pub struct WorkerCounters {
     sim_nanos: AtomicU64,
     steals: AtomicU64,
     respawns: AtomicU64,
+    lanes_used: AtomicU64,
+    lanes_capacity: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -121,6 +123,15 @@ impl WorkerCounters {
         self.batches.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
         self.sim_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
+    }
+
+    /// Records lane occupancy of one kernel invocation: `used` occupied
+    /// lanes out of `capacity` available — the utilization feed for the
+    /// obs `fsim.lanes_*` counters.
+    #[inline]
+    pub fn add_lanes(&self, used: u64, capacity: u64) {
+        self.lanes_used.fetch_add(used, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
+        self.lanes_capacity.fetch_add(capacity, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
     }
 
     /// Records wall time spent simulating without a batch (e.g. good-trace
@@ -146,6 +157,8 @@ impl WorkerCounters {
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
             steals: self.steals.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
             respawns: self.respawns.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
+            lanes_used: self.lanes_used.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
+            lanes_capacity: self.lanes_capacity.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
         }
     }
 }
@@ -167,6 +180,11 @@ pub struct WorkerSnapshot {
     pub steals: u64,
     /// Times this worker's loop was respawned after a job panic.
     pub respawns: u64,
+    /// Occupied kernel lanes summed over this worker's batches.
+    pub lanes_used: u64,
+    /// Available kernel lanes summed over this worker's batches
+    /// (`batches * LANES` when every invocation ran at full width).
+    pub lanes_capacity: u64,
 }
 
 /// A progress snapshot of the whole pool.
@@ -194,6 +212,16 @@ impl PoolSnapshot {
     /// Total worker respawns after job panics.
     pub fn total_respawns(&self) -> u64 {
         self.workers.iter().map(|w| w.respawns).sum()
+    }
+
+    /// Total occupied kernel lanes across workers.
+    pub fn total_lanes_used(&self) -> u64 {
+        self.workers.iter().map(|w| w.lanes_used).sum()
+    }
+
+    /// Total available kernel lanes across workers.
+    pub fn total_lanes_capacity(&self) -> u64 {
+        self.workers.iter().map(|w| w.lanes_capacity).sum()
     }
 }
 
@@ -487,6 +515,7 @@ impl WorkerPool {
     /// jobs finished and workers exited.
     pub fn scope<'env, R>(&self, f: impl FnOnce(&Dispatcher<'_, 'env>) -> R) -> R {
         let station = Station::new(self.threads);
+        let sw = rls_obs::Stopwatch::start();
         std::thread::scope(|s| {
             for w in 0..self.threads {
                 let st = &station;
@@ -495,6 +524,30 @@ impl WorkerPool {
             let disp = Dispatcher { station: &station };
             let out = f(&disp);
             disp.wait_idle();
+            if rls_obs::enabled() {
+                // Per-worker busy/idle profile, emitted once at the idle
+                // barrier so the hot loop carries no obs calls. "Busy" is
+                // simulation wall time; everything else in the scope counts
+                // as idle (queue waits, steal probes, sleeps).
+                let wall = sw.elapsed_nanos();
+                let snap = station.snapshot();
+                for w in &snap.workers {
+                    rls_obs::gauge!("pool.worker.busy_nanos", w.sim_nanos, worker = w.worker);
+                    rls_obs::gauge!(
+                        "pool.worker.idle_nanos",
+                        wall.saturating_sub(w.sim_nanos),
+                        worker = w.worker
+                    );
+                    rls_obs::counter!("pool.worker.jobs", w.jobs, worker = w.worker);
+                    rls_obs::counter!("pool.worker.steals", w.steals, worker = w.worker);
+                }
+                rls_obs::counter!("dispatch.batches", snap.total_batches());
+                rls_obs::counter!("dispatch.steals", snap.workers.iter().map(|w| w.steals).sum::<u64>());
+                rls_obs::counter!("dispatch.respawns", snap.total_respawns());
+                rls_obs::counter!("dispatch.faults_dropped", snap.total_dropped());
+                rls_obs::counter!("fsim.lanes_used", snap.total_lanes_used());
+                rls_obs::counter!("fsim.lanes_capacity", snap.total_lanes_capacity());
+            }
             station.close();
             out
         })

@@ -137,6 +137,7 @@ impl<'c> FaultSimulator<'c> {
     /// Simulates one test against all live faults, drops and returns the
     /// newly detected ones.
     pub fn run_test(&mut self, test: &ScanTest) -> Vec<FaultId> {
+        let _span = rls_obs::span!("fsim.test", live = self.live.len());
         let trace = self.good.simulate_test(test);
         self.run_test_with_trace(test, &trace)
     }
@@ -152,6 +153,7 @@ impl<'c> FaultSimulator<'c> {
             .map(|&id| (id, self.universe.fault(id)))
             .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
             .collect();
+        let sw = rls_obs::Stopwatch::start();
         let mut newly: Vec<FaultId> = Vec::new();
         for chunk in candidates.chunks(LANES) {
             newly.extend(simulate_batch_with(
@@ -161,6 +163,16 @@ impl<'c> FaultSimulator<'c> {
                 chunk,
                 self.options,
             ));
+        }
+        if sw.running() {
+            // Lane utilization of the sequential path: each chunk is one
+            // 64-wide kernel call whose occupied lanes are its candidates.
+            let batches = candidates.len().div_ceil(LANES) as u64;
+            rls_obs::histogram!("fsim.test_nanos", sw.elapsed_nanos());
+            rls_obs::counter!("fsim.faults_simulated", candidates.len() as u64);
+            rls_obs::counter!("fsim.batches", batches);
+            rls_obs::counter!("fsim.lanes_used", candidates.len() as u64);
+            rls_obs::counter!("fsim.lanes_capacity", batches * LANES as u64);
         }
         if !newly.is_empty() {
             let drop: std::collections::HashSet<FaultId> = newly.iter().copied().collect();

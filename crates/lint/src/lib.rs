@@ -15,7 +15,8 @@
 //!   regions are exempt, and deliberate sites are blessed with a `lint:`
 //!   marker carrying a reason,
 //! - the rule engine ([`rules`]) — determinism, panic-safety,
-//!   atomic-ordering, and persistence-hygiene rules,
+//!   atomic-ordering, persistence-hygiene, and observability
+//!   metric-name rules,
 //! - the baseline gate ([`baseline`]) — pre-existing findings are
 //!   committed to `lint-baseline.json`; CI fails only on new ones.
 //!
@@ -33,10 +34,18 @@ use std::path::{Path, PathBuf};
 use rules::{lint_source, Finding, RuleSet};
 
 /// Crates whose outputs feed campaign results: determinism rules apply.
-const DET_CRATES: &[&str] = &["core", "fsim", "lfsr", "scan", "netlist", "dispatch", "root"];
+/// `obs` is held to the same bar — its wall-clock reads exist *only* to
+/// time spans, and each one carries a `det-ok` blessing saying so.
+const DET_CRATES: &[&str] = &[
+    "core", "fsim", "lfsr", "scan", "netlist", "dispatch", "obs", "root",
+];
 
-/// Crates that own on-disk campaign artifacts: persistence rules apply.
-const PERSIST_CRATES: &[&str] = &["dispatch"];
+/// Crates that own on-disk campaign artifacts: persistence rules apply
+/// (`obs` writes the metrics JSONL stream next to the campaign records).
+const PERSIST_CRATES: &[&str] = &["dispatch", "obs"];
+
+/// Crates that emit `rls-obs` metrics: the metric-name audit applies.
+const OBS_CRATES: &[&str] = &["core", "fsim", "dispatch", "obs", "root"];
 
 /// Crates excluded from scanning entirely (benchmark harness binaries —
 /// operator tooling, not result paths).
@@ -82,6 +91,7 @@ pub fn rules_for_crate(name: &str) -> RuleSet {
         panic: true,
         atomics: true,
         persist: PERSIST_CRATES.contains(&name),
+        obs: OBS_CRATES.contains(&name),
     }
 }
 
@@ -182,13 +192,15 @@ mod tests {
     #[test]
     fn rule_scoping_matches_the_design() {
         let core = rules_for_crate("core");
-        assert!(core.det && core.panic && core.atomics && !core.persist);
+        assert!(core.det && core.panic && core.atomics && !core.persist && core.obs);
         let dispatch = rules_for_crate("dispatch");
-        assert!(dispatch.det && dispatch.persist);
+        assert!(dispatch.det && dispatch.persist && dispatch.obs);
+        let obs = rules_for_crate("obs");
+        assert!(obs.det && obs.persist && obs.obs);
         let lint = rules_for_crate("lint");
-        assert!(!lint.det && lint.panic && lint.atomics && !lint.persist);
+        assert!(!lint.det && lint.panic && lint.atomics && !lint.persist && !lint.obs);
         let atpg = rules_for_crate("atpg");
-        assert!(!atpg.det && atpg.panic);
+        assert!(!atpg.det && atpg.panic && !atpg.obs);
     }
 
     #[test]

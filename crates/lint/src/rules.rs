@@ -13,6 +13,7 @@
 //! | `panic-unwrap` / `panic-expect` / `panic-macro` / `panic-slice-index` | panic-safety | failures route through `DispatchError`/`ConfigError`, not unwinds |
 //! | `atomic-ordering` | atomics | every `Relaxed`/`SeqCst` states why it cannot reorder past its barrier |
 //! | `persist-raw-create` | persistence | campaign files are created via temp-file + atomic rename |
+//! | `obs-metric-name` | observability | `span!`/`counter!`/`gauge!`/`histogram!` names are registered literals from `rls_obs::names` |
 //! | `lint-annotation` | hygiene | markers are well-formed and still suppress something |
 
 use crate::lexer::{lex, TokKind, Token};
@@ -30,6 +31,8 @@ pub struct RuleSet {
     pub atomics: bool,
     /// Persistence hygiene (`persist-*`).
     pub persist: bool,
+    /// Observability metric-name audit (`obs-metric-name`).
+    pub obs: bool,
 }
 
 impl RuleSet {
@@ -40,6 +43,7 @@ impl RuleSet {
             panic: true,
             atomics: true,
             persist: true,
+            obs: true,
         }
     }
 }
@@ -307,6 +311,48 @@ pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
                 "raw `File::create` — campaign artifacts go through the temp-file + atomic-rename helper".to_string(),
             );
         }
+
+        // --- observability: metric names are registered literals ---
+        if rules.obs {
+            if let Some(mac @ ("span" | "counter" | "gauge" | "histogram")) = ident_at(k) {
+                if punct_at(k + 1, '!') && punct_at(k + 2, '(') {
+                    match code.get(k + 3) {
+                        Some((_, t)) if t.kind == TokKind::StrLit => {
+                            let name = str_lit_value(&t.text);
+                            if !rls_obs::names::is_well_formed(name) {
+                                emit(
+                                    "obs-metric-name",
+                                    line,
+                                    format!(
+                                        "`{mac}!(\"{name}\", …)` — metric names are lowercase \
+                                         dot-separated (`phase.metric`)"
+                                    ),
+                                );
+                            } else if !rls_obs::names::is_registered(name) {
+                                emit(
+                                    "obs-metric-name",
+                                    line,
+                                    format!(
+                                        "`{mac}!(\"{name}\", …)` — `{name}` is not in the \
+                                         `rls_obs::names` registry; register it there so reports \
+                                         and dashboards can rely on the catalogue"
+                                    ),
+                                );
+                            }
+                        }
+                        Some(_) => emit(
+                            "obs-metric-name",
+                            line,
+                            format!(
+                                "`{mac}!` with a computed name — metric names must be string \
+                                 literals from the `rls_obs::names` registry"
+                            ),
+                        ),
+                        None => {}
+                    }
+                }
+            }
+        }
     }
 
     // Suppression: a marker of the matching class on the finding's line
@@ -362,6 +408,14 @@ pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
     findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
     findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     findings
+}
+
+/// The payload of a string-literal token: the text between the first and
+/// last `"`, which also strips `r#`/`b` prefixes and raw-string hashes.
+fn str_lit_value(text: &str) -> &str {
+    let start = text.find('"').map(|i| i + 1).unwrap_or(0);
+    let end = text.rfind('"').unwrap_or(text.len());
+    text.get(start..end).unwrap_or("")
 }
 
 /// How a hash-bound name was introduced — determines whether a `.name`
@@ -710,6 +764,55 @@ mod tests {
         let src = r#"
             fn f(p: &Path) -> std::io::Result<File> {
                 OpenOptions::new().write(true).create_new(true).open(p)
+            }
+        "#;
+        assert!(all(src).is_empty(), "{:?}", all(src));
+    }
+
+    // --- observability ---
+
+    #[test]
+    fn registered_metric_names_pass_and_unregistered_ones_are_flagged() {
+        let ok = r#"
+            fn f() {
+                rls_obs::counter!("fsim.batches", 1);
+                let _span = rls_obs::span!("dispatch.set", tests = 3u64);
+            }
+        "#;
+        assert!(all(ok).is_empty(), "{:?}", all(ok));
+        let unregistered = r#"fn f() { rls_obs::gauge!("dispatch.oops", 1); }"#;
+        assert_eq!(all(unregistered), ["obs-metric-name"]);
+    }
+
+    #[test]
+    fn malformed_and_computed_metric_names_are_flagged() {
+        let malformed = r#"fn f() { rls_obs::histogram!("Fsim Nanos", 1); }"#;
+        assert_eq!(all(malformed), ["obs-metric-name"]);
+        let computed = r#"fn f(name: &str) { rls_obs::counter!(name, 1); }"#;
+        assert_eq!(all(computed), ["obs-metric-name"]);
+    }
+
+    #[test]
+    fn obs_rule_respects_scope_and_cannot_be_blessed() {
+        let src = r#"fn f() { rls_obs::counter!("nope.metric", 1); }"#;
+        let no_obs = RuleSet {
+            obs: false,
+            ..RuleSet::all()
+        };
+        assert!(rules_of(src, no_obs).is_empty());
+        // Unlike det/panic findings, a marker does not bless the name away
+        // (and itself becomes a stale-marker hygiene finding).
+        let blessed =
+            r#"fn f() { rls_obs::counter!("nope.metric", 1); } // lint: det-ok(not a det rule)"#;
+        assert!(all(blessed).contains(&"obs-metric-name".to_string()), "{:?}", all(blessed));
+    }
+
+    #[test]
+    fn macro_definitions_are_not_invocations() {
+        // `macro_rules! counter { … }` must not trip the name audit.
+        let src = r#"
+            macro_rules! counter {
+                ($name:expr, $v:expr) => {{ $crate::emit($name, $v) }};
             }
         "#;
         assert!(all(src).is_empty(), "{:?}", all(src));

@@ -1,0 +1,125 @@
+//! The span/metric name registry.
+//!
+//! Every name emitted through [`crate::span!`], [`crate::counter!`],
+//! [`crate::gauge!`], or [`crate::histogram!`] anywhere in the workspace
+//! must be a lowercase dot-separated **literal** listed here. The
+//! registry is the contract between emitters and consumers: `rls-report`
+//! aggregates by these names, DESIGN.md §9 documents them, and
+//! `rls-lint`'s `obs-metric-name` rule rejects call sites whose first
+//! argument is not a registered literal — so a typo'd or ad-hoc name is a
+//! CI failure, not a silently empty report column.
+
+/// Span names, one per instrumented phase.
+pub const SPANS: &[&str] = &[
+    "procedure2.run",   // one Procedure 2 campaign, root span
+    "procedure2.ts0",   // TS0 generation + simulation
+    "procedure2.iter",  // one outer iteration (paper index `i`)
+    "procedure2.trial", // one (I, D1) trial: derive + simulate a test set
+    "fsim.test",        // sequential engine: one test against live faults
+    "dispatch.set",     // parallel executor: one fanned-out test set
+    "bench.table",      // one table binary run
+    "bench.circuit",    // one circuit within a table run
+];
+
+/// Counter names (sinks accumulate by summing).
+pub const COUNTERS: &[&str] = &[
+    "procedure2.trials",      // (I, D1) trials attempted
+    "procedure2.pairs_kept",  // trials whose pair entered the test set
+    "procedure2.checkpoints", // checkpoint records written
+    "procedure2.resumes",     // campaigns continued from a checkpoint
+    "procedure2.degrades",    // pool executor fell back to sequential
+    "campaign.records",       // JSONL campaign lines streamed
+    "campaign.sink_errors",   // campaign persistence disabled by IO error
+    "fsim.faults_simulated",  // candidate faults pushed through the kernel
+    "fsim.batches",           // 64-lane kernel invocations
+    "fsim.lanes_used",        // occupied lanes across those batches
+    "fsim.lanes_capacity",    // available lanes across those batches
+    "dispatch.chunks",        // fault chunks fanned out for one set
+    "dispatch.retry_waves",   // re-submission waves after job failures
+    "dispatch.respawns",      // supervised worker replacements
+    "dispatch.faults_dropped", // faults dropped via the shared bitset
+    "dispatch.batches",       // batch jobs completed by the pool
+    "dispatch.steals",        // jobs stolen from a sibling queue
+    "pool.worker.jobs",       // jobs executed, per worker
+    "pool.worker.steals",     // steals performed, per worker
+];
+
+/// Gauge names (sinks keep the last observation).
+pub const GAUGES: &[&str] = &[
+    "procedure2.coverage",   // detected-fault count after a kept pair
+    "dispatch.chunk_size",   // adaptive chunk size chosen for a set
+    "dispatch.queue_depth",  // jobs pending right after a submission wave
+    "pool.worker.busy_nanos", // per-worker time inside simulate calls
+    "pool.worker.idle_nanos", // per-worker pool lifetime minus busy time
+];
+
+/// Histogram names (sinks report count and mean).
+pub const HISTOGRAMS: &[&str] = &[
+    "procedure2.trial_cycles", // N_SH(I, D1) cost of one trial
+    "fsim.test_nanos",         // sequential engine time per test
+];
+
+/// True when `name` is registered under any kind.
+pub fn is_registered(name: &str) -> bool {
+    SPANS.contains(&name)
+        || COUNTERS.contains(&name)
+        || GAUGES.contains(&name)
+        || HISTOGRAMS.contains(&name)
+}
+
+/// True when `name` is well-formed: non-empty dot-separated segments of
+/// `[a-z0-9_]`. The lint rule reports malformed and unregistered names
+/// separately, so both predicates are public.
+pub fn is_well_formed(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_is_well_formed() {
+        for name in SPANS
+            .iter()
+            .chain(COUNTERS)
+            .chain(GAUGES)
+            .chain(HISTOGRAMS)
+        {
+            assert!(is_well_formed(name), "bad registry entry {name:?}");
+        }
+    }
+
+    #[test]
+    fn registry_lookup_and_shape_checks() {
+        assert!(is_registered("procedure2.iter"));
+        assert!(is_registered("dispatch.queue_depth"));
+        assert!(!is_registered("procedure2.bogus"));
+        assert!(!is_well_formed("Procedure2.iter"));
+        assert!(!is_well_formed("procedure2..iter"));
+        assert!(!is_well_formed(""));
+        assert!(!is_well_formed("a b"));
+        assert!(is_well_formed("pool.worker.busy_nanos"));
+    }
+
+    #[test]
+    fn no_duplicate_names_across_kinds() {
+        let mut all: Vec<&str> = SPANS
+            .iter()
+            .chain(COUNTERS)
+            .chain(GAUGES)
+            .chain(HISTOGRAMS)
+            .copied()
+            .collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "a name is registered twice");
+    }
+}

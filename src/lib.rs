@@ -28,4 +28,5 @@ pub use rls_dispatch as dispatch;
 pub use rls_fsim as fsim;
 pub use rls_lfsr as lfsr;
 pub use rls_netlist as netlist;
+pub use rls_obs as obs;
 pub use rls_scan as scan;

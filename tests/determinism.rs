@@ -69,3 +69,34 @@ fn campaign_files() -> Vec<std::path::PathBuf> {
         })
         .unwrap_or_default()
 }
+
+#[test]
+fn obs_enabled_parallel_is_bit_identical_to_sequential() {
+    use random_limited_scan::obs;
+    let dir = std::env::temp_dir().join(format!("rls-obs-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = obs::install_standard(obs::SinkMode::Jsonl, &dir, 0xdead)
+        .unwrap()
+        .expect("jsonl mode returns the metrics path");
+    let c = random_limited_scan::benchmarks::s27();
+    let cfg = RlsConfig::new(4, 8, 8);
+    let sequential = run_with_threads(&c, cfg.clone(), 1);
+    let parallel = run_with_threads(&c, cfg, 4);
+    assert_eq!(sequential, parallel, "tracing must not perturb the outcome");
+    obs::finish().expect("a collector was installed");
+    // The metrics stream parses, covers both runs, and ends in a summary.
+    let log = obs::MetricsLog::read(&path).unwrap();
+    let runs = log
+        .lines()
+        .iter()
+        .filter(|l| l.contains(r#""name":"procedure2.run""#))
+        .count();
+    assert!(runs >= 2, "both procedure2 runs traced, got {runs}");
+    assert!(
+        log.lines().iter().any(|l| l.contains(r#""name":"dispatch.set""#)),
+        "the parallel run traced its sets"
+    );
+    assert!(log.lines().last().unwrap().contains(r#""type":"obs_summary""#));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,123 @@
+//! Observability integration: the `rls-obs` layer wired through the
+//! dispatch pool and Procedure 2.
+//!
+//! Covers the adaptive-chunk satellite (submit overhead drops on large
+//! circuits, visible in the pool's job counters) and the metric contract:
+//! every name emitted during a real parallel campaign is a registered
+//! lowercase dot-separated literal from `rls_obs::names`.
+//!
+//! Tests that install a collector serialize on `OBS_LOCK` — the collector
+//! slot is process-global.
+
+use std::sync::{Arc, Mutex};
+
+use random_limited_scan::core::{generate_ts0, RlsConfig};
+use random_limited_scan::dispatch::{chunk_size, SetRunner, SimContext, WorkerPool};
+use random_limited_scan::obs;
+use random_limited_scan::obs::record::Event;
+use rls_fsim::{SimOptions, LANES};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn adaptive_chunks_cut_submit_overhead_on_large_circuits() {
+    // s953 is large enough that the adaptive chunk (live / (threads * 8))
+    // exceeds the 64-lane kernel width, so fewer jobs cross the queues
+    // than fixed 64-fault chunks would need.
+    let c = random_limited_scan::benchmarks::by_name("s953").expect("s953 exists");
+    let cfg = RlsConfig::new(8, 16, 8);
+    let tests = generate_ts0(&c, &cfg);
+    let threads = 2;
+    let ctx = SimContext::new(&c, SimOptions::default());
+    let live = ctx.representatives().len();
+    let size = chunk_size(live, threads);
+    assert!(size > LANES, "s953 must exercise the oversized-chunk path");
+    let snap = WorkerPool::new(threads).scope(|d| {
+        let mut runner = SetRunner::new(&ctx, d);
+        runner.run_set(&tests);
+        d.snapshot()
+    });
+    let jobs: u64 = snap.workers.iter().map(|w| w.jobs).sum();
+    let batch_jobs = jobs - tests.len() as u64; // phase 1 is one trace job per test
+    let adaptive = (tests.len() * live.div_ceil(size)) as u64;
+    let fixed = (tests.len() * live.div_ceil(LANES)) as u64;
+    assert_eq!(batch_jobs, adaptive, "one job per (test, adaptive chunk)");
+    assert!(
+        batch_jobs < fixed,
+        "adaptive chunks must submit fewer jobs than fixed 64-wide ones \
+         ({batch_jobs} vs {fixed})"
+    );
+    // The kernel still ran 64-wide: oversized chunks were split into
+    // LANES-lane sub-batches, each accounted at full lane capacity. (Jobs
+    // whose candidates were all dropped or inactive run zero batches, so
+    // no job/batch inequality holds in either direction.)
+    assert!(snap.total_batches() > 0);
+    assert_eq!(snap.total_lanes_capacity(), snap.total_batches() * LANES as u64);
+}
+
+#[test]
+fn parallel_campaign_emits_only_registered_metric_names() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let sink = Arc::new(obs::MemorySink::new());
+    assert!(
+        obs::install(sink.clone() as Arc<dyn obs::Sink>),
+        "no other collector may be installed"
+    );
+    let c = random_limited_scan::benchmarks::s27();
+    let ctx = SimContext::new(&c, SimOptions::default());
+    let cfg = RlsConfig::new(4, 8, 8);
+    let tests = generate_ts0(&c, &cfg);
+    let threads = 4;
+    WorkerPool::new(threads).scope(|d| {
+        let mut runner = SetRunner::new(&ctx, d);
+        runner.run_set(&tests);
+    });
+    obs::finish().expect("the collector installed above");
+    let events = sink.take();
+    assert!(!events.is_empty(), "an enabled run emits events");
+    for e in &events {
+        assert!(
+            obs::names::is_registered(e.name()),
+            "unregistered metric name `{}`",
+            e.name()
+        );
+    }
+    let gauge = |name: &str| {
+        events.iter().find_map(|e| match e {
+            Event::Metric(m) if m.name == name => Some(m.value),
+            _ => None,
+        })
+    };
+    // The executor reported its chunk sizing and queue depth…
+    assert_eq!(
+        gauge("dispatch.chunk_size"),
+        Some(chunk_size(ctx.representatives().len(), threads) as u64)
+    );
+    assert!(gauge("dispatch.queue_depth").is_some());
+    // …and the pool its per-worker busy/idle profile.
+    let busy = events
+        .iter()
+        .filter(|e| e.name() == "pool.worker.busy_nanos")
+        .count();
+    assert_eq!(busy, threads, "one busy gauge per worker");
+    assert!(events.iter().any(|e| e.name() == "pool.worker.idle_nanos"));
+    assert!(events.iter().any(|e| e.name() == "dispatch.set"));
+}
+
+#[test]
+fn disabled_obs_emits_nothing() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert!(!obs::enabled());
+    // A full parallel set with obs disabled: the macros must not observe
+    // anything (there is no collector to receive events anyway, but the
+    // enabled() gate is the contract being pinned here).
+    let c = random_limited_scan::benchmarks::s27();
+    let ctx = SimContext::new(&c, SimOptions::default());
+    let cfg = RlsConfig::new(4, 8, 8);
+    let tests = generate_ts0(&c, &cfg);
+    WorkerPool::new(2).scope(|d| {
+        let mut runner = SetRunner::new(&ctx, d);
+        runner.run_set(&tests);
+    });
+    assert!(obs::finish().is_none(), "nothing was installed");
+}
