@@ -29,6 +29,27 @@ echo "== resilience: fault-injected recovery paths =="
 # the fault-inject feature must be a no-op until a plan is armed.
 cargo test -q --offline --features fault-inject --test resilience --test determinism
 
+echo "== fsim: width matrix =="
+# The RLS_LANE_WIDTH knob drives the wide-word kernel end to end: a full
+# table run must be byte-identical at every width (1/2/4/8 u64 words =
+# 64/128/256/512 lanes), threaded and sequential alike.
+WIDTH_DIR=$(mktemp -d)
+for w in 1 2 4 8; do
+    RLS_LANE_WIDTH=$w RLS_THREADS=2 \
+        cargo run -q --release --offline -p rls-bench --bin table6 -- s27 \
+        > "$WIDTH_DIR/w$w.out" 2> /dev/null
+done
+for w in 2 4 8; do
+    cmp "$WIDTH_DIR/w1.out" "$WIDTH_DIR/w$w.out"
+done
+rm -rf "$WIDTH_DIR"
+
+echo "== fsim: lane-width bench gate =="
+# The compiled default width must hold up against the 64-lane baseline on
+# the committed s953 measurement; regenerate after kernel changes with
+# `cargo run --release -p rls-bench --bin bench_fsim_lanes`.
+cargo run -q --release --offline -p rls-bench --bin rls-report -- --lanes BENCH_fsim_lanes.json
+
 echo "== obs: smoke =="
 # A real table run with tracing on: the metrics JSONL must appear, parse,
 # and end with the summary line; the stderr sink must not disturb stdout.

@@ -1,0 +1,148 @@
+//! `bench_fsim_lanes` — measures the wide-word fault-simulation kernel
+//! at every lane width and records the comparison as JSONL.
+//!
+//! ```text
+//! bench_fsim_lanes [out.json]    (default: BENCH_fsim_lanes.json)
+//! ```
+//!
+//! Runs the sequential engine over the s953 TS0 test set at each kernel
+//! width (64/128/256/512 lanes), capturing the `fsim.test_nanos`
+//! histogram through an in-memory obs sink. Each width runs several
+//! repeats and keeps the fastest total (the usual noise-rejection for
+//! wall-clock measurements); all widths must detect the identical fault
+//! set or the run aborts — a benchmark of a wrong kernel is worthless.
+//!
+//! The output is one JSONL record per width behind a `fsim_lanes` header:
+//!
+//! ```text
+//! {"type":"fsim_lanes","circuit":"s953","tests":16,...,"default_lanes":256}
+//! {"type":"lane_width","lanes":64,"words":1,"test_nanos":...,"speedup_vs_64":1.0}
+//! ```
+//!
+//! `rls-report --lanes <file>` renders the table and gates the committed
+//! default: it must not be slower than the 64-lane baseline.
+
+use std::sync::Arc;
+
+use rls_core::{generate_ts0, RlsConfig};
+use rls_dispatch::jsonl::JsonObject;
+use rls_fsim::{FaultId, FaultSimulator, LaneWidth, ScanTest};
+use rls_netlist::Circuit;
+use rls_obs::{MemorySink, Sink};
+
+/// Repeats per width; the fastest total survives.
+const REPEATS: usize = 5;
+
+/// One measured width.
+struct WidthSample {
+    width: LaneWidth,
+    /// Fastest-of-repeats total `fsim.test_nanos` over the test set.
+    test_nanos: u64,
+    /// Kernel invocations in one pass (identical across repeats).
+    batches: u64,
+    /// Detected faults after the pass — the cross-width oracle.
+    detected: Vec<FaultId>,
+}
+
+/// One full engine pass at `width`, returning the summed
+/// `fsim.test_nanos` histogram and the detected set.
+fn one_pass(c: &Circuit, tests: &[ScanTest], width: LaneWidth) -> (u64, u64, Vec<FaultId>) {
+    let sink = Arc::new(MemorySink::new());
+    assert!(
+        rls_obs::install(sink.clone() as Arc<dyn Sink>),
+        "another obs collector is installed; run the bench standalone"
+    );
+    let mut sim = FaultSimulator::new(c);
+    sim.set_lane_width(width);
+    for t in tests {
+        sim.run_test(t);
+    }
+    rls_obs::finish().expect("installed above");
+    let mut nanos = 0;
+    let mut batches = 0;
+    for e in sink.take() {
+        if let rls_obs::record::Event::Metric(m) = e {
+            match m.name {
+                "fsim.test_nanos" => nanos += m.value,
+                "fsim.batches" => batches += m.value,
+                _ => {}
+            }
+        }
+    }
+    let mut detected = sim.detected().to_vec();
+    detected.sort_unstable();
+    (nanos, batches, detected)
+}
+
+fn measure(c: &Circuit, tests: &[ScanTest], width: LaneWidth) -> WidthSample {
+    let mut best_nanos = u64::MAX;
+    let mut batches = 0;
+    let mut detected = Vec::new();
+    for repeat in 0..REPEATS {
+        let (nanos, b, d) = one_pass(c, tests, width);
+        best_nanos = best_nanos.min(nanos);
+        if repeat == 0 {
+            batches = b;
+            detected = d;
+        } else {
+            assert_eq!(detected, d, "width {width}: repeats must agree");
+        }
+    }
+    WidthSample {
+        width,
+        test_nanos: best_nanos,
+        batches,
+        detected,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fsim_lanes.json".into());
+    let c = rls_benchmarks::by_name("s953").expect("s953 is registered");
+    let cfg = RlsConfig::new(8, 16, 16);
+    let tests = generate_ts0(&c, &cfg);
+    let samples: Vec<WidthSample> = LaneWidth::ALL
+        .into_iter()
+        .map(|w| measure(&c, &tests, w))
+        .collect();
+    // The oracle before the numbers: every width found the same faults.
+    for s in &samples[1..] {
+        assert_eq!(
+            s.detected, samples[0].detected,
+            "width {} disagrees with 64 lanes",
+            s.width
+        );
+    }
+    let base = samples[0].test_nanos.max(1);
+    let mut lines = vec![JsonObject::new()
+        .str("type", "fsim_lanes")
+        .str("circuit", c.name())
+        .num("tests", tests.len() as u64)
+        .num("detected", samples[0].detected.len() as u64)
+        .num("repeats", REPEATS as u64)
+        .num("default_lanes", LaneWidth::DEFAULT.lanes() as u64)
+        .render()];
+    for s in &samples {
+        lines.push(
+            JsonObject::new()
+                .str("type", "lane_width")
+                .num("lanes", s.width.lanes() as u64)
+                .num("words", s.width.words() as u64)
+                .num("test_nanos", s.test_nanos)
+                .num("batches", s.batches)
+                .float("speedup_vs_64", base as f64 / s.test_nanos.max(1) as f64)
+                .render(),
+        );
+        println!(
+            "{:>4} lanes: {:>12} ns  ({} batches, {:.2}x vs 64)",
+            s.width.lanes(),
+            s.test_nanos,
+            s.batches,
+            base as f64 / s.test_nanos.max(1) as f64
+        );
+    }
+    std::fs::write(&out_path, lines.join("\n") + "\n").expect("write bench record");
+    println!("wrote {out_path}");
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rls-report <baseline.jsonl> <candidate.jsonl>
+//! rls-report --lanes <BENCH_fsim_lanes.json>
 //! ```
 //!
 //! With two campaign records (written by the table binaries under
@@ -15,11 +16,19 @@
 //! of wall time covered by top-level spans, and the coverage-trajectory
 //! divergence point from the `procedure2.coverage` gauges.
 //!
-//! Exit codes make both modes usable as a CI gate:
+//! With `--lanes` and one `fsim_lanes` record (written by
+//! `bench_fsim_lanes`), prints the per-width `fsim.test_nanos`
+//! comparison of the wide-word kernel and gates the compiled default
+//! width: it must be no slower than the 64-lane baseline (within a 25%
+//! noise allowance).
 //!
-//! * `0` — candidate coverage is at least the baseline's
+//! Exit codes make every mode usable as a CI gate:
+//!
+//! * `0` — candidate coverage is at least the baseline's (or the default
+//!   lane width holds up)
 //! * `1` — coverage regression (fewer faults detected, or a complete
-//!   campaign turned incomplete)
+//!   campaign turned incomplete), or a default lane width slower than
+//!   the 64-lane baseline
 //! * `2` — a file could not be read, is not a campaign/obs record, or the
 //!   two files are of different kinds
 
@@ -268,6 +277,96 @@ fn render_obs(base: &ObsStats, cand: &ObsStats) -> String {
     out
 }
 
+/// One measured kernel width from a `fsim_lanes` bench record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LaneRow {
+    lanes: u64,
+    words: u64,
+    test_nanos: u64,
+    batches: u64,
+}
+
+/// The `bench_fsim_lanes` record: per-width kernel timings plus the
+/// compiled default width they justify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LaneStats {
+    circuit: String,
+    tests: u64,
+    detected: u64,
+    default_lanes: u64,
+    rows: Vec<LaneRow>,
+}
+
+fn lane_stats_from(log: &CampaignLog) -> Result<LaneStats, String> {
+    let header = log
+        .of_type("fsim_lanes")
+        .next()
+        .ok_or("no `fsim_lanes` header record (not a bench_fsim_lanes file?)")?;
+    let rows: Vec<LaneRow> = log
+        .of_type("lane_width")
+        .map(|r| LaneRow {
+            lanes: r.u64_field("lanes").unwrap_or(0),
+            words: r.u64_field("words").unwrap_or(0),
+            test_nanos: r.u64_field("test_nanos").unwrap_or(0),
+            batches: r.u64_field("batches").unwrap_or(0),
+        })
+        .collect();
+    if rows.is_empty() {
+        return Err("no `lane_width` records".into());
+    }
+    Ok(LaneStats {
+        circuit: header.str_field("circuit").unwrap_or("?").to_string(),
+        tests: header.u64_field("tests").unwrap_or(0),
+        detected: header.u64_field("detected").unwrap_or(0),
+        default_lanes: header.u64_field("default_lanes").unwrap_or(0),
+        rows,
+    })
+}
+
+/// The 64-lane baseline row, if measured.
+fn lane_baseline(stats: &LaneStats) -> Option<&LaneRow> {
+    stats.rows.iter().find(|r| r.lanes == 64)
+}
+
+fn render_lanes(stats: &LaneStats) -> String {
+    let mut out = format!(
+        "wide-word kernel on {} ({} TS0 tests, {} faults detected at every width; \
+         compiled default: {} lanes)\n\n",
+        stats.circuit, stats.tests, stats.detected, stats.default_lanes
+    );
+    let base = lane_baseline(stats).map(|r| r.test_nanos);
+    let mut t = TextTable::new(vec!["lanes", "u64 words", "test time", "batches", "vs 64"]);
+    for r in &stats.rows {
+        let vs = match base {
+            Some(b) if r.test_nanos > 0 => format!("{:.2}x", b as f64 / r.test_nanos as f64),
+            _ => "?".into(),
+        };
+        let mark = if r.lanes == stats.default_lanes { " *" } else { "" };
+        t.row(vec![
+            format!("{}{mark}", r.lanes),
+            r.words.to_string(),
+            millis(r.test_nanos),
+            r.batches.to_string(),
+            vs,
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("(* = compiled default width)\n");
+    out
+}
+
+/// `true` when the compiled default width is slower than the 64-lane
+/// baseline beyond measurement noise (25%).
+fn default_width_regressed(stats: &LaneStats) -> bool {
+    let Some(base) = lane_baseline(stats) else {
+        return false;
+    };
+    let Some(default) = stats.rows.iter().find(|r| r.lanes == stats.default_lanes) else {
+        return true; // a default that was never measured is a regression
+    };
+    default.test_nanos as f64 > base.test_nanos as f64 * 1.25
+}
+
 /// One parsed input file: a campaign record or an obs metrics stream.
 #[derive(Debug)]
 enum Loaded {
@@ -287,8 +386,35 @@ fn load(path: &Path) -> Result<Loaded, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [flag, lanes_path] = args.as_slice() {
+        if flag == "--lanes" {
+            let stats = match CampaignLog::read(Path::new(lanes_path))
+                .map_err(|e| e.to_string())
+                .and_then(|log| lane_stats_from(&log))
+            {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("rls-report: {lanes_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            print!("{}", render_lanes(&stats));
+            if default_width_regressed(&stats) {
+                eprintln!(
+                    "rls-report: LANE WIDTH REGRESSION: the compiled default \
+                     ({} lanes) is slower than the 64-lane baseline",
+                    stats.default_lanes
+                );
+                return ExitCode::from(1);
+            }
+            return ExitCode::SUCCESS;
+        }
+    }
     let [base_path, cand_path] = args.as_slice() else {
-        eprintln!("usage: rls-report <baseline.jsonl> <candidate.jsonl>");
+        eprintln!(
+            "usage: rls-report <baseline.jsonl> <candidate.jsonl>\n       \
+             rls-report --lanes <BENCH_fsim_lanes.json>"
+        );
         return ExitCode::from(2);
     };
     let (base, cand) = match (load(Path::new(base_path)), load(Path::new(cand_path))) {

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 use std::path::PathBuf;
 
-use rls_fsim::{FaultId, SimOptions};
+use rls_fsim::{FaultId, LaneWidth, SimOptions};
 use rls_lfsr::SeedSequence;
 
 /// A configuration that cannot be used, with an actionable message.
@@ -144,6 +144,10 @@ pub struct RlsConfig {
     /// When set, a JSONL campaign record (per-trial lines plus per-worker
     /// counters) is written into this directory, e.g. `results/`.
     pub campaign_dir: Option<PathBuf>,
+    /// Kernel word width: faults per bit-parallel batch (64–512 lanes).
+    /// Every width is bit-identical to the sequential oracle; the default
+    /// is chosen from measured throughput (see `BENCH_fsim_lanes.json`).
+    pub lane_width: LaneWidth,
 }
 
 impl RlsConfig {
@@ -196,6 +200,7 @@ impl RlsConfig {
             observe: SimOptions::default(),
             threads: 1,
             campaign_dir: None,
+            lane_width: LaneWidth::DEFAULT,
         })
     }
 
@@ -234,6 +239,12 @@ impl RlsConfig {
     /// Builder-style: write a JSONL campaign record into `dir`.
     pub fn with_campaign_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.campaign_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style: set the fault-simulation kernel word width.
+    pub fn with_lane_width(mut self, width: LaneWidth) -> Self {
+        self.lane_width = width;
         self
     }
 }

@@ -34,6 +34,11 @@ pub struct ExecProfile {
     /// profile renderer, a crash-safe metrics JSONL stream next to the
     /// campaign records, or both (the default).
     pub obs_sink: rls_obs::SinkMode,
+    /// Fault-simulation kernel word width (`RLS_LANE_WIDTH`): faults per
+    /// bit-parallel batch. Accepts lanes (`64`/`128`/`256`/`512`) or
+    /// `u64` words (`1`/`2`/`4`/`8`). `None` keeps the measured default
+    /// ([`rls_fsim::LaneWidth::DEFAULT`]); every width is bit-identical.
+    pub lane_width: Option<rls_fsim::LaneWidth>,
 }
 
 impl ExecProfile {
@@ -41,9 +46,10 @@ impl ExecProfile {
     /// count; `0` coerces to `1`), `RLS_CAMPAIGN_DIR` (a directory path),
     /// `RLS_RESUME` (a campaign JSONL file with a checkpoint), `RLS_OBS`
     /// (`1`/`true`/`on` enables tracing and metrics), and `RLS_OBS_SINK`
-    /// (`stderr`, `jsonl`, or `both`). Unset variables fall back to the
-    /// sequential default; set-but-unusable values are an error with an
-    /// actionable message, not a silent fallback.
+    /// (`stderr`, `jsonl`, or `both`), and `RLS_LANE_WIDTH` (a kernel
+    /// width in lanes `64`–`512` or words `1`–`8`). Unset variables fall
+    /// back to the sequential default; set-but-unusable values are an
+    /// error with an actionable message, not a silent fallback.
     pub fn from_env() -> Result<Self, ConfigError> {
         let threads = match env_value("RLS_THREADS")? {
             None => 1,
@@ -106,12 +112,27 @@ impl ExecProfile {
                 }
             },
         };
+        let lane_width = match env_value("RLS_LANE_WIDTH")? {
+            None => None,
+            Some(v) => match rls_fsim::LaneWidth::parse(&v) {
+                Some(width) => Some(width),
+                None => {
+                    return Err(ConfigError::InvalidEnv {
+                        var: "RLS_LANE_WIDTH",
+                        value: v,
+                        expected: "a kernel width in lanes (`64`, `128`, `256`, `512`) \
+                                   or u64 words (`1`, `2`, `4`, `8`)",
+                    })
+                }
+            },
+        };
         Ok(ExecProfile {
             threads,
             campaign_dir,
             resume,
             obs,
             obs_sink,
+            lane_width,
         })
     }
 
@@ -119,6 +140,9 @@ impl ExecProfile {
     pub fn configure(&self, mut cfg: RlsConfig) -> RlsConfig {
         cfg.threads = self.threads.max(1);
         cfg.campaign_dir = self.campaign_dir.clone();
+        if let Some(width) = self.lane_width {
+            cfg.lane_width = width;
+        }
         cfg
     }
 }

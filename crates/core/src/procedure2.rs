@@ -198,6 +198,7 @@ impl<'c> Procedure2<'c> {
     ) -> Procedure2Outcome {
         let mut sim = FaultSimulator::new(self.circuit);
         sim.set_options(self.cfg.observe);
+        sim.set_lane_width(self.cfg.lane_width);
         if let CoverageTarget::Faults(targets) = &self.cfg.target {
             sim.set_targets(targets);
         }
@@ -210,7 +211,8 @@ impl<'c> Procedure2<'c> {
         campaign: Option<&mut Campaign>,
         resume: Option<ResumeState>,
     ) -> Procedure2Outcome {
-        let ctx = SimContext::new(self.circuit, self.cfg.observe);
+        let ctx =
+            SimContext::new(self.circuit, self.cfg.observe).with_lane_width(self.cfg.lane_width);
         WorkerPool::new(threads).scope(|dispatcher| {
             let mut runner = SetRunner::new(&ctx, dispatcher);
             if let CoverageTarget::Faults(targets) = &self.cfg.target {
@@ -530,6 +532,7 @@ impl TrialExecutor for PoolExecutor<'_, '_> {
                 let ctx = self.runner.context();
                 let mut sim = FaultSimulator::new(ctx.circuit());
                 sim.set_options(ctx.options());
+                sim.set_lane_width(ctx.lane_width());
                 sim.set_targets(self.runner.live());
                 let newly = sim.run_tests(tests);
                 self.fallback = Some(sim);

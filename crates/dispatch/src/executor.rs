@@ -14,8 +14,9 @@
 //!    the shared [`AtomicBitset`]. Chunks are sized adaptively by
 //!    [`chunk_size`] (live-list length over `threads × 8`, floor 16) so
 //!    big circuits do not drown the queues in per-job overhead; a chunk
-//!    wider than [`LANES`] is simulated as consecutive 64-lane
-//!    sub-batches inside the job.
+//!    wider than the kernel word ([`SimContext::lane_width`], 64–512
+//!    lanes) is simulated as consecutive full-width sub-batches inside
+//!    the job.
 //!
 //! Workers consult the bitset *before* simulating a chunk, so a fault
 //! detected by any worker is dropped by every other worker mid-set — the
@@ -25,8 +26,9 @@
 //! # Determinism
 //!
 //! The reduction at the set barrier is order-independent: detection of a
-//! fault by a test depends only on `(test, fault)` — lanes of a 64-wide
-//! batch are independent, and the bitset is monotone within a set — so the
+//! fault by a test depends only on `(test, fault)` — lanes of a batch
+//! are independent at every width, and the bitset is monotone within a
+//! set — so the
 //! set of detected faults equals the union a sequential run produces, no
 //! matter how jobs interleave. The runner then merges in live-list order
 //! (ascending fault id for the default target), giving results that are
@@ -55,8 +57,8 @@ use std::time::Instant;
 
 use rls_fsim::parallel::activated_in_trace;
 use rls_fsim::{
-    simulate_batch_with, CollapsedFaults, Fault, FaultId, FaultUniverse, GoodSim, ScanTest,
-    SimOptions, TestTrace, LANES,
+    simulate_chunk_at, CollapsedFaults, Fault, FaultId, FaultUniverse, GoodSim, LaneWidth,
+    ScanTest, SimOptions, TestTrace,
 };
 use rls_netlist::Circuit;
 
@@ -86,8 +88,8 @@ fn batch_tag(t: usize, chunk: usize) -> u64 {
 /// live-list length keeps roughly eight chunks per worker per test —
 /// enough slack for stealing to balance uneven work, few enough that
 /// queue traffic stays cheap — with a floor of 16 so small circuits
-/// still fan out. The kernel itself stays 64-wide: jobs split oversized
-/// chunks into [`LANES`]-lane sub-batches.
+/// still fan out. The kernel keeps its configured word width: jobs split
+/// oversized chunks into [`SimContext::lane_width`]-lane sub-batches.
 pub fn chunk_size(live_faults: usize, threads: usize) -> usize {
     (live_faults / (threads.max(1) * 8)).max(16)
 }
@@ -137,11 +139,12 @@ pub struct SimContext<'c> {
     universe: FaultUniverse,
     collapsed: CollapsedFaults,
     options: SimOptions,
+    lane_width: LaneWidth,
     detected_bits: AtomicBitset,
 }
 
 impl<'c> SimContext<'c> {
-    /// Builds the context for one circuit.
+    /// Builds the context for one circuit at the default kernel width.
     ///
     /// # Panics
     ///
@@ -156,8 +159,21 @@ impl<'c> SimContext<'c> {
             universe,
             collapsed,
             options,
+            lane_width: LaneWidth::DEFAULT,
             detected_bits,
         }
+    }
+
+    /// Sets the kernel word width the batch jobs simulate at. Detections
+    /// are bit-identical at every width; only throughput changes.
+    pub fn with_lane_width(mut self, width: LaneWidth) -> Self {
+        self.lane_width = width;
+        self
+    }
+
+    /// The kernel word width batch jobs simulate at.
+    pub fn lane_width(&self) -> LaneWidth {
+        self.lane_width
     }
 
     /// The circuit under test (with the campaign's lifetime, so a
@@ -314,15 +330,16 @@ impl<'d, 'env> SetRunner<'d, 'env> {
                     return;
                 }
                 // An adaptive chunk may exceed the kernel width; simulate
-                // it as consecutive 64-lane sub-batches, timing each kernel
-                // invocation separately so `batches` keeps meaning "one
-                // 64-lane kernel call".
+                // it as consecutive full-width sub-batches, timing each
+                // kernel invocation separately so `batches` keeps meaning
+                // "one kernel call at the configured width".
+                let width = ctx.lane_width;
                 let mut newly = 0u64;
-                for sub in candidates.chunks(LANES) {
+                for sub in candidates.chunks(width.lanes()) {
                     let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
-                    let hits = simulate_batch_with(&ctx.good, &tests[t], trace, sub, ctx.options); // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
+                    let hits = simulate_chunk_at(width, &ctx.good, &tests[t], trace, sub, ctx.options); // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
                     counters.add_batch(start.elapsed());
-                    counters.add_lanes(sub.len() as u64, LANES as u64);
+                    counters.add_lanes(sub.len() as u64, width.lanes() as u64);
                     for id in hits {
                         if ctx.detected_bits.set(id) {
                             newly += 1;
@@ -608,11 +625,40 @@ mod tests {
         });
         assert_eq!(par_counts, seq_counts);
         assert_eq!(par_live, seq_live);
-        // Every kernel invocation is at most 64 lanes wide and its
-        // occupancy was recorded.
+        // Every kernel invocation is at most one word wide and its
+        // occupancy was recorded at the context's width.
         assert!(snap.total_lanes_capacity() >= snap.total_lanes_used());
-        assert_eq!(snap.total_lanes_capacity(), snap.total_batches() * LANES as u64);
+        assert_eq!(
+            snap.total_lanes_capacity(),
+            snap.total_batches() * ctx.lane_width().lanes() as u64
+        );
         assert!(snap.total_lanes_used() > 0);
+    }
+
+    #[test]
+    fn every_lane_width_matches_the_sequential_oracle() {
+        // The parallel runner must be bit-identical to the sequential
+        // oracle at every kernel width, not just the default.
+        let c = rls_benchmarks::s27();
+        let sets = s27_sets();
+        let (seq_counts, seq_live) = sequential(&c, &sets);
+        for width in LaneWidth::ALL {
+            let ctx = SimContext::new(&c, SimOptions::default()).with_lane_width(width);
+            assert_eq!(ctx.lane_width(), width);
+            let (par_counts, par_live, snap) = WorkerPool::new(2).scope(|d| {
+                let mut runner = SetRunner::new(&ctx, d);
+                let counts: Vec<usize> =
+                    sets.iter().map(|set| runner.run_set(set).len()).collect();
+                (counts, runner.live().to_vec(), d.snapshot())
+            });
+            assert_eq!(par_counts, seq_counts, "width {width}");
+            assert_eq!(par_live, seq_live, "width {width}");
+            assert_eq!(
+                snap.total_lanes_capacity(),
+                snap.total_batches() * width.lanes() as u64,
+                "width {width}"
+            );
+        }
     }
 
     #[test]

@@ -183,7 +183,8 @@ pub struct WorkerSnapshot {
     /// Occupied kernel lanes summed over this worker's batches.
     pub lanes_used: u64,
     /// Available kernel lanes summed over this worker's batches
-    /// (`batches * LANES` when every invocation ran at full width).
+    /// (`batches * lane_width.lanes()` when every invocation ran at full
+    /// width).
     pub lanes_capacity: u64,
 }
 

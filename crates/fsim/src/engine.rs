@@ -7,7 +7,7 @@ use crate::collapse::CollapsedFaults;
 use crate::coverage::Coverage;
 use crate::fault::{Fault, FaultId, FaultUniverse};
 use crate::good::{GoodSim, TestTrace};
-use crate::parallel::{activated_in_trace, simulate_batch_with, SimOptions, LANES};
+use crate::parallel::{activated_in_trace, simulate_chunk_at, LaneWidth, SimOptions};
 use crate::test::ScanTest;
 
 /// A fault simulator bound to one circuit.
@@ -38,6 +38,7 @@ pub struct FaultSimulator<'c> {
     live: Vec<FaultId>,
     detected: Vec<FaultId>,
     options: SimOptions,
+    lane_width: LaneWidth,
 }
 
 impl<'c> FaultSimulator<'c> {
@@ -57,6 +58,7 @@ impl<'c> FaultSimulator<'c> {
             live,
             detected: Vec::new(),
             options: SimOptions::default(),
+            lane_width: LaneWidth::DEFAULT,
         }
     }
 
@@ -69,6 +71,18 @@ impl<'c> FaultSimulator<'c> {
     /// The current observation policy.
     pub fn options(&self) -> SimOptions {
         self.options
+    }
+
+    /// Sets the kernel word width (faults per bit-parallel batch). The
+    /// default is [`LaneWidth::DEFAULT`]; detections are bit-identical at
+    /// every width.
+    pub fn set_lane_width(&mut self, width: LaneWidth) {
+        self.lane_width = width;
+    }
+
+    /// The current kernel word width.
+    pub fn lane_width(&self) -> LaneWidth {
+        self.lane_width
     }
 
     /// The circuit under test.
@@ -154,9 +168,11 @@ impl<'c> FaultSimulator<'c> {
             .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
             .collect();
         let sw = rls_obs::Stopwatch::start();
+        let lanes = self.lane_width.lanes();
         let mut newly: Vec<FaultId> = Vec::new();
-        for chunk in candidates.chunks(LANES) {
-            newly.extend(simulate_batch_with(
+        for chunk in candidates.chunks(lanes) {
+            newly.extend(simulate_chunk_at(
+                self.lane_width,
                 &self.good,
                 test,
                 trace,
@@ -166,13 +182,15 @@ impl<'c> FaultSimulator<'c> {
         }
         if sw.running() {
             // Lane utilization of the sequential path: each chunk is one
-            // 64-wide kernel call whose occupied lanes are its candidates.
-            let batches = candidates.len().div_ceil(LANES) as u64;
+            // kernel call at the configured width whose occupied lanes are
+            // its candidates.
+            let batches = candidates.len().div_ceil(lanes) as u64;
             rls_obs::histogram!("fsim.test_nanos", sw.elapsed_nanos());
             rls_obs::counter!("fsim.faults_simulated", candidates.len() as u64);
             rls_obs::counter!("fsim.batches", batches);
             rls_obs::counter!("fsim.lanes_used", candidates.len() as u64);
-            rls_obs::counter!("fsim.lanes_capacity", batches * LANES as u64);
+            rls_obs::counter!("fsim.lanes_capacity", batches * lanes as u64);
+            rls_obs::gauge!("fsim.lane_width", lanes as u64);
         }
         if !newly.is_empty() {
             let drop: std::collections::HashSet<FaultId> = newly.iter().copied().collect();
@@ -319,6 +337,25 @@ mod tests {
             !extra.is_empty(),
             "limited scan must add detections beyond the {plain} plain ones"
         );
+    }
+
+    #[test]
+    fn every_lane_width_detects_identically() {
+        // The engine's detection *order* (not just the set) must be
+        // invariant under the kernel width — the dispatch reduction and
+        // checkpointing both depend on it.
+        let c = rls_benchmarks::s27();
+        let mut base = FaultSimulator::new(&c);
+        assert_eq!(base.lane_width(), LaneWidth::DEFAULT);
+        base.run_test(&s27_test());
+        let expect = base.detected().to_vec();
+        assert!(!expect.is_empty());
+        for width in LaneWidth::ALL {
+            let mut sim = FaultSimulator::new(&c);
+            sim.set_lane_width(width);
+            sim.run_test(&s27_test());
+            assert_eq!(sim.detected(), &expect[..], "width {width}");
+        }
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //!   over gate-local equivalence rules);
 //! - [`good`]: fault-free simulation, including the full per-time-unit
 //!   trace that reproduces the paper's Table 1/Table 2 worked example;
-//! - [`parallel`]: 64-way bit-parallel fault simulation (one fault per
-//!   lane, fault-free reference from [`good`]);
+//! - [`parallel`]: wide-word bit-parallel fault simulation (one fault per
+//!   lane, 64–512 lanes per batch via [`LaneWidth`], fault-free reference
+//!   from [`good`]);
 //! - [`engine`]: the [`FaultSimulator`] driver with fault dropping and
 //!   activation prefiltering;
 //! - [`coverage`]: fault-coverage bookkeeping.
@@ -65,7 +66,10 @@ pub use multichain_sim::{
     run_tests_multichain, simulate_batch_multichain, simulate_good_multichain, McScanTest,
     McShiftOp, McTrace,
 };
-pub use parallel::{activated_in_trace, simulate_batch, simulate_batch_with, SimOptions, LANES};
+pub use parallel::{
+    activated_in_trace, simulate_batch, simulate_batch_lanes, simulate_batch_with,
+    simulate_chunk_at, LaneWidth, SimOptions, LANES,
+};
 pub use partial_sim::{
     run_tests_partial, simulate_batch_partial, simulate_good_partial, PartialTrace,
 };

@@ -83,21 +83,46 @@ impl GateKind {
     /// [`GateKind::Not`] / [`GateKind::Buf`].
     #[inline]
     pub fn eval_word(self, inputs: &[u64]) -> u64 {
-        assert!(!inputs.is_empty(), "gate must have at least one fanin");
+        self.eval_lanes(inputs)
+    }
+
+    /// Width-generic version of [`GateKind::eval_word`]: evaluates the gate
+    /// over any bit-parallel lane word (e.g. `u64`, `rls_scan::WideWord`).
+    ///
+    /// The bounds are purely the bitwise operators, so this crate needs no
+    /// knowledge of the lane-word trait: the folds are seeded from the
+    /// first fanin instead of an all-zeros/all-ones identity constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or has length other than 1 for
+    /// [`GateKind::Not`] / [`GateKind::Buf`].
+    #[inline]
+    pub fn eval_lanes<W>(self, inputs: &[W]) -> W
+    where
+        W: Copy
+            + std::ops::BitAnd<Output = W>
+            + std::ops::BitOr<Output = W>
+            + std::ops::BitXor<Output = W>
+            + std::ops::Not<Output = W>,
+    {
+        let Some((&first, rest)) = inputs.split_first() else {
+            panic!("gate must have at least one fanin"); // lint: panic-ok(empty fanin is a netlist construction bug)
+        };
         match self {
-            GateKind::And => inputs.iter().fold(!0u64, |acc, &w| acc & w),
-            GateKind::Nand => !inputs.iter().fold(!0u64, |acc, &w| acc & w),
-            GateKind::Or => inputs.iter().fold(0u64, |acc, &w| acc | w),
-            GateKind::Nor => !inputs.iter().fold(0u64, |acc, &w| acc | w),
-            GateKind::Xor => inputs.iter().fold(0u64, |acc, &w| acc ^ w),
-            GateKind::Xnor => !inputs.iter().fold(0u64, |acc, &w| acc ^ w),
+            GateKind::And => rest.iter().fold(first, |acc, &w| acc & w),
+            GateKind::Nand => !rest.iter().fold(first, |acc, &w| acc & w),
+            GateKind::Or => rest.iter().fold(first, |acc, &w| acc | w),
+            GateKind::Nor => !rest.iter().fold(first, |acc, &w| acc | w),
+            GateKind::Xor => rest.iter().fold(first, |acc, &w| acc ^ w),
+            GateKind::Xnor => !rest.iter().fold(first, |acc, &w| acc ^ w),
             GateKind::Not => {
                 assert_eq!(inputs.len(), 1, "NOT takes exactly one fanin");
-                !inputs[0]
+                !first
             }
             GateKind::Buf => {
                 assert_eq!(inputs.len(), 1, "BUF takes exactly one fanin");
-                inputs[0]
+                first
             }
         }
     }

@@ -31,7 +31,7 @@ pub const COUNTERS: &[&str] = &[
     "campaign.records",       // JSONL campaign lines streamed
     "campaign.sink_errors",   // campaign persistence disabled by IO error
     "fsim.faults_simulated",  // candidate faults pushed through the kernel
-    "fsim.batches",           // 64-lane kernel invocations
+    "fsim.batches",           // wide-word kernel invocations
     "fsim.lanes_used",        // occupied lanes across those batches
     "fsim.lanes_capacity",    // available lanes across those batches
     "dispatch.chunks",        // fault chunks fanned out for one set
@@ -47,6 +47,7 @@ pub const COUNTERS: &[&str] = &[
 /// Gauge names (sinks keep the last observation).
 pub const GAUGES: &[&str] = &[
     "procedure2.coverage",   // detected-fault count after a kept pair
+    "fsim.lane_width",       // kernel lanes per batch (64/128/256/512)
     "dispatch.chunk_size",   // adaptive chunk size chosen for a set
     "dispatch.queue_depth",  // jobs pending right after a submission wave
     "pool.worker.busy_nanos", // per-worker time inside simulate calls

@@ -31,11 +31,13 @@
 
 pub mod chain;
 pub mod cost;
+pub mod lanes;
 pub mod multichain;
 pub mod ops;
 pub mod partial;
 
 pub use chain::ChainConfig;
 pub use cost::{CycleCounter, OpCost};
+pub use lanes::{LaneWord, WideWord, W128, W256, W512};
 pub use multichain::MultiChain;
 pub use partial::PartialScan;

@@ -7,6 +7,13 @@
 //!
 //! The paper writes states as bit strings and "always shifts to the right":
 //! position 0 is the leftmost character.
+//!
+//! The word-parallel operations come in two flavours: the original
+//! 64-lane `_words` functions on bare `u64`s, and `_lanes` generics over
+//! any [`LaneWord`] (128/256/512-lane [`crate::lanes::WideWord`]s). The
+//! `_words` functions are thin wrappers over the generics at `W = u64`.
+
+use crate::lanes::LaneWord;
 
 /// Shifts `state` right by `k` positions (a limited scan of `k` cycles).
 ///
@@ -58,6 +65,16 @@ pub fn limited_scan_bools(state: &mut [bool], k: usize, fill: &[bool]) -> Vec<bo
 ///
 /// Panics if `k > state.len()` or `fill.len() != k`.
 pub fn limited_scan_words(state: &mut [u64], k: usize, fill: &[bool]) -> Vec<u64> {
+    limited_scan_lanes(state, k, fill)
+}
+
+/// Width-generic version of [`limited_scan_words`]: each lane word holds
+/// the state bit of one flip-flop across [`LaneWord::LANES`] machines.
+///
+/// # Panics
+///
+/// Panics if `k > state.len()` or `fill.len() != k`.
+pub fn limited_scan_lanes<W: LaneWord>(state: &mut [W], k: usize, fill: &[bool]) -> Vec<W> {
     assert!(
         k <= state.len(),
         "cannot shift by more than the chain length"
@@ -70,7 +87,7 @@ pub fn limited_scan_words(state: &mut [u64], k: usize, fill: &[bool]) -> Vec<u64
         for i in (1..n).rev() {
             state[i] = state[i - 1];
         }
-        state[0] = if f { !0u64 } else { 0u64 };
+        state[0] = W::splat(f); // lint: panic-ok(state is non-empty: k <= state.len() and one shift implies len >= 1)
     }
     out
 }
@@ -100,18 +117,30 @@ pub fn full_scan_bools(state: &mut [bool], new: &[bool]) -> Vec<bool> {
 ///
 /// Panics if `new.len() != state.len()`.
 pub fn full_scan_words(state: &mut [u64], new: &[bool]) -> Vec<u64> {
+    full_scan_lanes(state, new)
+}
+
+/// Width-generic version of [`full_scan_words`].
+///
+/// # Panics
+///
+/// Panics if `new.len() != state.len()`.
+pub fn full_scan_lanes<W: LaneWord>(state: &mut [W], new: &[bool]) -> Vec<W> {
     assert_eq!(new.len(), state.len(), "scan-in must cover the whole chain");
     let fill: Vec<bool> = new.iter().rev().copied().collect();
-    limited_scan_words(state, state.len(), &fill)
+    limited_scan_lanes(state, state.len(), &fill)
 }
 
 /// Broadcasts a boolean state vector into word lanes (all 64 machines get
 /// the same state).
 pub fn broadcast(state: &[bool]) -> Vec<u64> {
-    state
-        .iter()
-        .map(|&b| if b { !0u64 } else { 0u64 })
-        .collect()
+    broadcast_lanes(state)
+}
+
+/// Width-generic version of [`broadcast`]: all [`LaneWord::LANES`]
+/// machines get the same state.
+pub fn broadcast_lanes<W: LaneWord>(state: &[bool]) -> Vec<W> {
+    state.iter().map(|&b| W::splat(b)).collect()
 }
 
 /// Extracts lane `lane` of a word state vector as booleans.
@@ -120,8 +149,17 @@ pub fn broadcast(state: &[bool]) -> Vec<u64> {
 ///
 /// Panics if `lane >= 64`.
 pub fn extract_lane(state: &[u64], lane: u32) -> Vec<bool> {
-    assert!(lane < 64);
-    state.iter().map(|&w| w >> lane & 1 == 1).collect()
+    extract_lane_of(state, lane as usize)
+}
+
+/// Width-generic version of [`extract_lane`].
+///
+/// # Panics
+///
+/// Panics if `lane >= W::LANES`.
+pub fn extract_lane_of<W: LaneWord>(state: &[W], lane: usize) -> Vec<bool> {
+    assert!(lane < W::LANES, "lane {lane} out of range");
+    state.iter().map(|w| w.lane(lane)).collect()
 }
 
 #[cfg(test)]
@@ -248,5 +286,36 @@ mod tests {
         let mut state: Vec<bool> = vec![];
         let out = full_scan_bools(&mut state, &[]);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wide_lanes_match_u64_scan_per_sub_word() {
+        use crate::lanes::{LaneWord, W256};
+        // A 256-lane scan must behave as four independent 64-lane scans:
+        // seed each element with a distinct pattern and compare.
+        let seeds = [0x0123_4567_89AB_CDEFu64, !0, 0, 0xA5A5_A5A5_5A5A_5A5A];
+        let mut wide: Vec<W256> = (0..5)
+            .map(|i| {
+                let mut w = W256::ZERO;
+                for (e, &s) in seeds.iter().enumerate() {
+                    w.0[e] = s.rotate_left(i as u32);
+                }
+                w
+            })
+            .collect();
+        let mut narrow: Vec<Vec<u64>> = (0..4)
+            .map(|e| wide.iter().map(|w| w.0[e]).collect())
+            .collect();
+        let fill = [true, false, true];
+        let wide_out = limited_scan_lanes(&mut wide, 3, &fill);
+        for (e, lanes) in narrow.iter_mut().enumerate() {
+            let out = limited_scan_words(lanes, 3, &fill);
+            for (i, w) in wide.iter().enumerate() {
+                assert_eq!(w.0[e], lanes[i], "state element {e} pos {i}");
+            }
+            for (i, w) in wide_out.iter().enumerate() {
+                assert_eq!(w.0[e], out[i], "out element {e} shift {i}");
+            }
+        }
     }
 }

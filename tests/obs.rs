@@ -15,7 +15,7 @@ use random_limited_scan::core::{generate_ts0, RlsConfig};
 use random_limited_scan::dispatch::{chunk_size, SetRunner, SimContext, WorkerPool};
 use random_limited_scan::obs;
 use random_limited_scan::obs::record::Event;
-use rls_fsim::{SimOptions, LANES};
+use rls_fsim::{LaneWidth, SimOptions, LANES};
 
 static OBS_LOCK: Mutex<()> = Mutex::new(());
 
@@ -28,7 +28,9 @@ fn adaptive_chunks_cut_submit_overhead_on_large_circuits() {
     let cfg = RlsConfig::new(8, 16, 8);
     let tests = generate_ts0(&c, &cfg);
     let threads = 2;
-    let ctx = SimContext::new(&c, SimOptions::default());
+    // Pin the kernel to 64 lanes: this test is specifically about adaptive
+    // chunks versus fixed 64-fault chunks, independent of the default width.
+    let ctx = SimContext::new(&c, SimOptions::default()).with_lane_width(LaneWidth::W64);
     let live = ctx.representatives().len();
     let size = chunk_size(live, threads);
     assert!(size > LANES, "s953 must exercise the oversized-chunk path");
@@ -47,12 +49,15 @@ fn adaptive_chunks_cut_submit_overhead_on_large_circuits() {
         "adaptive chunks must submit fewer jobs than fixed 64-wide ones \
          ({batch_jobs} vs {fixed})"
     );
-    // The kernel still ran 64-wide: oversized chunks were split into
-    // LANES-lane sub-batches, each accounted at full lane capacity. (Jobs
-    // whose candidates were all dropped or inactive run zero batches, so
-    // no job/batch inequality holds in either direction.)
+    // The kernel still ran at the configured width: oversized chunks were
+    // split into width-lane sub-batches, each accounted at full lane
+    // capacity. (Jobs whose candidates were all dropped or inactive run
+    // zero batches, so no job/batch inequality holds in either direction.)
     assert!(snap.total_batches() > 0);
-    assert_eq!(snap.total_lanes_capacity(), snap.total_batches() * LANES as u64);
+    assert_eq!(
+        snap.total_lanes_capacity(),
+        snap.total_batches() * ctx.lane_width().lanes() as u64
+    );
 }
 
 #[test]

@@ -1,0 +1,305 @@
+//! The default-CI property suite: ports of the feature-gated `proptest`
+//! properties (`tests/properties.rs`) onto the std-only `quickprop`
+//! harness, so randomized invariant checking runs offline on every
+//! `cargo test` instead of only when `proptest` can be vendored.
+//!
+//! Each property draws random synthetic circuits and tests from seeded
+//! generators and shrinks failures greedily to a minimal counterexample;
+//! the covered invariants are the cross-crate ones the wide-word kernel
+//! leans on: serial/batched agreement at every lane width, lane
+//! independence, the `N_cyc0` closed formula, `.bench` round-tripping,
+//! and limited-scan composition.
+
+#[path = "support/quickprop.rs"]
+mod quickprop;
+
+use quickprop::{check, no_shrink, shrink_usize_min, Gen};
+use random_limited_scan::benchmarks::SynthConfig;
+use random_limited_scan::core::cycles::measured_cycles;
+use random_limited_scan::core::{generate_ts0, ncyc0, RlsConfig};
+use random_limited_scan::fsim::good::traces_differ;
+use random_limited_scan::fsim::{
+    simulate_batch, simulate_chunk_at, FaultId, FaultUniverse, GoodSim, LaneWidth, ScanTest,
+    ShiftOp, SimOptions,
+};
+use random_limited_scan::netlist::{parse_bench, write_bench, Circuit};
+use random_limited_scan::scan::ops;
+
+/// A small, valid synthetic sequential circuit description.
+fn small_synth(g: &mut Gen) -> SynthConfig {
+    SynthConfig {
+        name: "prop".into(),
+        inputs: g.usize_in(1, 5),
+        outputs: g.usize_in(1, 4),
+        dffs: g.usize_in(0, 6),
+        gates: g.usize_in(5, 40),
+        seed: g.word(),
+        resistant_gates: 1,
+        resistant_width: 4,
+    }
+}
+
+/// Shrinks a circuit description towards the smallest legal one: fewer
+/// gates first (the dominant size), then state, then ports.
+fn shrink_synth(cfg: &SynthConfig) -> Vec<SynthConfig> {
+    let mut out = Vec::new();
+    for gates in shrink_usize_min(cfg.gates, 5) {
+        out.push(SynthConfig { gates, ..cfg.clone() });
+    }
+    for dffs in quickprop::shrink_usize(cfg.dffs) {
+        out.push(SynthConfig { dffs, ..cfg.clone() });
+    }
+    for inputs in shrink_usize_min(cfg.inputs, 1) {
+        out.push(SynthConfig { inputs, ..cfg.clone() });
+    }
+    for outputs in shrink_usize_min(cfg.outputs, 1) {
+        out.push(SynthConfig { outputs, ..cfg.clone() });
+    }
+    out
+}
+
+/// A random limited-scan test for a circuit (port of the proptest
+/// `random_test` strategy).
+fn random_test(c: &Circuit, g: &mut Gen, len: usize) -> ScanTest {
+    let scan_in = g.bools(c.num_dffs());
+    let vectors = (0..len).map(|_| g.bools(c.num_inputs())).collect();
+    let mut test = ScanTest::new(scan_in, vectors);
+    if c.num_dffs() > 0 && len > 2 {
+        let mut shifts = Vec::new();
+        for u in 1..len {
+            if g.usize_in(0, 3) == 0 {
+                let amount = g.usize_in(1, c.num_dffs() + 1);
+                shifts.push(ShiftOp {
+                    at: u,
+                    amount,
+                    fill: g.bools(amount),
+                });
+            }
+        }
+        test = test.with_shifts(shifts).expect("interior units are valid");
+    }
+    test
+}
+
+#[test]
+fn prop_bench_round_trip() {
+    // The `.bench` writer and parser are inverse up to structure, and a
+    // second round trip is textually a fixed point.
+    check(
+        "bench_round_trip",
+        0x5eed_0001,
+        32,
+        small_synth,
+        shrink_synth,
+        |cfg| {
+            let c = cfg.build();
+            let text = write_bench(&c);
+            let parsed = parse_bench(c.name(), &text).map_err(|e| e.to_string())?;
+            let dims = |c: &Circuit| (c.num_inputs(), c.num_outputs(), c.num_dffs(), c.num_gates());
+            if dims(&c) != dims(&parsed) {
+                return Err(format!("dimensions changed: {:?} -> {:?}", dims(&c), dims(&parsed)));
+            }
+            if write_bench(&parsed) != text {
+                return Err("second round trip is not a fixed point".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_batched_detection_matches_faulty_traces_at_every_width() {
+    // Trace/batch agreement, widened: the bit-parallel kernel (at every
+    // lane width) detects exactly the faults whose full faulty trace
+    // differs from the good trace, in fault-enumeration order.
+    check(
+        "batched_matches_traces",
+        0x5eed_0002,
+        24,
+        |g| (small_synth(g), g.word()),
+        |(cfg, seed)| shrink_synth(cfg).into_iter().map(|c| (c, *seed)).collect(),
+        |(cfg, seed)| {
+            let c = cfg.build();
+            let sim = GoodSim::new(&c);
+            let test = random_test(&c, &mut Gen::new(*seed), 4);
+            let good = sim.simulate_test(&test);
+            let universe = FaultUniverse::enumerate(&c);
+            let pairs: Vec<(FaultId, _)> = universe
+                .faults()
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| (FaultId(i as u32), f))
+                .collect();
+            let expected: Vec<FaultId> = pairs
+                .iter()
+                .filter(|&&(_, f)| traces_differ(&good, &sim.simulate_faulty(&test, f)))
+                .map(|&(id, _)| id)
+                .collect();
+            for width in LaneWidth::ALL {
+                let mut batched: Vec<FaultId> = Vec::new();
+                for chunk in pairs.chunks(width.lanes()) {
+                    batched.extend(simulate_chunk_at(
+                        width,
+                        &sim,
+                        &test,
+                        &good,
+                        chunk,
+                        SimOptions::default(),
+                    ));
+                }
+                if batched != expected {
+                    return Err(format!(
+                        "width {width}: batched {batched:?} != per-trace {expected:?}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_lanes_are_independent_at_every_width() {
+    // Packing faults into one batch never changes any individual
+    // verdict: a full-width batch detects exactly the concatenation of
+    // the single-fault detections, at every width.
+    check(
+        "lane_independence",
+        0x5eed_0003,
+        16,
+        |g| (small_synth(g), g.word()),
+        |(cfg, seed)| shrink_synth(cfg).into_iter().map(|c| (c, *seed)).collect(),
+        |(cfg, seed)| {
+            let c = cfg.build();
+            let sim = GoodSim::new(&c);
+            let test = random_test(&c, &mut Gen::new(*seed), 4);
+            let good = sim.simulate_test(&test);
+            let universe = FaultUniverse::enumerate(&c);
+            let singles: Vec<FaultId> = universe
+                .faults()
+                .iter()
+                .enumerate()
+                .filter(|&(i, &f)| {
+                    !simulate_batch(&sim, &test, &good, &[(FaultId(i as u32), f)]).is_empty()
+                })
+                .map(|(i, _)| FaultId(i as u32))
+                .collect();
+            for width in LaneWidth::ALL {
+                let packed: Vec<(FaultId, _)> = universe
+                    .faults()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| (FaultId(i as u32), f))
+                    .collect();
+                let mut batched: Vec<FaultId> = Vec::new();
+                for chunk in packed.chunks(width.lanes()) {
+                    batched.extend(simulate_chunk_at(
+                        width,
+                        &sim,
+                        &test,
+                        &good,
+                        chunk,
+                        SimOptions::default(),
+                    ));
+                }
+                if batched != singles {
+                    return Err(format!(
+                        "width {width}: batch verdicts {batched:?} != singleton verdicts {singles:?}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_ncyc0_formula_matches_measurement() {
+    // The closed `N_cyc0` formula equals walking the generated TS0.
+    check(
+        "ncyc0_formula",
+        0x5eed_0004,
+        48,
+        |g| {
+            let la = g.usize_in(1, 20);
+            (
+                la,
+                la + g.usize_in(0, 20), // lb >= la
+                g.usize_in(1, 20),      // n
+                g.usize_in(0, 12),      // nsv
+                g.usize_in(1, 6),       // npi
+            )
+        },
+        |&(la, lb, n, nsv, npi)| {
+            let mut out = Vec::new();
+            for la2 in shrink_usize_min(la, 1) {
+                if la2 <= lb {
+                    out.push((la2, lb, n, nsv, npi));
+                }
+            }
+            for lb2 in shrink_usize_min(lb, la) {
+                out.push((la, lb2, n, nsv, npi));
+            }
+            for n2 in shrink_usize_min(n, 1) {
+                out.push((la, lb, n2, nsv, npi));
+            }
+            for nsv2 in quickprop::shrink_usize(nsv) {
+                out.push((la, lb, n, nsv2, npi));
+            }
+            out
+        },
+        |&(la, lb, n, nsv, npi)| {
+            // A circuit is only needed for its dimensions here.
+            let mut c = Circuit::new("dims");
+            for i in 0..npi {
+                c.add_input(format!("i{i}"));
+            }
+            let first = c.inputs()[0];
+            for i in 0..nsv {
+                c.add_dff(format!("q{i}"), first);
+            }
+            c.add_output(first);
+            let cfg = RlsConfig::new(la, lb, n);
+            let ts0 = generate_ts0(&c, &cfg);
+            let measured = measured_cycles(nsv, &ts0);
+            let formula = ncyc0(nsv, la, lb, n);
+            if measured != formula {
+                return Err(format!("measured {measured} != formula {formula}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_limited_scans_compose() {
+    // Shifting j then k equals shifting j+k with concatenated fill.
+    check(
+        "limited_scans_compose",
+        0x5eed_0005,
+        64,
+        |g| {
+            let n = g.usize_in(2, 24);
+            let j = g.usize_in(1, n);
+            let k = g.usize_in(1, n - j + 1);
+            (g.bools(n), j, k, g.word())
+        },
+        no_shrink,
+        |(state, j, k, fill_seed)| {
+            let (j, k) = (*j, *k);
+            let fill = Gen::new(*fill_seed).bools(j + k);
+            let mut two_step = state.clone();
+            let mut out = ops::limited_scan_bools(&mut two_step, j, &fill[..j]);
+            out.extend(ops::limited_scan_bools(&mut two_step, k, &fill[j..]));
+            let mut one_step = state.clone();
+            let out_one = ops::limited_scan_bools(&mut one_step, j + k, &fill);
+            if two_step != one_step {
+                return Err(format!("states diverge: {two_step:?} vs {one_step:?}"));
+            }
+            if out != out_one {
+                return Err(format!("scan-out diverges: {out:?} vs {out_one:?}"));
+            }
+            Ok(())
+        },
+    );
+}

@@ -22,6 +22,7 @@ use std::sync::{Mutex, PoisonError};
 
 use random_limited_scan::core::{load_checkpoint, Procedure2, Procedure2Outcome, RlsConfig};
 use random_limited_scan::dispatch::inject::{self, InjectionPlan};
+use rls_fsim::LaneWidth;
 use rls_netlist::Circuit;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -128,6 +129,51 @@ fn poisoned_chunk_degrades_to_sequential_with_identical_outcome() {
     drop(armed);
     assert!(fired > 0, "the poisoned tag must be hit");
     assert_eq!(outcome, expected, "degraded execution must match the oracle");
+}
+
+#[test]
+fn injected_worker_panics_leave_every_lane_width_bit_identical() {
+    // The wide-word kernel under fire: supervised worker panics must be
+    // invisible at every kernel width, not just the classic 64 lanes.
+    let (c, cfg) = s27_cfg();
+    for width in LaneWidth::ALL {
+        let cfg = cfg.clone().with_lane_width(width);
+        let expected = {
+            let _quiet = Armed::quiescent();
+            oracle(&c, &cfg)
+        };
+        let armed = Armed::new(InjectionPlan {
+            panic_every: Some(5),
+            ..InjectionPlan::default()
+        });
+        let outcome = Procedure2::new(&c, cfg.with_threads(4)).run();
+        let fired = inject::fired();
+        drop(armed);
+        assert!(fired > 0, "width {width}: the plan must actually fire");
+        assert_eq!(outcome, expected, "width {width}: recovery must be invisible");
+    }
+}
+
+#[test]
+fn poisoned_chunk_degrades_identically_at_the_widest_kernel() {
+    // The degrade-to-sequential path re-runs the set on the supervisor
+    // thread; it must inherit the campaign's lane width (512 here) and
+    // still match the injection-free oracle at that width.
+    let (c, cfg) = s27_cfg();
+    let cfg = cfg.with_lane_width(LaneWidth::W512);
+    let expected = {
+        let _quiet = Armed::quiescent();
+        oracle(&c, &cfg)
+    };
+    let armed = Armed::new(InjectionPlan {
+        poison_tag: Some(0),
+        ..InjectionPlan::default()
+    });
+    let outcome = Procedure2::new(&c, cfg.with_threads(4)).run();
+    let fired = inject::fired();
+    drop(armed);
+    assert!(fired > 0, "the poisoned tag must be hit");
+    assert_eq!(outcome, expected, "degraded 512-lane execution must match the oracle");
 }
 
 #[test]
