@@ -64,4 +64,36 @@ tail -n 1 "$OBS_STREAM" | grep -q '"type":"obs_summary"'
 grep -q 's27' "$OBS_DIR/table6.out"
 rm -rf "$OBS_DIR"
 
+echo "== serve: smoke =="
+# The campaign server end to end through the real binary: two concurrent
+# campaigns multiplexed over one shared pool must each be byte-identical
+# to a direct run of the same configuration, and a shutdown request must
+# drain to a clean exit that removes the socket.
+cargo build -q --release --offline -p rls-serve --example rls_client
+SERVE_DIR=$(mktemp -d)
+./target/release/rls-serve --socket "$SERVE_DIR/rls.sock" --threads 3 \
+    --max-inflight 4 --campaign-dir "$SERVE_DIR/served" 2> "$SERVE_DIR/server.log" &
+SERVE_PID=$!
+for _ in $(seq 50); do [ -S "$SERVE_DIR/rls.sock" ] && break; sleep 0.1; done
+RLS_CLIENT=./target/release/examples/rls_client
+"$RLS_CLIENT" run --socket "$SERVE_DIR/rls.sock" --circuit s27 \
+    --la 4 --lb 8 --n 8 --threads 2 --normalize > "$SERVE_DIR/served-s27.txt" 2>/dev/null &
+C1=$!
+"$RLS_CLIENT" run --socket "$SERVE_DIR/rls.sock" --circuit s208 \
+    --la 2 --lb 3 --n 2 --threads 2 --max-iterations 2 --normalize \
+    > "$SERVE_DIR/served-s208.txt" 2>/dev/null &
+C2=$!
+wait "$C1" "$C2"
+"$RLS_CLIENT" direct --campaign-dir "$SERVE_DIR/direct-s27" --circuit s27 \
+    --la 4 --lb 8 --n 8 --threads 2 > "$SERVE_DIR/direct-s27.txt" 2>/dev/null
+"$RLS_CLIENT" direct --campaign-dir "$SERVE_DIR/direct-s208" --circuit s208 \
+    --la 2 --lb 3 --n 2 --threads 2 --max-iterations 2 \
+    > "$SERVE_DIR/direct-s208.txt" 2>/dev/null
+cmp "$SERVE_DIR/served-s27.txt" "$SERVE_DIR/direct-s27.txt"
+cmp "$SERVE_DIR/served-s208.txt" "$SERVE_DIR/direct-s208.txt"
+"$RLS_CLIENT" shutdown --socket "$SERVE_DIR/rls.sock" > /dev/null
+wait "$SERVE_PID"
+[ ! -e "$SERVE_DIR/rls.sock" ]
+rm -rf "$SERVE_DIR"
+
 echo "CI OK"

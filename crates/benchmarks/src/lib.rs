@@ -32,6 +32,6 @@ pub mod s27;
 pub mod synth;
 
 pub use profiles::{profile, Profile, PAPER_PROFILES};
-pub use registry::{all_names, by_name, table6_names};
+pub use registry::{all_names, by_name, load_bench_from, table6_names, BENCH_DIR_VAR};
 pub use s27::s27;
 pub use synth::SynthConfig;

@@ -124,16 +124,49 @@ impl<'c> Procedure2<'c> {
     /// an uninterrupted run. If the checkpoint's `source` is set, new
     /// records append to that same campaign file.
     pub fn resume(&self, state: ResumeState) -> Result<Procedure2Outcome, ResumeError> {
+        self.validate_resume(&state)?;
+        Ok(self.run_from(Some(state)))
+    }
+
+    /// Checks that `state` belongs to this circuit and configuration
+    /// (the same validation [`Procedure2::resume`] performs) without
+    /// running anything — callers driving a custom executor via
+    /// [`Procedure2::run_on`] validate first, then pass the state in.
+    pub fn validate_resume(&self, state: &ResumeState) -> Result<(), ResumeError> {
         if state.circuit != self.circuit.name() {
             return Err(ResumeError::CircuitMismatch {
                 expected: self.circuit.name().to_string(),
-                found: state.circuit,
+                found: state.circuit.clone(),
             });
         }
         if state.fingerprint != fingerprint(self.circuit.name(), &self.cfg) {
             return Err(ResumeError::ConfigMismatch);
         }
-        Ok(self.run_from(Some(state)))
+        Ok(())
+    }
+
+    /// Runs the greedy selection loop on a caller-supplied executor.
+    ///
+    /// This is the seam the campaign server uses to drive Procedure 2 on
+    /// a persistent shared pool: the caller owns executor construction,
+    /// the campaign sink, and end-of-run bookkeeping (`workers` /
+    /// `summary` records), while the selection loop — and therefore the
+    /// outcome — is exactly the one [`Procedure2::run`] executes. Pass a
+    /// [`validate_resume`](Procedure2::validate_resume)-checked state to
+    /// re-enter from a checkpoint.
+    pub fn run_on<E: TrialExecutor>(
+        &self,
+        exec: &mut E,
+        campaign: Option<&mut Campaign>,
+        resume: Option<ResumeState>,
+    ) -> Procedure2Outcome {
+        let _run_span = rls_obs::span!(
+            "procedure2.run",
+            circuit = self.circuit.name(),
+            threads = self.cfg.threads.max(1) as u64,
+            resumed = resume.is_some()
+        );
+        self.drive(exec, campaign, resume)
     }
 
     fn run_from(&self, resume: Option<ResumeState>) -> Procedure2Outcome {
@@ -225,7 +258,14 @@ impl<'c> Procedure2<'c> {
             };
             let outcome = self.drive(&mut exec, campaign.as_deref_mut(), resume);
             if let Some(c) = campaign {
-                c.record_workers(dispatcher.snapshot());
+                // Fold the degrade-path fallback simulator's lane
+                // accounting into the snapshot so `lanes_used`/`capacity`
+                // stay exact even after a poisoned set.
+                let mut snap = dispatcher.snapshot();
+                if let Some(stats) = exec.fallback_lane_stats() {
+                    snap = snap.with_fallback_lanes(stats);
+                }
+                c.record_workers(snap);
             }
             outcome
         })
@@ -329,7 +369,8 @@ impl<'c> Procedure2<'c> {
                     (i, pos, improved)
                 }
                 None => {
-                    if exec.live_count() == 0
+                    if exec.cancelled()
+                        || exec.live_count() == 0
                         || n_same_fc >= self.cfg.n_same_fc
                         || iterations >= u64::from(self.cfg.max_iterations)
                     {
@@ -341,7 +382,7 @@ impl<'c> Procedure2<'c> {
             };
             let _iter_span = rls_obs::span!("procedure2.iter", i = i, live = exec.live_count());
             for (pos, &d1) in d1_values.iter().enumerate().skip(start_pos) {
-                if exec.live_count() == 0 {
+                if exec.cancelled() || exec.live_count() == 0 {
                     break 'outer;
                 }
                 let derived = derive_test_set(&ts0, &self.cfg, i, d1, d2);
@@ -456,7 +497,7 @@ impl<'c> Procedure2<'c> {
 /// current live list, and drops them. Which test within the set detects a
 /// fault is bookkeeping-irrelevant (the union is invariant), which is
 /// exactly what lets the pool-backed executor reorder work freely.
-trait TrialExecutor {
+pub trait TrialExecutor {
     /// Number of currently undetected target faults.
     fn live_count(&self) -> usize;
     /// Simulates one test set, drops and counts newly detected faults.
@@ -469,6 +510,17 @@ trait TrialExecutor {
     /// sequential path after unrecoverable job failures.
     fn degraded(&self) -> bool {
         false
+    }
+    /// Whether the run should stop at the next trial boundary (graceful
+    /// drain). The loop exits cleanly; the last checkpoint — written
+    /// after TS0 and after every kept pair — makes the run resumable.
+    fn cancelled(&self) -> bool {
+        false
+    }
+    /// Lane accounting for work the executor replayed sequentially after
+    /// degrading, to be folded into the pool snapshot's totals.
+    fn fallback_lane_stats(&self) -> Option<rls_fsim::LaneStats> {
+        None
     }
 }
 
@@ -557,6 +609,10 @@ impl TrialExecutor for PoolExecutor<'_, '_> {
 
     fn degraded(&self) -> bool {
         self.fallback.is_some()
+    }
+
+    fn fallback_lane_stats(&self) -> Option<rls_fsim::LaneStats> {
+        self.fallback.as_ref().map(|sim| sim.lane_stats())
     }
 }
 

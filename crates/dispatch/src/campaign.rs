@@ -197,6 +197,17 @@ fn reserve_with_stamp(
     }
 }
 
+/// A live tap on the record stream: called with each rendered record line
+/// as it is recorded, independently of (and before) the disk sink. The
+/// campaign server uses this to stream results to a connected client.
+struct Observer(Box<dyn FnMut(&str) + Send>);
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Observer(..)")
+    }
+}
+
 /// An in-progress campaign record.
 ///
 /// Always accumulates in memory (so [`Campaign::to_jsonl`] and
@@ -213,6 +224,7 @@ pub struct Campaign {
     workers: Option<PoolSnapshot>,
     summary: Option<CampaignSummary>,
     sink: Option<CampaignFile>,
+    observer: Option<Observer>,
 }
 
 impl Campaign {
@@ -227,7 +239,16 @@ impl Campaign {
             workers: None,
             summary: None,
             sink: None,
+            observer: None,
         }
+    }
+
+    /// Installs a live observer: `f` is called with each rendered record
+    /// line as it is recorded, before (and regardless of) the disk sink.
+    /// The header line is *not* replayed — callers that need it render
+    /// [`Campaign::header_line`] themselves.
+    pub fn set_observer(&mut self, f: impl FnMut(&str) + Send + 'static) {
+        self.observer = Some(Observer(Box::new(f)));
     }
 
     /// Starts a record that streams crash-safely to a fresh file under
@@ -257,13 +278,7 @@ impl Campaign {
     pub fn append_to(path: &Path, circuit: &str, threads: usize) -> Result<Self, DispatchError> {
         let mut c = Campaign::new(circuit, threads);
         let mut sink = CampaignFile::append_to(path)?;
-        sink.append(
-            &JsonObject::new()
-                .str("type", "resume")
-                .str("circuit", circuit)
-                .num("threads", threads as u64)
-                .render(),
-        )?;
+        sink.append(&c.resume_line())?;
         c.sink = Some(sink);
         Ok(c)
     }
@@ -282,6 +297,9 @@ impl Campaign {
     /// Appends a line to the sink; on failure warns once and disables the
     /// sink — persistence trouble must never abort a campaign.
     fn stream(&mut self, line: &str) {
+        if let Some(obs) = self.observer.as_mut() {
+            (obs.0)(line);
+        }
         let Some(sink) = self.sink.as_mut() else {
             return;
         };
@@ -294,9 +312,21 @@ impl Campaign {
         }
     }
 
-    fn header_line(&self) -> String {
+    /// The `campaign` header record, exactly as [`Campaign::create`]
+    /// writes it as the file's first line.
+    pub fn header_line(&self) -> String {
         JsonObject::new()
             .str("type", "campaign")
+            .str("circuit", &self.circuit)
+            .num("threads", self.threads as u64)
+            .render()
+    }
+
+    /// The `resume` seam record, exactly as [`Campaign::append_to`]
+    /// appends it when recording resumes onto an existing file.
+    pub fn resume_line(&self) -> String {
+        JsonObject::new()
+            .str("type", "resume")
             .str("circuit", &self.circuit)
             .num("threads", self.threads as u64)
             .render()
@@ -338,11 +368,19 @@ impl Campaign {
                 .num("lanes_capacity", w.lanes_capacity)
                 .render()
         }));
-        JsonObject::new()
+        let mut line = JsonObject::new()
             .str("type", "workers")
             .num("threads", snap.threads as u64)
-            .raw("workers", &workers)
-            .render()
+            .raw("workers", &workers);
+        if let Some(f) = snap.fallback {
+            let fallback = JsonObject::new()
+                .num("batches", f.batches)
+                .num("lanes_used", f.lanes_used)
+                .num("lanes_capacity", f.lanes_capacity)
+                .render();
+            line = line.raw("fallback", &fallback);
+        }
+        line.render()
     }
 
     fn summary_line(&self, s: &CampaignSummary) -> String {

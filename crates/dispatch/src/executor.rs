@@ -69,15 +69,15 @@ use crate::pool::{Dispatcher, JobFailure};
 pub const RETRY_ROUNDS: usize = 3;
 
 /// Tag bit distinguishing phase-1 trace jobs from phase-2 batch jobs.
-const TRACE_TAG_BIT: u64 = 1 << 62;
+pub(crate) const TRACE_TAG_BIT: u64 = 1 << 62;
 
 /// Tag of the phase-1 job computing test `t`'s fault-free trace.
-fn trace_tag(t: usize) -> u64 {
+pub(crate) fn trace_tag(t: usize) -> u64 {
     TRACE_TAG_BIT | t as u64
 }
 
 /// Tag of the phase-2 job simulating live-list chunk `chunk` of test `t`.
-fn batch_tag(t: usize, chunk: usize) -> u64 {
+pub(crate) fn batch_tag(t: usize, chunk: usize) -> u64 {
     ((t as u64) << 32) | chunk as u64
 }
 

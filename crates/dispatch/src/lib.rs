@@ -23,6 +23,11 @@
 //! - [`campaign`]: [`Campaign`] JSONL records — header, per-trial lines,
 //!   checkpoints, per-worker counters, summary — appended crash-safely
 //!   under `results/` and read back by [`CampaignLog`];
+//! - [`shared`]: the persistent [`SharedPool`] — owned worker threads
+//!   that outlive any single campaign, multiplexing concurrent campaigns
+//!   with fair round-robin budgets for the `rls-serve` campaign server,
+//!   plus [`SharedSetRunner`], the batch-for-batch bit-identical
+//!   shared-pool analogue of [`SetRunner`];
 //! - [`jsonl`]: the dependency-free JSON rendering and parsing underneath;
 //! - [`error`]: structured [`DispatchError`] for persistence and parsing;
 //! - [`inject`]: deterministic fault injection behind the `fault-inject`
@@ -71,6 +76,7 @@ pub mod executor;
 pub mod inject;
 pub mod jsonl;
 pub mod pool;
+pub mod shared;
 
 pub use bitset::AtomicBitset;
 pub use campaign::{Campaign, CampaignLog, CampaignSummary, TrialRecord};
@@ -78,4 +84,7 @@ pub use error::DispatchError;
 pub use executor::{chunk_size, SetFailure, SetRunner, SimContext};
 pub use pool::{
     Dispatcher, FailureClass, JobFailure, PoolSnapshot, WorkerCounters, WorkerPool, WorkerSnapshot,
+};
+pub use shared::{
+    CampaignHandle, CompiledCircuit, SharedPool, SharedSetRunner, SharedSimContext,
 };

@@ -75,8 +75,8 @@ pub struct JobFailure {
     pub class: FailureClass,
 }
 
-/// Classifies a panic message.
-fn classify(message: &str) -> FailureClass {
+/// Classifies a panic message (shared with the persistent `shared` pool).
+pub(crate) fn classify(message: &str) -> FailureClass {
     if message.contains("injected") {
         FailureClass::Injected
     } else if message.contains("out of bounds") || message.contains("out of range") {
@@ -90,8 +90,9 @@ fn classify(message: &str) -> FailureClass {
     }
 }
 
-/// Extracts a readable message from a panic payload.
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Extracts a readable message from a panic payload (shared with the
+/// persistent `shared` pool).
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -148,7 +149,18 @@ impl WorkerCounters {
         self.faults_dropped.fetch_add(n, Ordering::Relaxed); // lint: ordering-ok(observability counter; the authoritative drop set lives in the bitset with Release publishes)
     }
 
-    fn snapshot(&self, worker: usize) -> WorkerSnapshot {
+    /// Records one completed job (used by the shared pool, whose job loop
+    /// lives outside this module).
+    pub(crate) fn add_job(&self) {
+        self.jobs.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
+    }
+
+    /// Records one supervised recovery after a job panic (shared pool).
+    pub(crate) fn add_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(observability counter; snapshots read after the pool idles, never mid-reduction)
+    }
+
+    pub(crate) fn snapshot(&self, worker: usize) -> WorkerSnapshot {
         WorkerSnapshot {
             worker,
             jobs: self.jobs.load(Ordering::Relaxed), // lint: ordering-ok(snapshot taken at the idle barrier; writers quiesced under the pool mutex)
@@ -197,12 +209,27 @@ pub struct PoolSnapshot {
     pub pending: usize,
     /// Per-worker counters.
     pub workers: Vec<WorkerSnapshot>,
+    /// Lane accounting for work replayed sequentially on the caller thread
+    /// after a poisoned set degraded to the fallback simulator. `None` when
+    /// the campaign never degraded.
+    pub fallback: Option<rls_fsim::LaneStats>,
 }
 
 impl PoolSnapshot {
-    /// Total 64-lane batches simulated across workers.
+    /// Attaches degrade-path lane accounting gathered by the sequential
+    /// fallback simulator so totals stay exact after a poisoned set.
+    pub fn with_fallback_lanes(mut self, stats: rls_fsim::LaneStats) -> Self {
+        if !stats.is_empty() {
+            self.fallback = Some(stats);
+        }
+        self
+    }
+
+    /// Total 64-lane batches simulated across workers, including any
+    /// degrade-path fallback batches.
     pub fn total_batches(&self) -> u64 {
-        self.workers.iter().map(|w| w.batches).sum()
+        self.workers.iter().map(|w| w.batches).sum::<u64>()
+            + self.fallback.map_or(0, |f| f.batches)
     }
 
     /// Total faults dropped across workers.
@@ -215,14 +242,18 @@ impl PoolSnapshot {
         self.workers.iter().map(|w| w.respawns).sum()
     }
 
-    /// Total occupied kernel lanes across workers.
+    /// Total occupied kernel lanes across workers, including any
+    /// degrade-path fallback lanes.
     pub fn total_lanes_used(&self) -> u64 {
-        self.workers.iter().map(|w| w.lanes_used).sum()
+        self.workers.iter().map(|w| w.lanes_used).sum::<u64>()
+            + self.fallback.map_or(0, |f| f.lanes_used)
     }
 
-    /// Total available kernel lanes across workers.
+    /// Total available kernel lanes across workers, including any
+    /// degrade-path fallback lanes.
     pub fn total_lanes_capacity(&self) -> u64 {
-        self.workers.iter().map(|w| w.lanes_capacity).sum()
+        self.workers.iter().map(|w| w.lanes_capacity).sum::<u64>()
+            + self.fallback.map_or(0, |f| f.lanes_capacity)
     }
 }
 
@@ -429,6 +460,7 @@ impl<'env> Station<'env> {
                 .enumerate()
                 .map(|(w, c)| c.snapshot(w))
                 .collect(),
+            fallback: None,
         }
     }
 }

@@ -1,0 +1,984 @@
+//! A persistent shared worker pool multiplexing many concurrent campaigns.
+//!
+//! [`crate::WorkerPool`] is scoped: its workers borrow the campaign's
+//! stack frame (`'env` jobs) and die with `scope`. A long-running campaign
+//! server needs the opposite shape — one pool of owned OS threads that
+//! outlives every campaign, with campaigns registering and retiring
+//! dynamically. This module provides that shape while preserving the
+//! determinism contract of the scoped pool:
+//!
+//! - [`SharedPool`] owns `threads` worker threads for the life of the
+//!   process. Jobs are `'static` closures handed over through per-campaign
+//!   queues (no borrowed environment, hence no `unsafe`).
+//! - [`SharedPool::register`] adds a campaign *slot* with a thread
+//!   `budget` and returns a [`CampaignHandle`] — the shared-pool analogue
+//!   of [`crate::Dispatcher`]: `submit_tagged` / `wait_idle` /
+//!   `take_failures` / `snapshot`.
+//! - Scheduling is fair round-robin across slots: workers scan slots from
+//!   a rotating cursor and claim at most `budget` concurrent jobs per
+//!   slot, so one huge campaign cannot starve a small one.
+//! - Failures are supervised exactly like the scoped pool: a panicking
+//!   job is caught, classified, and recorded under its tag in the owning
+//!   campaign's ledger; retries are the caller's policy
+//!   ([`SharedSetRunner`] reuses the wave/retry protocol of
+//!   [`crate::SetRunner`]).
+//! - Shutdown is graceful: queued jobs drain before workers exit, and
+//!   jobs submitted *after* shutdown are recorded as failures (class
+//!   [`crate::FailureClass::Other`]) instead of vanishing, so a caller's
+//!   wave protocol observes the outage and can degrade to the sequential
+//!   oracle.
+//!
+//! # Determinism
+//!
+//! [`SharedSetRunner`] mirrors [`crate::SetRunner`] batch-for-batch: the
+//! same tags, the same adaptive [`chunk_size`] (sized by the campaign's
+//! *budget*, not the pool width), the same monotone detection bitset, and
+//! the same live-list-order reduction. A campaign run through the shared
+//! pool is therefore bit-identical to a direct scoped-pool run — and to
+//! the sequential oracle — regardless of how many other campaigns share
+//! the workers. The integration suite byte-compares served campaign
+//! records against direct runs to pin this.
+//!
+//! # Compiled circuits
+//!
+//! [`CompiledCircuit`] packages everything per-circuit and immutable —
+//! parsed netlist, levelization, fault universe, collapsed fault list —
+//! behind an `Arc`, so a server can compile once and share across
+//! concurrent campaigns; [`SharedSimContext`] adds the per-campaign
+//! mutable state (options, lane width, detection bitset).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rls_fsim::parallel::activated_in_trace;
+use rls_fsim::{
+    simulate_chunk_at, CollapsedFaults, Fault, FaultId, FaultUniverse, GoodSim, LaneWidth,
+    ScanTest, SimOptions, TestTrace,
+};
+use rls_netlist::{Circuit, Levelization, NetlistError};
+
+use crate::bitset::AtomicBitset;
+use crate::executor::{batch_tag, chunk_size, trace_tag, SetFailure, RETRY_ROUNDS, TRACE_TAG_BIT};
+use crate::inject;
+use crate::pool::{classify, payload_message, JobFailure, PoolSnapshot, WorkerCounters};
+
+/// A job runnable on the shared pool. Unlike the scoped pool's `'env`
+/// jobs, shared jobs own their state (`'static`) — campaign context
+/// travels in `Arc`s.
+pub type SharedJob = Box<dyn FnOnce(&WorkerCounters) + Send + 'static>;
+
+/// One registered campaign's scheduling state.
+struct Slot {
+    id: u64,
+    queue: VecDeque<(u64, SharedJob)>,
+    /// Jobs currently executing on some worker.
+    running: usize,
+    /// Jobs submitted and not yet finished (queued + running).
+    pending: usize,
+    /// Concurrency cap: at most this many of the campaign's jobs run at
+    /// once, so co-tenants keep their share of the pool.
+    budget: usize,
+    ledger: Arc<Ledger>,
+}
+
+/// Per-campaign accounting, shared between the slot (workers write
+/// through it) and the [`CampaignHandle`] (the campaign reads it).
+struct Ledger {
+    /// Per-OS-worker counters, indexed by worker id.
+    counters: Vec<WorkerCounters>,
+    failures: Mutex<Vec<JobFailure>>,
+}
+
+struct Sched {
+    slots: Vec<Slot>,
+    /// Round-robin scan start, advanced past each claimed slot.
+    cursor: usize,
+    /// False once shutdown begins: queues drain, new submissions fail.
+    open: bool,
+}
+
+struct Hub {
+    sched: Mutex<Sched>,
+    /// Signalled when work (or capacity to run it) appears, and at
+    /// shutdown.
+    work_cv: Condvar,
+    /// Signalled when a slot's pending count reaches zero.
+    idle_cv: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Hub {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Claims the next runnable job, scanning slots round-robin from the
+/// cursor and respecting each slot's budget.
+fn claim(sched: &mut Sched) -> Option<(u64, u64, SharedJob, Arc<Ledger>)> {
+    let n = sched.slots.len();
+    for step in 0..n {
+        let idx = (sched.cursor + step) % n;
+        let slot = &mut sched.slots[idx]; // lint: panic-ok(idx is reduced modulo slots.len() on the line above)
+        if slot.running < slot.budget {
+            if let Some((tag, job)) = slot.queue.pop_front() {
+                slot.running += 1;
+                let id = slot.id;
+                let ledger = Arc::clone(&slot.ledger);
+                sched.cursor = (idx + 1) % n;
+                return Some((id, tag, job, ledger));
+            }
+        }
+    }
+    None
+}
+
+/// The supervised worker loop: claim, run under `catch_unwind`, settle.
+fn worker_loop(hub: Arc<Hub>, w: usize) {
+    loop {
+        let claimed = {
+            let mut sched = hub.lock();
+            loop {
+                if let Some(c) = claim(&mut sched) {
+                    break Some(c);
+                }
+                if !sched.open {
+                    break None;
+                }
+                sched = hub
+                    .work_cv
+                    .wait(sched)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some((id, tag, job, ledger)) = claimed else {
+            return; // closed and drained
+        };
+        let counters = &ledger.counters[w]; // lint: panic-ok(ledgers are built with one counter per pool worker; w < threads by construction)
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            inject::on_job_start(tag);
+            job(counters);
+        }));
+        match outcome {
+            Ok(()) => counters.add_job(),
+            Err(payload) => {
+                let message = payload_message(payload.as_ref());
+                let class = classify(&message);
+                ledger
+                    .failures
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(JobFailure {
+                        worker: w,
+                        tag,
+                        message,
+                        class,
+                    });
+                counters.add_respawn();
+            }
+        }
+        let mut sched = hub.lock();
+        if let Some(slot) = sched.slots.iter_mut().find(|s| s.id == id) {
+            slot.running -= 1;
+            slot.pending -= 1;
+            if slot.pending == 0 {
+                hub.idle_cv.notify_all();
+            } else if !slot.queue.is_empty() && slot.running < slot.budget {
+                // Freed budget with work still queued: wake a sleeper so
+                // the slot is not stuck at this worker's pace.
+                hub.work_cv.notify_one();
+            }
+        }
+    }
+}
+
+/// A pool of owned worker threads that outlives any single campaign.
+///
+/// Dropping (or [`SharedPool::shutdown`]) closes the pool: already-queued
+/// jobs drain, workers join, and later submissions are recorded as
+/// failures on their campaign's ledger.
+pub struct SharedPool {
+    hub: Arc<Hub>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SharedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedPool {
+    /// Spawns `threads` persistent workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let hub = Arc::new(Hub {
+            sched: Mutex::new(Sched {
+                slots: Vec::new(),
+                cursor: 0,
+                open: true,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || worker_loop(hub, w))
+            })
+            .collect();
+        SharedPool {
+            hub,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Registers a campaign with a concurrency `budget` (clamped to
+    /// `1..=threads`) and returns its submission handle.
+    pub fn register(&self, budget: usize) -> CampaignHandle {
+        let budget = budget.clamp(1, self.threads);
+        let id = self.hub.next_id.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(unique-id counter; uniqueness is all that is required)
+        let ledger = Arc::new(Ledger {
+            counters: (0..self.threads).map(|_| WorkerCounters::default()).collect(),
+            failures: Mutex::new(Vec::new()),
+        });
+        self.hub.lock().slots.push(Slot {
+            id,
+            queue: VecDeque::new(),
+            running: 0,
+            pending: 0,
+            budget,
+            ledger: Arc::clone(&ledger),
+        });
+        CampaignHandle {
+            hub: Arc::clone(&self.hub),
+            id,
+            budget,
+            ledger,
+        }
+    }
+
+    fn close(&self) {
+        self.hub.lock().open = false;
+        self.hub.work_cv.notify_all();
+    }
+
+    /// Closes the pool and joins every worker after queued jobs drain.
+    pub fn shutdown(mut self) {
+        self.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SharedPool {
+    fn drop(&mut self) {
+        self.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One campaign's handle onto the shared pool — the shared-pool analogue
+/// of [`crate::Dispatcher`].
+///
+/// Dropping the handle waits for the campaign's in-flight jobs and then
+/// retires its slot.
+pub struct CampaignHandle {
+    hub: Arc<Hub>,
+    id: u64,
+    budget: usize,
+    ledger: Arc<Ledger>,
+}
+
+impl std::fmt::Debug for CampaignHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignHandle")
+            .field("id", &self.id)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CampaignHandle {
+    /// Enqueues a job under a caller-chosen tag (see
+    /// [`crate::Dispatcher::submit_tagged`]). On a closed pool the job is
+    /// not run; a failure is recorded under the tag so the caller's wave
+    /// protocol observes the outage.
+    pub fn submit_tagged(&self, tag: u64, job: impl FnOnce(&WorkerCounters) + Send + 'static) {
+        let mut sched = self.hub.lock();
+        if !sched.open {
+            drop(sched);
+            self.ledger
+                .failures
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(JobFailure {
+                    worker: usize::MAX,
+                    tag,
+                    message: "shared pool is shut down".to_string(),
+                    class: classify("shared pool is shut down"),
+                });
+            return;
+        }
+        if let Some(slot) = sched.slots.iter_mut().find(|s| s.id == self.id) {
+            slot.queue.push_back((tag, Box::new(job)));
+            slot.pending += 1;
+        }
+        drop(sched);
+        self.hub.work_cv.notify_one();
+    }
+
+    /// Blocks until every job this campaign submitted has finished — the
+    /// per-campaign reduction barrier. Other campaigns' jobs are
+    /// irrelevant to (and unaffected by) this wait.
+    pub fn wait_idle(&self) {
+        let mut sched = self.hub.lock();
+        loop {
+            let pending = sched
+                .slots
+                .iter()
+                .find(|s| s.id == self.id)
+                .map_or(0, |s| s.pending);
+            if pending == 0 {
+                return;
+            }
+            sched = self
+                .hub
+                .idle_cv
+                .wait(sched)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Drains the failures recorded since the last call (see
+    /// [`crate::Dispatcher::take_failures`]).
+    pub fn take_failures(&self) -> Vec<JobFailure> {
+        std::mem::take(
+            &mut self
+                .ledger
+                .failures
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// A progress snapshot of this campaign only: its pending count and
+    /// its per-worker counters. `threads` reports the campaign's budget —
+    /// the parallelism the campaign was promised — not the pool width.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let pending = self
+            .hub
+            .lock()
+            .slots
+            .iter()
+            .find(|s| s.id == self.id)
+            .map_or(0, |s| s.pending);
+        PoolSnapshot {
+            threads: self.budget,
+            pending,
+            workers: self
+                .ledger
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(w, c)| c.snapshot(w))
+                .collect(),
+            fallback: None,
+        }
+    }
+
+    /// The campaign's concurrency budget (the `threads` analogue for
+    /// chunk sizing).
+    pub fn threads(&self) -> usize {
+        self.budget
+    }
+}
+
+impl Drop for CampaignHandle {
+    fn drop(&mut self) {
+        let mut sched = self.hub.lock();
+        loop {
+            let Some(pos) = sched.slots.iter().position(|s| s.id == self.id) else {
+                return;
+            };
+            let slot = &sched.slots[pos]; // lint: panic-ok(pos was just produced by position() over the same vec under the same lock)
+            if slot.pending == 0 {
+                sched.slots.remove(pos);
+                return;
+            }
+            sched = self
+                .hub
+                .idle_cv
+                .wait(sched)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Everything immutable a campaign needs about one circuit, compiled once
+/// and shared across campaigns behind an `Arc`: the parsed circuit, its
+/// levelization, the fault universe, and the collapsed fault list.
+///
+/// Compilation is fallible (uploaded netlists may have combinational
+/// cycles); a server rejects such requests instead of panicking.
+#[derive(Debug)]
+pub struct CompiledCircuit {
+    circuit: Circuit,
+    lev: Arc<Levelization>,
+    universe: FaultUniverse,
+    collapsed: CollapsedFaults,
+}
+
+impl CompiledCircuit {
+    /// Levelizes, enumerates, and collapses `circuit`.
+    pub fn compile(circuit: Circuit) -> Result<Self, NetlistError> {
+        let lev = Arc::new(circuit.levelize()?);
+        let universe = FaultUniverse::enumerate(&circuit);
+        let collapsed = CollapsedFaults::build(&circuit, &universe);
+        Ok(CompiledCircuit {
+            circuit,
+            lev,
+            universe,
+            collapsed,
+        })
+    }
+
+    /// The compiled circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// A fault-free simulator reusing the precomputed levelization (cheap
+    /// to construct per job).
+    pub fn good(&self) -> GoodSim<'_> {
+        GoodSim::with_levelization(&self.circuit, Arc::clone(&self.lev))
+    }
+
+    /// The collapsed representative fault list (sorted by fault id).
+    pub fn representatives(&self) -> &[FaultId] {
+        self.collapsed.representatives()
+    }
+
+    /// The full single-stuck-at fault universe.
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+}
+
+/// Per-campaign simulation state over a shared [`CompiledCircuit`] — the
+/// `'static` analogue of [`crate::SimContext`]. Each concurrent campaign
+/// gets its own detection bitset; the compiled circuit is shared.
+#[derive(Debug)]
+pub struct SharedSimContext {
+    compiled: Arc<CompiledCircuit>,
+    options: SimOptions,
+    lane_width: LaneWidth,
+    detected_bits: AtomicBitset,
+}
+
+impl SharedSimContext {
+    /// Builds campaign state over a compiled circuit at the default
+    /// kernel width.
+    pub fn new(compiled: Arc<CompiledCircuit>, options: SimOptions) -> Self {
+        let detected_bits = AtomicBitset::new(compiled.universe.len());
+        detected_bits.clear();
+        SharedSimContext {
+            compiled,
+            options,
+            lane_width: LaneWidth::DEFAULT,
+            detected_bits,
+        }
+    }
+
+    /// Sets the kernel word width batch jobs simulate at.
+    pub fn with_lane_width(mut self, width: LaneWidth) -> Self {
+        self.lane_width = width;
+        self
+    }
+
+    /// The kernel word width batch jobs simulate at.
+    pub fn lane_width(&self) -> LaneWidth {
+        self.lane_width
+    }
+
+    /// The simulation options the context was built with.
+    pub fn options(&self) -> SimOptions {
+        self.options
+    }
+
+    /// The shared compiled circuit.
+    pub fn compiled(&self) -> &Arc<CompiledCircuit> {
+        &self.compiled
+    }
+}
+
+/// Drives test sets through a [`CampaignHandle`] against an evolving live
+/// fault list — the shared-pool analogue of [`crate::SetRunner`],
+/// batch-for-batch identical so outcomes stay bit-identical.
+pub struct SharedSetRunner {
+    ctx: Arc<SharedSimContext>,
+    handle: CampaignHandle,
+    live: Vec<FaultId>,
+    detected: Vec<FaultId>,
+}
+
+impl SharedSetRunner {
+    /// A runner targeting every collapsed fault.
+    pub fn new(ctx: Arc<SharedSimContext>, handle: CampaignHandle) -> Self {
+        let live = ctx.compiled.representatives().to_vec();
+        ctx.detected_bits.clear();
+        SharedSetRunner {
+            ctx,
+            handle,
+            live,
+            detected: Vec::new(),
+        }
+    }
+
+    /// Restricts the live list to `targets`, mirroring
+    /// [`crate::SetRunner::set_targets`].
+    pub fn set_targets(&mut self, targets: &[FaultId]) {
+        self.live = targets.to_vec();
+        self.detected.clear();
+        self.ctx.detected_bits.clear();
+    }
+
+    /// The campaign's simulation context.
+    pub fn context(&self) -> &Arc<SharedSimContext> {
+        &self.ctx
+    }
+
+    /// The campaign's pool handle.
+    pub fn handle(&self) -> &CampaignHandle {
+        &self.handle
+    }
+
+    /// Currently undetected faults, in live-list order.
+    pub fn live(&self) -> &[FaultId] {
+        &self.live
+    }
+
+    /// Number of currently undetected faults.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of faults detected so far.
+    pub fn detected_count(&self) -> usize {
+        self.detected.len()
+    }
+
+    /// Submits one wave of trace jobs for the given tags.
+    fn submit_trace_wave(
+        &self,
+        tags: &[u64],
+        tests: &Arc<Vec<ScanTest>>,
+        traces: &Arc<Vec<OnceLock<TestTrace>>>,
+    ) {
+        for &tag in tags {
+            let t = (tag & !TRACE_TAG_BIT) as usize;
+            let ctx = Arc::clone(&self.ctx);
+            let tests = Arc::clone(tests);
+            let traces = Arc::clone(traces);
+            self.handle.submit_tagged(tag, move |counters| {
+                let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
+                let good = ctx.compiled.good();
+                // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
+                let trace = good.simulate_test(&tests[t]);
+                counters.add_sim_time(start.elapsed());
+                // A retried job may find the trace already computed by a
+                // wave that panicked after publishing; either value is
+                // identical, so the loss is ignored.
+                let _ = traces[t].set(trace); // lint: panic-ok(t decodes from a tag minted over 0..traces.len())
+            });
+        }
+    }
+
+    /// Submits one wave of batch jobs for the given tags.
+    fn submit_batch_wave(
+        &self,
+        tags: &[u64],
+        tests: &Arc<Vec<ScanTest>>,
+        traces: &Arc<Vec<OnceLock<TestTrace>>>,
+        chunks: &Arc<Vec<Vec<FaultId>>>,
+        live_left: &Arc<AtomicUsize>,
+    ) {
+        for &tag in tags {
+            let t = (tag >> 32) as usize;
+            let c = (tag & 0xffff_ffff) as usize;
+            let ctx = Arc::clone(&self.ctx);
+            let tests = Arc::clone(tests);
+            let traces = Arc::clone(traces);
+            let chunks = Arc::clone(chunks);
+            let live_left = Arc::clone(live_left);
+            self.handle.submit_tagged(tag, move |counters| {
+                if live_left.load(Ordering::Relaxed) == 0 { // lint: ordering-ok(early-exit hint only; a stale read just simulates a batch whose hits are already in the bitset)
+                    return;
+                }
+                // lint: panic-ok(the trace wave idles before any batch wave is submitted, so the OnceLock is populated)
+                let trace = traces[t].get().expect("trace barrier passed");
+                let good = ctx.compiled.good();
+                let circuit = ctx.compiled.circuit();
+                // Shared-bitset fault dropping + activation prefilter.
+                // lint: panic-ok(c decodes from a tag minted over 0..chunks.len())
+                let candidates: Vec<(FaultId, Fault)> = chunks[c]
+                    .iter()
+                    .filter(|&&id| !ctx.detected_bits.get(id))
+                    .map(|&id| (id, ctx.compiled.universe.fault(id)))
+                    .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
+                    .collect();
+                if candidates.is_empty() {
+                    return;
+                }
+                let width = ctx.lane_width;
+                let mut newly = 0u64;
+                for sub in candidates.chunks(width.lanes()) {
+                    let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
+                    let hits = simulate_chunk_at(width, &good, &tests[t], trace, sub, ctx.options); // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
+                    counters.add_batch(start.elapsed());
+                    counters.add_lanes(sub.len() as u64, width.lanes() as u64);
+                    for id in hits {
+                        if ctx.detected_bits.set(id) {
+                            newly += 1;
+                        }
+                    }
+                }
+                if newly > 0 {
+                    counters.add_dropped(newly);
+                    live_left.fetch_sub(newly as usize, Ordering::Relaxed); // lint: ordering-ok(monotone countdown used only for the early-exit hint; the bitset carries the authoritative drops)
+                }
+            });
+        }
+    }
+
+    /// Runs waves of `submit(tags)` until none fail, retrying only the
+    /// failed tags, up to [`RETRY_ROUNDS`] retry waves — the same protocol
+    /// as the scoped runner.
+    fn run_waves(
+        &self,
+        phase: &'static str,
+        mut tags: Vec<u64>,
+        submit: impl Fn(&[u64]),
+    ) -> Result<(), SetFailure> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            submit(&tags);
+            rls_obs::gauge!(
+                "dispatch.queue_depth",
+                self.handle.snapshot().pending as u64,
+                phase = phase
+            );
+            self.handle.wait_idle();
+            let failures = self.handle.take_failures();
+            if failures.is_empty() {
+                return Ok(());
+            }
+            if attempts > RETRY_ROUNDS {
+                return Err(SetFailure {
+                    phase,
+                    attempts,
+                    failures,
+                });
+            }
+            rls_obs::counter!("dispatch.retry_waves", 1, phase = phase);
+            tags = failures.iter().map(|f| f.tag).collect();
+        }
+    }
+
+    /// Fallible set execution with bounded retries; on exhaustion the
+    /// live/detected bookkeeping is untouched so the caller can replay
+    /// the set sequentially (see [`crate::SetRunner::try_run_set`]).
+    pub fn try_run_set(&mut self, tests: &[ScanTest]) -> Result<Vec<FaultId>, SetFailure> {
+        if self.live.is_empty() || tests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _span = rls_obs::span!(
+            "dispatch.set",
+            tests = tests.len(),
+            live = self.live.len()
+        );
+        // Drop failures left over from before this set (a degraded caller
+        // may have abandoned a failing set without draining).
+        let _ = self.handle.take_failures();
+        let tests: Arc<Vec<ScanTest>> = Arc::new(tests.to_vec());
+        // Phase 1: fault-free traces, one job per test.
+        let traces: Arc<Vec<OnceLock<TestTrace>>> =
+            Arc::new((0..tests.len()).map(|_| OnceLock::new()).collect());
+        let trace_tags: Vec<u64> = (0..tests.len()).map(trace_tag).collect();
+        self.run_waves("trace", trace_tags, |tags| {
+            self.submit_trace_wave(tags, &tests, &traces)
+        })?;
+        // Phase 2: (test, chunk) jobs over the set-start live list,
+        // chunk-sized by the campaign's budget exactly as a direct run
+        // with `threads = budget` would size them.
+        let size = chunk_size(self.live.len(), self.handle.threads());
+        let chunks: Arc<Vec<Vec<FaultId>>> =
+            Arc::new(self.live.chunks(size).map(<[FaultId]>::to_vec).collect());
+        rls_obs::gauge!("dispatch.chunk_size", size as u64);
+        rls_obs::counter!("dispatch.chunks", chunks.len() as u64);
+        let live_left = Arc::new(AtomicUsize::new(self.live.len()));
+        let batch_tags: Vec<u64> = (0..tests.len())
+            .flat_map(|t| (0..chunks.len()).map(move |c| batch_tag(t, c)))
+            .collect();
+        self.run_waves("batch", batch_tags, |tags| {
+            self.submit_batch_wave(tags, &tests, &traces, &chunks, &live_left)
+        })?;
+        // Deterministic reduction: merge in live-list order.
+        let newly: Vec<FaultId> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|&id| self.ctx.detected_bits.get(id))
+            .collect();
+        if !newly.is_empty() {
+            self.live.retain(|&id| !self.ctx.detected_bits.get(id));
+            self.detected.extend(newly.iter().copied());
+        }
+        Ok(newly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_fsim::FaultSimulator;
+
+    fn s27_sets() -> Vec<Vec<ScanTest>> {
+        let plain =
+            ScanTest::from_strings("001", &["0111", "1001", "0111", "1001", "0100"]).unwrap();
+        let shifted = plain
+            .clone()
+            .with_shifts(vec![rls_fsim::ShiftOp {
+                at: 3,
+                amount: 1,
+                fill: vec![false],
+            }])
+            .unwrap();
+        let short = ScanTest::from_strings("110", &["1011", "0001"]).unwrap();
+        vec![vec![plain.clone(), short], vec![shifted], vec![plain]]
+    }
+
+    /// The sequential oracle: FaultSimulator over the same sets.
+    fn sequential(c: &Circuit, sets: &[Vec<ScanTest>]) -> (Vec<usize>, Vec<FaultId>) {
+        let mut sim = FaultSimulator::new(c);
+        let mut counts = Vec::new();
+        for set in sets {
+            let mut n = 0;
+            for t in set {
+                if sim.live_count() == 0 {
+                    break;
+                }
+                n += sim.run_test(t).len();
+            }
+            counts.push(n);
+        }
+        (counts, sim.live().to_vec())
+    }
+
+    fn compiled_s27() -> Arc<CompiledCircuit> {
+        Arc::new(CompiledCircuit::compile(rls_benchmarks::s27()).unwrap())
+    }
+
+    #[test]
+    fn shared_runner_matches_sequential_oracle() {
+        let c = rls_benchmarks::s27();
+        let sets = s27_sets();
+        let (seq_counts, seq_live) = sequential(&c, &sets);
+        let compiled = compiled_s27();
+        let pool = SharedPool::new(4);
+        for budget in [1, 2, 4] {
+            let ctx = Arc::new(SharedSimContext::new(
+                Arc::clone(&compiled),
+                SimOptions::default(),
+            ));
+            let mut runner = SharedSetRunner::new(ctx, pool.register(budget));
+            let counts: Vec<usize> = sets
+                .iter()
+                .map(|set| runner.try_run_set(set).unwrap().len())
+                .collect();
+            assert_eq!(counts, seq_counts, "budget = {budget}");
+            assert_eq!(runner.live(), &seq_live[..], "budget = {budget}");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn every_lane_width_matches_the_oracle_on_the_shared_pool() {
+        let c = rls_benchmarks::s27();
+        let sets = s27_sets();
+        let (seq_counts, seq_live) = sequential(&c, &sets);
+        let compiled = compiled_s27();
+        let pool = SharedPool::new(2);
+        for width in LaneWidth::ALL {
+            let ctx = Arc::new(
+                SharedSimContext::new(Arc::clone(&compiled), SimOptions::default())
+                    .with_lane_width(width),
+            );
+            let mut runner = SharedSetRunner::new(ctx, pool.register(2));
+            let counts: Vec<usize> = sets
+                .iter()
+                .map(|set| runner.try_run_set(set).unwrap().len())
+                .collect();
+            assert_eq!(counts, seq_counts, "width {width}");
+            assert_eq!(runner.live(), &seq_live[..], "width {width}");
+            let snap = runner.handle().snapshot();
+            assert_eq!(
+                snap.total_lanes_capacity(),
+                snap.total_batches() * width.lanes() as u64,
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_campaigns_are_isolated_and_exact() {
+        // Two campaigns over the same compiled circuit, driven from two
+        // client threads sharing one pool: each must match the oracle as
+        // if it ran alone.
+        let c = rls_benchmarks::s27();
+        let sets = s27_sets();
+        let (seq_counts, seq_live) = sequential(&c, &sets);
+        let compiled = compiled_s27();
+        let pool = SharedPool::new(4);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let ctx = Arc::new(SharedSimContext::new(
+                        Arc::clone(&compiled),
+                        SimOptions::default(),
+                    ));
+                    let handle = pool.register(2);
+                    let sets = &sets;
+                    s.spawn(move || {
+                        let mut runner = SharedSetRunner::new(ctx, handle);
+                        let counts: Vec<usize> = sets
+                            .iter()
+                            .map(|set| runner.try_run_set(set).unwrap().len())
+                            .collect();
+                        (counts, runner.live().to_vec())
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (counts, live) = h.join().unwrap();
+                assert_eq!(counts, seq_counts);
+                assert_eq!(live, seq_live);
+            }
+        });
+        pool.shutdown();
+    }
+
+    #[test]
+    fn failures_are_recorded_per_campaign_and_pool_survives() {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let _ = std::panic::take_hook();
+            }
+        }
+        std::panic::set_hook(Box::new(|_| {}));
+        let _restore = Restore;
+        let pool = SharedPool::new(2);
+        let bad = pool.register(2);
+        let good = pool.register(2);
+        bad.submit_tagged(7, |_| panic!("down on purpose"));
+        good.submit_tagged(1, |_| {});
+        bad.wait_idle();
+        good.wait_idle();
+        let failures = bad.take_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].tag, 7);
+        assert!(failures[0].message.contains("down on purpose"));
+        assert!(good.take_failures().is_empty());
+        // The pool still runs work after a supervised panic.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        bad.submit_tagged(8, move |_| {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        bad.wait_idle();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert!(bad.take_failures().is_empty());
+    }
+
+    #[test]
+    fn budget_caps_concurrency() {
+        // With budget 1 on a 4-wide pool, no two of the campaign's jobs
+        // may overlap.
+        let pool = SharedPool::new(4);
+        let h = pool.register(1);
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for t in 0..16 {
+            let active = Arc::clone(&active);
+            let peak = Arc::clone(&peak);
+            h.submit_tagged(t, move |_| {
+                let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        h.wait_idle();
+        assert_eq!(peak.load(Ordering::SeqCst), 1);
+        assert_eq!(h.snapshot().threads, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = SharedPool::new(1);
+        let h = pool.register(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for t in 0..32 {
+            let r = Arc::clone(&ran);
+            h.submit_tagged(t, move |_| {
+                r.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 32, "queued jobs drain before exit");
+    }
+
+    #[test]
+    fn submit_after_shutdown_records_a_failure() {
+        let pool = SharedPool::new(1);
+        let h = pool.register(1);
+        pool.shutdown();
+        h.submit_tagged(42, |_| {});
+        h.wait_idle(); // trivially idle: nothing was enqueued
+        let failures = h.take_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].tag, 42);
+        assert!(failures[0].message.contains("shut down"));
+    }
+
+    #[test]
+    fn cyclic_uploads_cannot_reach_a_compiled_circuit() {
+        // The parser already rejects combinational cycles, so a malicious
+        // upload never reaches compile(); compile() itself stays fallible
+        // as defense in depth.
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = OR(y, a)\n";
+        let err = rls_netlist::parse_bench("cyclic", src).unwrap_err();
+        assert!(err.to_string().contains("z"), "{err}");
+        let ok = rls_netlist::parse_bench("tiny", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        assert!(CompiledCircuit::compile(ok).is_ok());
+    }
+}

@@ -10,6 +10,31 @@ use crate::good::{GoodSim, TestTrace};
 use crate::parallel::{activated_in_trace, simulate_chunk_at, LaneWidth, SimOptions};
 use crate::test::ScanTest;
 
+/// Cumulative kernel-lane accounting of one simulator.
+///
+/// Unlike the `fsim.lanes_*` obs counters (emitted only when the obs
+/// layer is enabled), these totals are maintained unconditionally, so an
+/// out-of-band consumer — e.g. the dispatch degrade path, which replays
+/// sets on a sequential simulator after the pool gives up — can report
+/// exact lane utilization for work the worker counters never saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Kernel invocations at the configured width.
+    pub batches: u64,
+    /// Occupied lanes summed over those batches.
+    pub lanes_used: u64,
+    /// Available lanes summed over those batches
+    /// (`batches * lane_width.lanes()`).
+    pub lanes_capacity: u64,
+}
+
+impl LaneStats {
+    /// Whether any kernel work was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.batches == 0
+    }
+}
+
 /// A fault simulator bound to one circuit.
 ///
 /// Maintains the collapsed target fault list with fault dropping: once a
@@ -39,6 +64,7 @@ pub struct FaultSimulator<'c> {
     detected: Vec<FaultId>,
     options: SimOptions,
     lane_width: LaneWidth,
+    lane_stats: LaneStats,
 }
 
 impl<'c> FaultSimulator<'c> {
@@ -59,6 +85,7 @@ impl<'c> FaultSimulator<'c> {
             detected: Vec::new(),
             options: SimOptions::default(),
             lane_width: LaneWidth::DEFAULT,
+            lane_stats: LaneStats::default(),
         }
     }
 
@@ -83,6 +110,14 @@ impl<'c> FaultSimulator<'c> {
     /// The current kernel word width.
     pub fn lane_width(&self) -> LaneWidth {
         self.lane_width
+    }
+
+    /// Cumulative kernel-lane accounting over this simulator's lifetime
+    /// (maintained unconditionally, unlike the obs counters). Survives
+    /// [`FaultSimulator::reset`]/[`FaultSimulator::set_targets`]: it
+    /// describes engine work done, not the current fault list.
+    pub fn lane_stats(&self) -> LaneStats {
+        self.lane_stats
     }
 
     /// The circuit under test.
@@ -180,11 +215,15 @@ impl<'c> FaultSimulator<'c> {
                 self.options,
             ));
         }
+        // Lane utilization of the sequential path: each chunk is one
+        // kernel call at the configured width whose occupied lanes are its
+        // candidates. Accounted unconditionally (see [`LaneStats`]); the
+        // obs counters below mirror it only when the layer is enabled.
+        let batches = candidates.len().div_ceil(lanes) as u64;
+        self.lane_stats.batches += batches;
+        self.lane_stats.lanes_used += candidates.len() as u64;
+        self.lane_stats.lanes_capacity += batches * lanes as u64;
         if sw.running() {
-            // Lane utilization of the sequential path: each chunk is one
-            // kernel call at the configured width whose occupied lanes are
-            // its candidates.
-            let batches = candidates.len().div_ceil(lanes) as u64;
             rls_obs::histogram!("fsim.test_nanos", sw.elapsed_nanos());
             rls_obs::counter!("fsim.faults_simulated", candidates.len() as u64);
             rls_obs::counter!("fsim.batches", batches);
@@ -355,6 +394,29 @@ mod tests {
             sim.set_lane_width(width);
             sim.run_test(&s27_test());
             assert_eq!(sim.detected(), &expect[..], "width {width}");
+        }
+    }
+
+    #[test]
+    fn lane_stats_accumulate_without_obs() {
+        // The engine's lane accounting is unconditional — the dispatch
+        // degrade path reads it with the obs layer off.
+        let c = rls_benchmarks::s27();
+        for width in LaneWidth::ALL {
+            let mut sim = FaultSimulator::new(&c);
+            sim.set_lane_width(width);
+            assert!(sim.lane_stats().is_empty());
+            sim.run_test(&s27_test());
+            sim.run_test(&s27_test());
+            let stats = sim.lane_stats();
+            assert!(stats.batches > 0, "width {width}");
+            assert!(stats.lanes_used > 0, "width {width}");
+            assert_eq!(
+                stats.lanes_capacity,
+                stats.batches * width.lanes() as u64,
+                "width {width}: every kernel call runs at the configured width"
+            );
+            assert!(stats.lanes_used <= stats.lanes_capacity, "width {width}");
         }
     }
 

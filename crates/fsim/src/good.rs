@@ -6,16 +6,23 @@
 //! this trace both as the comparison reference and for activation
 //! prefiltering; the `table1` harness prints it directly.
 
+use std::sync::Arc;
+
 use rls_netlist::{Circuit, Levelization, NodeKind};
 use rls_scan::ops;
 
 use crate::test::ScanTest;
 
 /// Fault-free simulator for a circuit.
+///
+/// The levelization is held behind an `Arc` so contexts that share one
+/// compiled circuit across `'static` jobs (the campaign server) can build
+/// per-job simulators without re-levelizing; [`GoodSim::new`] still
+/// levelizes once and single-campaign callers see no difference.
 #[derive(Debug)]
 pub struct GoodSim<'c> {
     circuit: &'c Circuit,
-    lev: Levelization,
+    lev: Arc<Levelization>,
 }
 
 /// The full fault-free trace of one test.
@@ -53,7 +60,22 @@ impl<'c> GoodSim<'c> {
         let lev = circuit
             .levelize()
             .expect("fault simulation requires an acyclic circuit");
+        GoodSim {
+            circuit,
+            lev: Arc::new(lev),
+        }
+    }
+
+    /// Builds a simulator from a levelization computed elsewhere (must
+    /// belong to `circuit`). This is the cheap per-job constructor for
+    /// executors that share one compiled circuit across owned threads.
+    pub fn with_levelization(circuit: &'c Circuit, lev: Arc<Levelization>) -> Self {
         GoodSim { circuit, lev }
+    }
+
+    /// The shared levelization handle (for [`GoodSim::with_levelization`]).
+    pub fn levelization_arc(&self) -> Arc<Levelization> {
+        Arc::clone(&self.lev)
     }
 
     /// The circuit under simulation.

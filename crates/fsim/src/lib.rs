@@ -59,7 +59,7 @@ pub mod transition;
 
 pub use collapse::CollapsedFaults;
 pub use coverage::Coverage;
-pub use engine::FaultSimulator;
+pub use engine::{FaultSimulator, LaneStats};
 pub use fault::{Fault, FaultId, FaultSite, FaultUniverse};
 pub use good::{GoodSim, TestTrace};
 pub use multichain_sim::{

@@ -37,15 +37,17 @@ use rules::{lint_source, Finding, RuleSet};
 /// `obs` is held to the same bar — its wall-clock reads exist *only* to
 /// time spans, and each one carries a `det-ok` blessing saying so.
 const DET_CRATES: &[&str] = &[
-    "core", "fsim", "lfsr", "scan", "netlist", "dispatch", "obs", "root",
+    "core", "fsim", "lfsr", "scan", "netlist", "dispatch", "obs", "root", "serve",
 ];
 
 /// Crates that own on-disk campaign artifacts: persistence rules apply
-/// (`obs` writes the metrics JSONL stream next to the campaign records).
-const PERSIST_CRATES: &[&str] = &["dispatch", "obs"];
+/// (`obs` writes the metrics JSONL stream next to the campaign records;
+/// `serve` streams campaign records to clients and owns the server-side
+/// campaign directory).
+const PERSIST_CRATES: &[&str] = &["dispatch", "obs", "serve"];
 
 /// Crates that emit `rls-obs` metrics: the metric-name audit applies.
-const OBS_CRATES: &[&str] = &["core", "fsim", "dispatch", "obs", "root"];
+const OBS_CRATES: &[&str] = &["core", "fsim", "dispatch", "obs", "root", "serve"];
 
 /// Crates excluded from scanning entirely (benchmark harness binaries —
 /// operator tooling, not result paths).
@@ -201,6 +203,8 @@ mod tests {
         assert!(!lint.det && lint.panic && lint.atomics && !lint.persist && !lint.obs);
         let atpg = rules_for_crate("atpg");
         assert!(!atpg.det && atpg.panic && !atpg.obs);
+        let serve = rules_for_crate("serve");
+        assert!(serve.det && serve.panic && serve.atomics && serve.persist && serve.obs);
     }
 
     #[test]

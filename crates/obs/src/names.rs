@@ -42,6 +42,8 @@ pub const COUNTERS: &[&str] = &[
     "dispatch.steals",        // jobs stolen from a sibling queue
     "pool.worker.jobs",       // jobs executed, per worker
     "pool.worker.steals",     // steals performed, per worker
+    "serve.requests_accepted", // campaign requests admitted by the server
+    "serve.requests_rejected", // requests refused (admission, parse, compile)
 ];
 
 /// Gauge names (sinks keep the last observation).
@@ -52,12 +54,14 @@ pub const GAUGES: &[&str] = &[
     "dispatch.queue_depth",  // jobs pending right after a submission wave
     "pool.worker.busy_nanos", // per-worker time inside simulate calls
     "pool.worker.idle_nanos", // per-worker pool lifetime minus busy time
+    "serve.queue_depth",      // in-flight campaigns right after an admit
 ];
 
 /// Histogram names (sinks report count and mean).
 pub const HISTOGRAMS: &[&str] = &[
     "procedure2.trial_cycles", // N_SH(I, D1) cost of one trial
     "fsim.test_nanos",         // sequential engine time per test
+    "serve.campaign_nanos",    // wall time of one served campaign
 ];
 
 /// True when `name` is registered under any kind.

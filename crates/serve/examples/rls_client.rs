@@ -1,0 +1,278 @@
+//! `rls_client` — submit campaigns to a running `rls-serve` and tail the
+//! record stream.
+//!
+//! ```text
+//! cargo run -p rls-serve --example rls_client -- run \
+//!     --socket /tmp/rls.sock --circuit s27 --la 4 --lb 8 --n 8 --threads 2
+//! cargo run -p rls-serve --example rls_client -- shutdown --socket /tmp/rls.sock
+//! cargo run -p rls-serve --example rls_client -- direct \
+//!     --circuit s27 --la 4 --lb 8 --n 8 --threads 2 --campaign-dir /tmp/direct
+//! ```
+//!
+//! `run` connects, submits one request, and prints the response stream;
+//! with `--normalize` it prints only campaign record lines, wall-clock
+//! fields stripped (control frames go to stderr) — the exact bytes a
+//! `direct` invocation of the same configuration prints, which is how
+//! `ci.sh` byte-compares served against direct campaigns.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rls_core::{Procedure2, RlsConfig};
+use rls_dispatch::jsonl::JsonObject;
+use rls_lfsr::SeedSequence;
+use rls_serve::normalize_line;
+
+#[derive(Default)]
+struct Opts {
+    socket: Option<PathBuf>,
+    circuit: Option<String>,
+    netlist_file: Option<PathBuf>,
+    name: Option<String>,
+    la: Option<u64>,
+    lb: Option<u64>,
+    n: Option<u64>,
+    threads: u64,
+    seed: Option<u64>,
+    lane_width: Option<String>,
+    max_iterations: Option<u64>,
+    resume: Option<PathBuf>,
+    campaign_dir: Option<PathBuf>,
+    normalize: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rls_client run --socket PATH (--circuit NAME | --netlist-file F --name LABEL)\n\
+         \x20                  --la A --lb B --n N [--threads T] [--seed S] [--lane-width W]\n\
+         \x20                  [--max-iterations M] [--resume FILE] [--normalize]\n\
+         \x20      rls_client shutdown --socket PATH\n\
+         \x20      rls_client direct --campaign-dir DIR (--circuit NAME | --netlist-file F --name LABEL)\n\
+         \x20                  --la A --lb B --n N [--threads T] [--seed S] [--lane-width W]\n\
+         \x20                  [--max-iterations M]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts(args: &mut std::env::Args) -> Opts {
+    let mut o = Opts {
+        threads: 1,
+        ..Opts::default()
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--socket" => o.socket = Some(PathBuf::from(value("--socket"))),
+            "--circuit" => o.circuit = Some(value("--circuit")),
+            "--netlist-file" => o.netlist_file = Some(PathBuf::from(value("--netlist-file"))),
+            "--name" => o.name = Some(value("--name")),
+            "--la" => o.la = value("--la").parse().ok(),
+            "--lb" => o.lb = value("--lb").parse().ok(),
+            "--n" => o.n = value("--n").parse().ok(),
+            "--threads" => o.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = value("--seed").parse().ok(),
+            "--lane-width" => o.lane_width = Some(value("--lane-width")),
+            "--max-iterations" => o.max_iterations = value("--max-iterations").parse().ok(),
+            "--resume" => o.resume = Some(PathBuf::from(value("--resume"))),
+            "--campaign-dir" => o.campaign_dir = Some(PathBuf::from(value("--campaign-dir"))),
+            "--normalize" => o.normalize = true,
+            _ => {
+                eprintln!("unknown argument `{arg}`");
+                usage();
+            }
+        }
+    }
+    o
+}
+
+fn request_json(o: &Opts) -> Result<String, String> {
+    let (Some(la), Some(lb), Some(n)) = (o.la, o.lb, o.n) else {
+        return Err("--la, --lb and --n are required".to_string());
+    };
+    let mut obj = JsonObject::new().str("type", "run");
+    match (&o.circuit, &o.netlist_file) {
+        (Some(name), None) => obj = obj.str("circuit", name),
+        (None, Some(path)) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let name = o
+                .name
+                .clone()
+                .ok_or("--netlist-file needs --name".to_string())?;
+            obj = obj.str("netlist", &source).str("name", &name);
+        }
+        _ => return Err("give exactly one of --circuit or --netlist-file".to_string()),
+    }
+    obj = obj.num("la", la).num("lb", lb).num("n", n).num("threads", o.threads);
+    if let Some(seed) = o.seed {
+        obj = obj.num("seed", seed);
+    }
+    if let Some(w) = &o.lane_width {
+        obj = obj.str("lane_width", w);
+    }
+    if let Some(m) = o.max_iterations {
+        obj = obj.num("max_iterations", m);
+    }
+    if let Some(r) = &o.resume {
+        obj = obj.str("resume", &r.display().to_string());
+    }
+    Ok(obj.render())
+}
+
+/// Streams the server's response lines; returns false on error/rejected.
+fn tail(stream: UnixStream, normalize: bool) -> bool {
+    let reader = BufReader::new(stream);
+    let mut ok = true;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.is_empty() {
+            continue;
+        }
+        let kind = rls_dispatch::jsonl::parse(&line)
+            .ok()
+            .and_then(|v| v.str_field("type").map(str::to_string))
+            .unwrap_or_default();
+        let control = rls_serve::protocol::CONTROL_TYPES.contains(&kind.as_str());
+        if control {
+            if matches!(kind.as_str(), "error" | "rejected") {
+                ok = false;
+            }
+            if normalize {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+            if matches!(kind.as_str(), "done" | "interrupted" | "error" | "rejected" | "draining") {
+                break;
+            }
+            continue;
+        }
+        if normalize {
+            match normalize_line(&line) {
+                Ok(Some(n)) => println!("{n}"),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("rls_client: unparsable record line ({e}): {line}");
+                    ok = false;
+                }
+            }
+        } else {
+            println!("{line}");
+        }
+    }
+    ok
+}
+
+fn cmd_run(o: &Opts) -> Result<bool, String> {
+    let socket = o.socket.as_ref().ok_or("--socket is required")?;
+    let request = request_json(o)?;
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+    stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    Ok(tail(stream, o.normalize))
+}
+
+fn cmd_shutdown(o: &Opts) -> Result<bool, String> {
+    let socket = o.socket.as_ref().ok_or("--socket is required")?;
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+    stream
+        .write_all(b"{\"type\":\"shutdown\"}\n")
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reply = String::new();
+    let _ = BufReader::new(&stream).read_line(&mut reply);
+    print!("{reply}");
+    Ok(true)
+}
+
+/// Runs the same configuration directly (no server) and prints the
+/// campaign file's lines, normalized — the byte-compare reference.
+fn cmd_direct(o: &Opts) -> Result<bool, String> {
+    let dir = o
+        .campaign_dir
+        .as_ref()
+        .ok_or("direct needs --campaign-dir (a fresh directory)")?;
+    let (Some(la), Some(lb), Some(n)) = (o.la, o.lb, o.n) else {
+        return Err("--la, --lb and --n are required".to_string());
+    };
+    let circuit = match (&o.circuit, &o.netlist_file) {
+        (Some(name), None) => rls_benchmarks::by_name(name)
+            .ok_or_else(|| format!("unknown circuit `{name}`"))?,
+        (None, Some(path)) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let name = o.name.clone().ok_or("--netlist-file needs --name".to_string())?;
+            rls_netlist::parse_bench(&name, &source).map_err(|e| format!("bad netlist: {e}"))?
+        }
+        _ => return Err("give exactly one of --circuit or --netlist-file".to_string()),
+    };
+    let mut cfg = RlsConfig::try_new(la as usize, lb as usize, n as usize)
+        .map_err(|e| e.to_string())?;
+    if let Some(seed) = o.seed {
+        cfg = cfg.with_seeds(SeedSequence::new(seed));
+    }
+    if let Some(w) = &o.lane_width {
+        let width = rls_fsim::LaneWidth::parse(w).ok_or_else(|| format!("bad lane width `{w}`"))?;
+        cfg = cfg.with_lane_width(width);
+    }
+    if let Some(m) = o.max_iterations {
+        cfg.max_iterations = u32::try_from(m).map_err(|_| "max-iterations out of range")?;
+    }
+    cfg = cfg.with_threads(o.threads as usize).with_campaign_dir(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    Procedure2::new(&circuit, cfg).run();
+    // The fresh directory holds exactly one campaign file.
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    let file = files
+        .pop()
+        .ok_or_else(|| format!("no campaign file appeared under {}", dir.display()))?;
+    let mut text = String::new();
+    std::fs::File::open(&file)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(n) = normalize_line(line).map_err(|e| format!("bad record line: {e}"))? {
+            println!("{n}");
+        }
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    let Some(cmd) = args.next() else { usage() };
+    let opts = parse_opts(&mut args);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "shutdown" => cmd_shutdown(&opts),
+        "direct" => cmd_direct(&opts),
+        _ => {
+            eprintln!("unknown subcommand `{cmd}`");
+            usage();
+        }
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("rls_client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

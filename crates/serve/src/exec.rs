@@ -1,0 +1,211 @@
+//! The served trial executor: Procedure 2 on the persistent shared pool.
+//!
+//! [`ServedExecutor`] is to the campaign server what the private
+//! pool-backed executor is to a direct `Procedure2::run`: it fans each
+//! test set out through a [`SharedSetRunner`] (bit-identical to both the
+//! scoped pool and the sequential oracle), degrades to a sequential
+//! [`FaultSimulator`] when a chunk exhausts the retry budget, and — the
+//! server-specific part — answers `cancelled()` from two flags so the
+//! greedy loop stops at the next trial boundary when the server drains or
+//! the client disconnects. Checkpoints written after `TS0` and after
+//! every kept pair make a cancelled campaign resumable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rls_core::TrialExecutor;
+use rls_dispatch::{CompiledCircuit, SharedSetRunner};
+use rls_fsim::{FaultId, FaultSimulator, LaneStats, ScanTest};
+
+/// Drives one served campaign's trials on the shared pool.
+pub struct ServedExecutor<'c> {
+    runner: SharedSetRunner,
+    compiled: &'c CompiledCircuit,
+    fallback: Option<FaultSimulator<'c>>,
+    drain: &'c AtomicBool,
+    disconnect: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ServedExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedExecutor")
+            .field("degraded", &self.fallback.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'c> ServedExecutor<'c> {
+    /// An executor over a registered campaign slot. `drain` is the
+    /// server's global drain flag; `disconnect` is set by the response
+    /// writer when the client goes away.
+    pub fn new(
+        runner: SharedSetRunner,
+        compiled: &'c CompiledCircuit,
+        drain: &'c AtomicBool,
+        disconnect: Arc<AtomicBool>,
+    ) -> Self {
+        ServedExecutor {
+            runner,
+            compiled,
+            fallback: None,
+            drain,
+            disconnect,
+        }
+    }
+
+    /// The underlying set runner (for end-of-run pool snapshots).
+    pub fn runner(&self) -> &SharedSetRunner {
+        &self.runner
+    }
+
+    /// True when the run was asked to stop (drain or disconnect) —
+    /// distinguishes an `interrupted` stream from a `done` one.
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled()
+    }
+}
+
+impl TrialExecutor for ServedExecutor<'_> {
+    fn live_count(&self) -> usize {
+        match &self.fallback {
+            Some(sim) => sim.live_count(),
+            None => self.runner.live_count(),
+        }
+    }
+
+    fn apply_set(&mut self, tests: &[ScanTest]) -> usize {
+        if let Some(sim) = self.fallback.as_mut() {
+            return sim.run_tests(tests);
+        }
+        match self.runner.try_run_set(tests) {
+            Ok(newly) => newly.len(),
+            Err(e) => {
+                eprintln!(
+                    "[serve] shared-pool set execution failed ({e}); \
+                     degrading campaign to the sequential simulator"
+                );
+                let (options, lane_width) = {
+                    let ctx = self.runner.context();
+                    (ctx.options(), ctx.lane_width())
+                };
+                let mut sim = FaultSimulator::new(self.compiled.circuit());
+                sim.set_options(options);
+                sim.set_lane_width(lane_width);
+                sim.set_targets(self.runner.live());
+                let newly = sim.run_tests(tests);
+                self.fallback = Some(sim);
+                newly
+            }
+        }
+    }
+
+    fn undetected(&self) -> Vec<FaultId> {
+        match &self.fallback {
+            Some(sim) => sim.live().to_vec(),
+            None => self.runner.live().to_vec(),
+        }
+    }
+
+    fn restrict(&mut self, live: &[FaultId]) {
+        match self.fallback.as_mut() {
+            Some(sim) => sim.set_targets(live),
+            None => self.runner.set_targets(live),
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    fn cancelled(&self) -> bool {
+        self.drain.load(Ordering::Acquire) || self.disconnect.load(Ordering::Acquire)
+    }
+
+    fn fallback_lane_stats(&self) -> Option<LaneStats> {
+        self.fallback.as_ref().map(|sim| sim.lane_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_dispatch::{SharedPool, SharedSimContext};
+    use rls_fsim::SimOptions;
+
+    fn fixture() -> (SharedPool, Arc<CompiledCircuit>) {
+        let compiled = Arc::new(CompiledCircuit::compile(rls_benchmarks::s27()).unwrap());
+        (SharedPool::new(2), compiled)
+    }
+
+    #[test]
+    fn executor_matches_the_sequential_oracle() {
+        let (pool, compiled) = fixture();
+        let drain = AtomicBool::new(false);
+        let ctx = Arc::new(SharedSimContext::new(
+            Arc::clone(&compiled),
+            SimOptions::default(),
+        ));
+        let runner = SharedSetRunner::new(ctx, pool.register(2));
+        let mut exec = ServedExecutor::new(
+            runner,
+            &compiled,
+            &drain,
+            Arc::new(AtomicBool::new(false)),
+        );
+        let mut oracle = FaultSimulator::new(compiled.circuit());
+        let set = vec![ScanTest::from_strings("001", &["0111", "1001", "0100"]).unwrap()];
+        let newly = exec.apply_set(&set);
+        assert_eq!(newly, oracle.run_tests(&set));
+        assert_eq!(exec.undetected(), oracle.live());
+        assert!(!exec.degraded() && !exec.was_cancelled());
+    }
+
+    #[test]
+    fn cancellation_flags_flip_cancelled() {
+        let (pool, compiled) = fixture();
+        let drain = AtomicBool::new(false);
+        let disconnect = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(SharedSimContext::new(
+            Arc::clone(&compiled),
+            SimOptions::default(),
+        ));
+        let runner = SharedSetRunner::new(ctx, pool.register(1));
+        let exec = ServedExecutor::new(runner, &compiled, &drain, Arc::clone(&disconnect));
+        assert!(!exec.cancelled());
+        disconnect.store(true, Ordering::Release);
+        assert!(exec.cancelled());
+        disconnect.store(false, Ordering::Release);
+        drain.store(true, Ordering::Release);
+        assert!(exec.cancelled());
+    }
+
+    #[test]
+    fn shutdown_pool_degrades_to_the_oracle_with_exact_lane_accounting() {
+        // Submitting against a shut-down pool records failures; the wave
+        // protocol exhausts retries and the executor must fall back to
+        // the sequential simulator — same detections, and the fallback's
+        // lane accounting is exposed for the workers record.
+        let (pool, compiled) = fixture();
+        let drain = AtomicBool::new(false);
+        let ctx = Arc::new(SharedSimContext::new(
+            Arc::clone(&compiled),
+            SimOptions::default(),
+        ));
+        let runner = SharedSetRunner::new(ctx, pool.register(2));
+        pool.shutdown();
+        let mut exec = ServedExecutor::new(
+            runner,
+            &compiled,
+            &drain,
+            Arc::new(AtomicBool::new(false)),
+        );
+        let mut oracle = FaultSimulator::new(compiled.circuit());
+        let set = vec![ScanTest::from_strings("001", &["0111", "1001", "0100"]).unwrap()];
+        let newly = exec.apply_set(&set);
+        assert!(exec.degraded());
+        assert_eq!(newly, oracle.run_tests(&set));
+        assert_eq!(exec.undetected(), oracle.live());
+        let stats = exec.fallback_lane_stats().expect("fallback ran batches");
+        assert!(stats.batches > 0 && stats.lanes_used > 0);
+    }
+}

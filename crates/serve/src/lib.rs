@@ -1,0 +1,48 @@
+//! `rls-serve` — a long-running campaign server for random limited-scan
+//! testing.
+//!
+//! A direct `Procedure2::run` owns its worker pool for the life of one
+//! campaign. This crate turns that inside out: one **persistent shared
+//! executor** ([`rls_dispatch::SharedPool`]) outlives every campaign, and
+//! clients submit campaign requests over a Unix-domain socket speaking
+//! newline-delimited JSON. Many campaigns run concurrently over the same
+//! worker threads with fair round-robin scheduling, a shared
+//! compiled-circuit cache, and admission control.
+//!
+//! # Modules
+//!
+//! - [`protocol`]: the wire grammar — request parsing, response frames,
+//!   and the [`protocol::normalize_line`] helper the byte-compare tests
+//!   and `rls_client` use to strip volatile timing fields;
+//! - [`cache`]: the [`cache::CircuitCache`] — compiled circuits plus
+//!   collapsed fault lists keyed by config fingerprint, compiled once and
+//!   shared across concurrent campaigns;
+//! - [`exec`]: the [`exec::ServedExecutor`] — the `TrialExecutor` that
+//!   drives Procedure 2 on the shared pool, degrades to the sequential
+//!   oracle on poisoned chunks, and stops at trial boundaries when the
+//!   server drains or the client disconnects;
+//! - [`server`]: the accept loop, per-connection sessions, admission
+//!   control, and graceful drain.
+//!
+//! # Determinism
+//!
+//! A served campaign is **bit-identical** to a direct run of the same
+//! configuration: the executor mirrors the scoped pool batch-for-batch
+//! (see `rls_dispatch::shared`), the campaign records stream through the
+//! very same `Campaign` writer, and the integration suite byte-compares
+//! served record lines (volatile wall-clock fields normalized away)
+//! against a direct run's campaign file — including under concurrent
+//! clients sharing the executor.
+//!
+//! See DESIGN.md §11 for the protocol grammar, executor lifecycle, cache
+//! keying, and drain semantics.
+
+pub mod cache;
+pub mod exec;
+pub mod protocol;
+pub mod server;
+
+pub use cache::CircuitCache;
+pub use exec::ServedExecutor;
+pub use protocol::{normalize_line, CircuitRef, Request, RunRequest, MAX_REQUEST_BYTES};
+pub use server::{ServeConfig, Server};

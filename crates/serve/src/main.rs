@@ -1,0 +1,102 @@
+//! `rls-serve` — the campaign server binary.
+//!
+//! ```text
+//! rls-serve --socket /tmp/rls.sock [--threads N] [--max-inflight N]
+//!           [--campaign-dir DIR]
+//! ```
+//!
+//! Listens on a Unix-domain socket for newline-delimited JSON campaign
+//! requests and serves them over one persistent shared worker pool. Set
+//! `RLS_OBS=1` (and optionally `RLS_OBS_SINK=stderr|jsonl|both`) to
+//! record server metrics (`serve.*`) alongside the campaign records.
+//!
+//! The server exits after a `{"type":"shutdown"}` request drains every
+//! in-flight campaign (see `rls_client shutdown`). Pure-std binaries
+//! cannot trap SIGTERM, so supervisors should drain via that request.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rls_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rls-serve --socket PATH [--threads N] [--max-inflight N] [--campaign-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServeConfig {
+    let mut socket: Option<PathBuf> = None;
+    let mut threads = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
+    let mut max_inflight = 4;
+    let mut campaign_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{what} needs a value");
+            usage();
+        });
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--threads" => {
+                threads = value("--threads").parse().unwrap_or_else(|_| usage());
+            }
+            "--max-inflight" => {
+                max_inflight = value("--max-inflight").parse().unwrap_or_else(|_| usage());
+            }
+            "--campaign-dir" => campaign_dir = PathBuf::from(value("--campaign-dir")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("--socket is required");
+        usage();
+    };
+    ServeConfig {
+        socket,
+        threads,
+        max_inflight,
+        campaign_dir,
+    }
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    if std::env::var_os("RLS_OBS").is_some_and(|v| v != "0") {
+        let mode = std::env::var("RLS_OBS_SINK")
+            .ok()
+            .and_then(|v| rls_obs::SinkMode::parse(&v))
+            .unwrap_or_default();
+        if let Err(e) = rls_obs::install_standard(mode, &cfg.campaign_dir, 0) {
+            eprintln!("rls-serve: cannot install observability sinks: {e}");
+        }
+    }
+    let server = match Server::bind(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rls-serve: cannot bind {}: {e}", cfg.socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "rls-serve: listening on {} ({} workers, {} in-flight max)",
+        cfg.socket.display(),
+        cfg.threads.max(1),
+        cfg.max_inflight.max(1)
+    );
+    match server.run() {
+        Ok(()) => {
+            eprintln!("rls-serve: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rls-serve: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

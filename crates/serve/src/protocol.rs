@@ -1,0 +1,388 @@
+//! The wire protocol: newline-delimited JSON over a Unix-domain socket.
+//!
+//! One connection carries one request line and its response stream:
+//!
+//! - `{"type":"run", …}` → `accepted`, then the campaign's JSONL record
+//!   lines exactly as the campaign file holds them (header, `initial`,
+//!   `trial`, `checkpoint`, …, `summary`), then a final `done` or
+//!   `interrupted` control frame;
+//! - `{"type":"shutdown"}` → `draining`, and the server stops accepting,
+//!   finishes (or checkpoints) every in-flight campaign, and exits;
+//! - anything unparsable → one `error` frame;
+//! - a well-formed but unservable request (unknown circuit, bad netlist,
+//!   admission limit) → one `rejected` frame.
+//!
+//! Record lines and control frames share the stream; clients tell them
+//! apart by the `type` field ([`is_control`]). Because the record lines
+//! come from the same writer the campaign file uses, `rls-report` works
+//! on a served stream unchanged.
+//!
+//! [`normalize_line`] strips the only nondeterministic content — wall
+//! clock fields and the scheduling-dependent `workers` record — so a
+//! served stream can be byte-compared against a direct run's file.
+
+use std::path::PathBuf;
+
+use rls_dispatch::jsonl::{escape, parse, JsonValue};
+use rls_dispatch::jsonl::JsonObject;
+use rls_fsim::LaneWidth;
+
+/// Upper bound on one request line (netlist uploads included).
+pub const MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
+/// Which circuit a campaign request targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitRef {
+    /// A registry name (`rls_benchmarks::by_name`, which honours
+    /// `RLS_BENCH_DIR` for real ISCAS-89 netlists).
+    Named(String),
+    /// An uploaded `.bench` netlist with a client-chosen label.
+    Upload {
+        /// The circuit label (used in records and file names).
+        name: String,
+        /// The `.bench` source text.
+        source: String,
+    },
+}
+
+impl CircuitRef {
+    /// The circuit label requests and records refer to.
+    pub fn name(&self) -> &str {
+        match self {
+            CircuitRef::Named(name) => name,
+            CircuitRef::Upload { name, .. } => name,
+        }
+    }
+}
+
+/// A parsed `run` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRequest {
+    /// The target circuit.
+    pub circuit: CircuitRef,
+    /// Shorter test length `L_A`.
+    pub la: usize,
+    /// Longer test length `L_B`.
+    pub lb: usize,
+    /// Tests per length in `TS0`.
+    pub n: usize,
+    /// Base seed for the campaign's seed family (default family if
+    /// absent).
+    pub seed: Option<u64>,
+    /// Kernel lane width (server default if absent).
+    pub lane_width: Option<LaneWidth>,
+    /// Requested parallelism (clamped to the pool width; 1 = budget of
+    /// one worker, still bit-identical).
+    pub threads: usize,
+    /// Override for the iteration safety cap.
+    pub max_iterations: Option<u32>,
+    /// Campaign file to resume from (its last checkpoint is loaded and
+    /// validated against this request's configuration).
+    pub resume: Option<PathBuf>,
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run (or resume) a campaign.
+    Run(Box<RunRequest>),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Parses one request line. Errors are client-facing messages.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    match v.str_field("type") {
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some("run") => parse_run(&v).map(|r| Request::Run(Box::new(r))),
+        Some(other) => Err(format!("unknown request type `{other}`")),
+        None => Err("request has no string `type` field".to_string()),
+    }
+}
+
+fn parse_run(v: &JsonValue) -> Result<RunRequest, String> {
+    let circuit = match (v.str_field("circuit"), v.str_field("netlist")) {
+        (Some(_), Some(_)) => {
+            return Err("give either `circuit` or `netlist`, not both".to_string());
+        }
+        (Some(name), None) => CircuitRef::Named(name.to_string()),
+        (None, Some(source)) => CircuitRef::Upload {
+            name: v
+                .str_field("name")
+                .ok_or("netlist uploads need a `name` field")?
+                .to_string(),
+            source: source.to_string(),
+        },
+        (None, None) => return Err("run requests need `circuit` or `netlist`".to_string()),
+    };
+    let usize_field = |key: &str| -> Result<usize, String> {
+        let raw = v
+            .u64_field(key)
+            .ok_or_else(|| format!("run requests need an unsigned integer `{key}` field"))?;
+        usize::try_from(raw).map_err(|_| format!("`{key}` is out of range"))
+    };
+    let la = usize_field("la")?;
+    let lb = usize_field("lb")?;
+    let n = usize_field("n")?;
+    let lane_width = match v.str_field("lane_width") {
+        Some(s) => Some(
+            LaneWidth::parse(s).ok_or_else(|| format!("unknown `lane_width` value `{s}`"))?,
+        ),
+        None => None,
+    };
+    let max_iterations = match v.get("max_iterations") {
+        Some(x) => Some(
+            x.as_u64()
+                .and_then(|m| u32::try_from(m).ok())
+                .ok_or("`max_iterations` must be an unsigned 32-bit integer")?,
+        ),
+        None => None,
+    };
+    Ok(RunRequest {
+        circuit,
+        la,
+        lb,
+        n,
+        seed: v.u64_field("seed"),
+        lane_width,
+        threads: usize::try_from(v.u64_field("threads").unwrap_or(1)).unwrap_or(1),
+        max_iterations,
+        resume: v.str_field("resume").map(PathBuf::from),
+    })
+}
+
+/// The control-frame `type` values (everything else on a response stream
+/// is a campaign record line).
+pub const CONTROL_TYPES: &[&str] = &[
+    "accepted",
+    "rejected",
+    "error",
+    "draining",
+    "done",
+    "interrupted",
+];
+
+/// True when a parsed response line is a control frame rather than a
+/// campaign record.
+pub fn is_control(v: &JsonValue) -> bool {
+    v.str_field("type").is_some_and(|t| CONTROL_TYPES.contains(&t))
+}
+
+/// The `accepted` frame: the request was admitted; record lines follow.
+pub fn accepted_line(run_id: &str, path: &str) -> String {
+    JsonObject::new()
+        .str("type", "accepted")
+        .str("run_id", run_id)
+        .str("path", path)
+        .render()
+}
+
+/// The `rejected` frame: well-formed request the server will not run.
+pub fn rejected_line(reason: &str) -> String {
+    JsonObject::new()
+        .str("type", "rejected")
+        .str("reason", reason)
+        .render()
+}
+
+/// The `error` frame: the request line itself was unusable.
+pub fn error_line(message: &str) -> String {
+    JsonObject::new()
+        .str("type", "error")
+        .str("message", message)
+        .render()
+}
+
+/// The `draining` frame: shutdown acknowledged.
+pub fn draining_line() -> String {
+    JsonObject::new().str("type", "draining").render()
+}
+
+/// The `done` frame closing a completed campaign stream.
+pub fn done_line(
+    run_id: &str,
+    detected: usize,
+    target_faults: usize,
+    pairs: usize,
+    complete: bool,
+    iterations: u64,
+) -> String {
+    JsonObject::new()
+        .str("type", "done")
+        .str("run_id", run_id)
+        .num("detected", detected as u64)
+        .num("target_faults", target_faults as u64)
+        .num("pairs", pairs as u64)
+        .bool("complete", complete)
+        .num("iterations", iterations)
+        .render()
+}
+
+/// The `interrupted` frame: the campaign stopped at a trial boundary
+/// (server drain or client disconnect); the campaign file's last
+/// checkpoint makes it resumable.
+pub fn interrupted_line(run_id: &str) -> String {
+    JsonObject::new()
+        .str("type", "interrupted")
+        .str("run_id", run_id)
+        .render()
+}
+
+/// Top-level record fields that carry wall-clock observations; they are
+/// metadata by the campaign-record contract, never part of the outcome.
+const VOLATILE_FIELDS: &[&str] = &["wall_nanos", "ts0_wall_nanos"];
+
+/// Renders a parsed [`JsonValue`] back to one line, preserving field
+/// order and raw number tokens (lossless round-trip for records our own
+/// writer produced).
+pub fn render_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Number(raw) => raw.clone(),
+        JsonValue::Str(s) => format!("\"{}\"", escape(s)),
+        JsonValue::Array(items) => {
+            let parts: Vec<String> = items.iter().map(render_value).collect();
+            format!("[{}]", parts.join(","))
+        }
+        JsonValue::Object(fields) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .map(|(k, x)| format!("\"{}\":{}", escape(k), render_value(x)))
+                .collect();
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+}
+
+/// Normalizes one campaign record line for byte comparison between a
+/// served stream and a direct run's file:
+///
+/// - `workers` records are dropped entirely (`Ok(None)`) — per-worker
+///   counters depend on scheduling and pool width;
+/// - top-level wall-clock fields are removed;
+/// - everything else re-renders byte-identically (field order and number
+///   tokens are preserved by the parser).
+pub fn normalize_line(line: &str) -> Result<Option<String>, String> {
+    let v = parse(line)?;
+    if v.str_field("type") == Some("workers") {
+        return Ok(None);
+    }
+    let stripped = match &v {
+        JsonValue::Object(fields) => JsonValue::Object(
+            fields
+                .iter()
+                .filter(|(k, _)| !VOLATILE_FIELDS.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    Ok(Some(render_value(&stripped)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_requests_parse_with_defaults_and_options() {
+        let r = parse_request(r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8}"#).unwrap();
+        let Request::Run(req) = r else {
+            panic!("not a run request");
+        };
+        assert_eq!(req.circuit, CircuitRef::Named("s27".to_string()));
+        assert_eq!((req.la, req.lb, req.n), (4, 8, 8));
+        assert_eq!(req.threads, 1);
+        assert!(req.seed.is_none() && req.lane_width.is_none() && req.resume.is_none());
+
+        let r = parse_request(
+            r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"threads":3,"seed":7,"lane_width":"512","max_iterations":4,"resume":"/tmp/c.jsonl"}"#,
+        )
+        .unwrap();
+        let Request::Run(req) = r else {
+            panic!("not a run request");
+        };
+        assert_eq!(req.threads, 3);
+        assert_eq!(req.seed, Some(7));
+        assert_eq!(req.lane_width, Some(LaneWidth::W512));
+        assert_eq!(req.max_iterations, Some(4));
+        assert_eq!(req.resume.as_deref(), Some(std::path::Path::new("/tmp/c.jsonl")));
+    }
+
+    #[test]
+    fn netlist_uploads_need_a_name_and_exclude_circuit() {
+        let ok = parse_request(
+            r#"{"type":"run","netlist":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","name":"tiny","la":1,"lb":2,"n":1}"#,
+        )
+        .unwrap();
+        let Request::Run(req) = ok else {
+            panic!("not a run request");
+        };
+        assert_eq!(req.circuit.name(), "tiny");
+        let e = parse_request(r#"{"type":"run","netlist":"x","la":1,"lb":2,"n":1}"#).unwrap_err();
+        assert!(e.contains("`name`"), "{e}");
+        let e = parse_request(
+            r#"{"type":"run","circuit":"s27","netlist":"x","name":"t","la":1,"lb":2,"n":1}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("not both"), "{e}");
+    }
+
+    #[test]
+    fn malformed_requests_are_reported_not_panicked() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"type":"frobnicate"}"#,
+            r#"{"type":"run","circuit":"s27"}"#,
+            r#"{"type":"run","la":4,"lb":8,"n":8}"#,
+            r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"lane_width":"13"}"#,
+            r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"max_iterations":"x"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+        assert_eq!(parse_request(r#"{"type":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn control_frames_are_distinguishable_from_records() {
+        for line in [
+            accepted_line("id", "/tmp/x.jsonl"),
+            rejected_line("no"),
+            error_line("bad"),
+            draining_line(),
+            done_line("id", 32, 32, 3, true, 2),
+            interrupted_line("id"),
+        ] {
+            assert!(is_control(&parse(&line).unwrap()), "{line}");
+        }
+        let record = r#"{"type":"trial","i":1,"d1":2}"#;
+        assert!(!is_control(&parse(record).unwrap()));
+    }
+
+    #[test]
+    fn normalize_drops_workers_and_wall_clock_only() {
+        assert_eq!(
+            normalize_line(r#"{"type":"workers","threads":2,"workers":[]}"#).unwrap(),
+            None
+        );
+        let n = normalize_line(
+            r#"{"type":"trial","i":1,"d1":2,"tests":16,"newly_detected":3,"kept":true,"live_after":1,"wall_nanos":99}"#,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            n,
+            r#"{"type":"trial","i":1,"d1":2,"tests":16,"newly_detected":3,"kept":true,"live_after":1}"#
+        );
+        let n = normalize_line(r#"{"type":"initial","ts0_tests":16,"ts0_detected":28,"ts0_wall_nanos":5}"#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, r#"{"type":"initial","ts0_tests":16,"ts0_detected":28}"#);
+        // Untouched lines round-trip byte-identically, nesting included.
+        let line = r#"{"type":"checkpoint","live":[3,5,8],"pairs":[{"i":1,"d1":2}],"big":18446744073709551615,"f":0.25,"x":null}"#;
+        assert_eq!(normalize_line(line).unwrap().unwrap(), line);
+    }
+}

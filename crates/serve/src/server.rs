@@ -1,0 +1,465 @@
+//! The campaign server: accept loop, sessions, admission, drain.
+//!
+//! One [`Server`] owns one [`SharedPool`] and one [`CircuitCache`] for
+//! its whole life. Each accepted connection is a *session* on its own
+//! thread: it reads exactly one request line (bounded, with a read
+//! timeout), and either runs a campaign — streaming the campaign's
+//! record lines back as they are written — or flips the drain flag.
+//!
+//! # Lifecycle
+//!
+//! - **Admission**: at most `max_inflight` campaigns run concurrently;
+//!   excess requests get a structured `rejected` frame immediately
+//!   instead of queueing invisibly.
+//! - **Execution**: the session registers a slot on the shared pool with
+//!   the request's thread budget and drives `Procedure2::run_on` with a
+//!   [`ServedExecutor`]. Records stream to the campaign file *and* the
+//!   client through the same writer, so the stream is byte-for-byte the
+//!   file's content.
+//! - **Disconnect**: a failed client write sets the session's disconnect
+//!   flag; the executor reports `cancelled()` and the loop stops at the
+//!   next trial boundary. The campaign file keeps its checkpoints — the
+//!   work is resumable, and the server is unaffected.
+//! - **Drain**: a `shutdown` request flips the global drain flag. The
+//!   accept loop stops, every in-flight campaign stops at its next trial
+//!   boundary (writing its summary; its last checkpoint makes it
+//!   resumable), sessions are joined, the socket file is removed, and
+//!   the pool drains its queues before the workers exit. A restarted
+//!   server continues any interrupted campaign via a `resume` request.
+//!   (Pure-std processes cannot trap SIGTERM; supervisors drain by
+//!   sending the `shutdown` request — see `rls_client shutdown`.)
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rls_core::{fingerprint, load_checkpoint, Procedure2, ResumeState, RlsConfig};
+use rls_dispatch::{Campaign, CampaignSummary, SharedPool, SharedSetRunner, SharedSimContext};
+use rls_lfsr::SeedSequence;
+
+use crate::cache::CircuitCache;
+use crate::exec::ServedExecutor;
+use crate::protocol::{
+    accepted_line, done_line, draining_line, error_line, interrupted_line, parse_request,
+    rejected_line, Request, RunRequest, MAX_REQUEST_BYTES,
+};
+
+/// How long a session waits for the client's request line.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The Unix-domain socket path to listen on (a stale file is
+    /// replaced).
+    pub socket: PathBuf,
+    /// Worker threads in the shared pool (clamped to at least one).
+    pub threads: usize,
+    /// Maximum concurrently running campaigns (clamped to at least one).
+    pub max_inflight: usize,
+    /// Directory campaign records are written under.
+    pub campaign_dir: PathBuf,
+}
+
+/// State shared by the accept loop and every session.
+struct Shared {
+    pool: SharedPool,
+    cache: CircuitCache,
+    inflight: AtomicUsize,
+    drain: AtomicBool,
+    cfg: ServeConfig,
+}
+
+/// A bound, not-yet-running campaign server.
+pub struct Server {
+    listener: UnixListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("socket", &self.shared.cfg.socket)
+            .field("threads", &self.shared.cfg.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the socket and spawns the shared pool. A stale socket file
+    /// at the path is removed first (one server per path).
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        if cfg.socket.exists() {
+            std::fs::remove_file(&cfg.socket)?;
+        }
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        let pool = SharedPool::new(cfg.threads.max(1));
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                pool,
+                cache: CircuitCache::new(),
+                inflight: AtomicUsize::new(0),
+                drain: AtomicBool::new(false),
+                cfg,
+            }),
+        })
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains: in-flight
+    /// campaigns finish or checkpoint, sessions join, the socket file is
+    /// removed, and the pool's queues drain before its workers exit.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shared.drain.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    sessions.push(std::thread::spawn(move || session(&stream, &shared)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => {
+                    let _ = std::fs::remove_file(&self.shared.cfg.socket);
+                    return Err(e);
+                }
+            }
+            // Reap finished sessions so a long-lived server does not
+            // accumulate handles (their threads have already exited).
+            sessions.retain(|h| !h.is_finished());
+        }
+        for h in sessions {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.shared.cfg.socket);
+        // `self.shared` drops here; the pool's Drop drains and joins.
+        Ok(())
+    }
+}
+
+/// Writes one response line; false when the client is gone.
+fn send(stream: &UnixStream, line: &str) -> bool {
+    let mut w = stream;
+    w.write_all(line.as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .is_ok()
+}
+
+/// Reads the session's single request line, bounded by
+/// [`MAX_REQUEST_BYTES`]. `Ok(None)` when the client closed without
+/// sending one.
+fn read_request(stream: &UnixStream) -> Result<Option<String>, String> {
+    let mut reader = BufReader::new(stream.take(MAX_REQUEST_BYTES as u64 + 1));
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Ok(None),
+        Ok(_) => {
+            if !line.ends_with('\n') && line.len() > MAX_REQUEST_BYTES {
+                return Err(format!(
+                    "request line exceeds the {MAX_REQUEST_BYTES}-byte limit"
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(trimmed.to_string()))
+            }
+        }
+        Err(e) => Err(format!("could not read request: {e}")),
+    }
+}
+
+/// One connection: read a request, act, respond.
+fn session(stream: &UnixStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let line = match read_request(stream) {
+        Ok(Some(line)) => line,
+        Ok(None) => return,
+        Err(message) => {
+            rls_obs::counter!("serve.requests_rejected", 1);
+            send(stream, &error_line(&message));
+            return;
+        }
+    };
+    match parse_request(&line) {
+        Err(message) => {
+            rls_obs::counter!("serve.requests_rejected", 1);
+            send(stream, &error_line(&message));
+        }
+        Ok(Request::Shutdown) => {
+            shared.drain.store(true, Ordering::Release);
+            send(stream, &draining_line());
+        }
+        Ok(Request::Run(req)) => run_campaign(stream, shared, &req),
+    }
+}
+
+/// An admitted in-flight slot; releases on drop, so every exit path —
+/// reject, disconnect, panic unwound by the session thread — frees it.
+struct Admission<'a>(&'a AtomicUsize);
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn admit(shared: &Shared) -> Option<Admission<'_>> {
+    let max = shared.cfg.max_inflight.max(1);
+    let mut current = shared.inflight.load(Ordering::Acquire);
+    loop {
+        if current >= max {
+            return None;
+        }
+        match shared.inflight.compare_exchange(
+            current,
+            current + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(Admission(&shared.inflight)),
+            Err(now) => current = now,
+        }
+    }
+}
+
+/// Builds the campaign configuration a request describes. The reply is a
+/// reject reason on failure.
+fn build_config(req: &RunRequest, pool_threads: usize) -> Result<RlsConfig, String> {
+    let mut cfg = RlsConfig::try_new(req.la, req.lb, req.n).map_err(|e| e.to_string())?;
+    if let Some(seed) = req.seed {
+        cfg = cfg.with_seeds(SeedSequence::new(seed));
+    }
+    if let Some(width) = req.lane_width {
+        cfg = cfg.with_lane_width(width);
+    }
+    if let Some(max_iterations) = req.max_iterations {
+        cfg.max_iterations = max_iterations;
+    }
+    Ok(cfg.with_threads(req.threads.clamp(1, pool_threads)))
+}
+
+/// Runs one admitted campaign, streaming its records to the client.
+fn run_campaign(stream: &UnixStream, shared: &Shared, req: &RunRequest) {
+    if shared.drain.load(Ordering::Acquire) {
+        rls_obs::counter!("serve.requests_rejected", 1);
+        send(stream, &rejected_line("server is draining"));
+        return;
+    }
+    let Some(_slot) = admit(shared) else {
+        rls_obs::counter!("serve.requests_rejected", 1);
+        send(
+            stream,
+            &rejected_line(&format!(
+                "server is at its in-flight campaign limit ({})",
+                shared.cfg.max_inflight.max(1)
+            )),
+        );
+        return;
+    };
+    let compiled = match shared.cache.resolve(&req.circuit) {
+        Ok(c) => c,
+        Err(reason) => {
+            rls_obs::counter!("serve.requests_rejected", 1);
+            send(stream, &rejected_line(&reason));
+            return;
+        }
+    };
+    let cfg = match build_config(req, shared.pool.threads()) {
+        Ok(cfg) => cfg,
+        Err(reason) => {
+            rls_obs::counter!("serve.requests_rejected", 1);
+            send(stream, &rejected_line(&reason));
+            return;
+        }
+    };
+    let threads = cfg.threads;
+    let name = compiled.circuit().name().to_string();
+    let print = fingerprint(&name, &cfg);
+    let procedure = Procedure2::new(compiled.circuit(), cfg.clone());
+
+    // Resume: load and validate before touching any file.
+    let resume: Option<ResumeState> = match &req.resume {
+        Some(path) => match load_checkpoint(path).and_then(|state| {
+            procedure.validate_resume(&state).map(|()| state)
+        }) {
+            Ok(state) => Some(state),
+            Err(e) => {
+                rls_obs::counter!("serve.requests_rejected", 1);
+                send(stream, &rejected_line(&format!("cannot resume: {e}")));
+                return;
+            }
+        },
+        None => None,
+    };
+
+    // The sink: append to the resumed file, else create a fresh one.
+    // Unlike a direct run, a server does not degrade to in-memory
+    // recording — the file is the durable artifact drain/resume relies
+    // on, so no sink means reject.
+    let mut campaign = match resume.as_ref().and_then(|s| s.source.clone()) {
+        Some(source) => match Campaign::append_to(&source, &name, threads) {
+            Ok(c) => c,
+            Err(e) => {
+                rls_obs::counter!("serve.requests_rejected", 1);
+                send(stream, &rejected_line(&format!("cannot reopen campaign file: {e}")));
+                return;
+            }
+        },
+        None => match Campaign::create(&shared.cfg.campaign_dir, &name, threads, print) {
+            Ok(c) => c,
+            Err(e) => {
+                rls_obs::counter!("serve.requests_rejected", 1);
+                send(stream, &rejected_line(&format!("cannot create campaign file: {e}")));
+                return;
+            }
+        },
+    };
+    rls_obs::counter!("serve.requests_accepted", 1);
+    rls_obs::gauge!(
+        "serve.queue_depth",
+        shared.inflight.load(Ordering::Acquire) as u64
+    );
+    let run_id = rls_obs::run_id(print);
+    let path = campaign
+        .path()
+        .map(|p| p.display().to_string())
+        .unwrap_or_default();
+    // The observer replays neither the header nor a resume seam; send
+    // them ourselves so the stream mirrors the file from its first line.
+    if !send(stream, &accepted_line(&run_id, &path))
+        || !send(stream, &campaign.header_line())
+        || (resume.is_some() && !send(stream, &campaign.resume_line()))
+    {
+        return; // client left before the campaign started
+    }
+
+    let disconnect = Arc::new(AtomicBool::new(false));
+    match stream.try_clone() {
+        Ok(out) => {
+            let flag = Arc::clone(&disconnect);
+            campaign.set_observer(move |line| {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                if !send(&out, line) {
+                    // Writes to a vanished client fail with EPIPE (Rust
+                    // ignores SIGPIPE); stop at the next trial boundary.
+                    flag.store(true, Ordering::Release);
+                }
+            });
+        }
+        Err(_) => disconnect.store(true, Ordering::Release),
+    }
+
+    let ctx = Arc::new(
+        SharedSimContext::new(Arc::clone(&compiled), cfg.observe).with_lane_width(cfg.lane_width),
+    );
+    let runner = SharedSetRunner::new(ctx, shared.pool.register(threads));
+    let mut exec = ServedExecutor::new(runner, &compiled, &shared.drain, disconnect);
+    let watch = rls_obs::Stopwatch::start();
+    let outcome = procedure.run_on(&mut exec, Some(&mut campaign), resume);
+    rls_obs::histogram!("serve.campaign_nanos", watch.elapsed_nanos());
+
+    // End-of-run bookkeeping, mirroring a direct run: a workers record
+    // only on the parallel path, then the summary.
+    if threads > 1 {
+        let mut snap = exec.runner().handle().snapshot();
+        if let Some(stats) = exec.fallback_lane_stats() {
+            snap = snap.with_fallback_lanes(stats);
+        }
+        campaign.record_workers(snap);
+    }
+    campaign.record_summary(CampaignSummary {
+        detected: outcome.total_detected,
+        target_faults: outcome.target_faults,
+        pairs: outcome.pairs.len(),
+        total_cycles: outcome.total_cycles,
+        complete: outcome.complete,
+        iterations: outcome.iterations,
+    });
+    if exec.was_cancelled() && !outcome.complete {
+        send(stream, &interrupted_line(&run_id));
+    } else {
+        send(
+            stream,
+            &done_line(
+                &run_id,
+                outcome.total_detected,
+                outcome.target_faults,
+                outcome.pairs.len(),
+                outcome.complete,
+                outcome.iterations,
+            ),
+        );
+    }
+}
+
+// `fallback_lane_stats` comes from the TrialExecutor trait.
+use rls_core::TrialExecutor as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CircuitRef;
+
+    #[test]
+    fn admission_is_bounded_and_released_on_drop() {
+        let shared = Shared {
+            pool: SharedPool::new(1),
+            cache: CircuitCache::new(),
+            inflight: AtomicUsize::new(0),
+            drain: AtomicBool::new(false),
+            cfg: ServeConfig {
+                socket: PathBuf::from("/tmp/unused.sock"),
+                threads: 1,
+                max_inflight: 2,
+                campaign_dir: PathBuf::from("/tmp/unused"),
+            },
+        };
+        let a = admit(&shared).expect("first fits");
+        let b = admit(&shared).expect("second fits");
+        assert!(admit(&shared).is_none(), "third is over the limit");
+        drop(a);
+        let c = admit(&shared).expect("slot freed");
+        drop((b, c));
+        assert_eq!(shared.inflight.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn build_config_applies_request_knobs_and_clamps_threads() {
+        let req = RunRequest {
+            circuit: CircuitRef::Named("s27".to_string()),
+            la: 4,
+            lb: 8,
+            n: 8,
+            seed: Some(99),
+            lane_width: Some(rls_fsim::LaneWidth::W512),
+            threads: 64,
+            max_iterations: Some(7),
+            resume: None,
+        };
+        let cfg = build_config(&req, 4).unwrap();
+        assert_eq!(cfg.seeds.base(), 99);
+        assert_eq!(cfg.lane_width, rls_fsim::LaneWidth::W512);
+        assert_eq!(cfg.threads, 4, "clamped to the pool width");
+        assert_eq!(cfg.max_iterations, 7);
+        let bad = RunRequest {
+            la: 9,
+            lb: 3,
+            ..req
+        };
+        let e = build_config(&bad, 4).unwrap_err();
+        assert!(e.contains("L_A <= L_B"), "{e}");
+    }
+}

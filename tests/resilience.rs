@@ -244,3 +244,48 @@ fn campaign_io_errors_degrade_persistence_but_never_the_run() {
         assert_eq!(outcome, expected, "io failures (every={every}) must not leak into results");
     }
 }
+
+#[test]
+fn degraded_campaign_records_exact_fallback_lane_accounting() {
+    // The workers record of a degraded campaign carries a `fallback`
+    // object with the *sequential* simulator's lane accounting. Pin its
+    // exactness: capacity is batches x width, and with s27's ~32 target
+    // faults a 512-lane batch is mostly idle, so `lanes_used` must sit
+    // strictly below capacity — a regression to "used == capacity"
+    // (counting allocated instead of occupied lanes) trips this.
+    let (c, cfg) = s27_cfg();
+    let cfg = cfg.with_lane_width(LaneWidth::W512);
+    let dir = scratch_dir("fallback-lanes");
+    let armed = Armed::new(InjectionPlan {
+        poison_tag: Some(0),
+        ..InjectionPlan::default()
+    });
+    let outcome = Procedure2::new(&c, cfg.with_threads(4).with_campaign_dir(&dir)).run();
+    let fired = inject::fired();
+    drop(armed);
+    assert!(fired > 0, "the poisoned tag must be hit");
+    assert!(outcome.total_detected > 0, "the degraded run still detects");
+    let file = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .next()
+        .expect("one campaign file");
+    let text = std::fs::read_to_string(file).unwrap();
+    let workers = text
+        .lines()
+        .find(|l| l.contains("\"type\":\"workers\""))
+        .expect("degraded parallel campaign still writes a workers record");
+    let v = rls_dispatch::jsonl::parse(workers).unwrap();
+    let fallback = v.get("fallback").expect("degraded run records fallback lane stats");
+    let batches = fallback.u64_field("batches").unwrap();
+    let used = fallback.u64_field("lanes_used").unwrap();
+    let capacity = fallback.u64_field("lanes_capacity").unwrap();
+    assert!(batches > 0, "{workers}");
+    assert_eq!(capacity, batches * 512, "capacity is exactly batches x width");
+    assert!(used > 0, "{workers}");
+    assert!(
+        used < capacity,
+        "s27 cannot fill 512-lane batches; used == capacity means the \
+         accounting regressed to allocated lanes: {workers}"
+    );
+}

@@ -1,0 +1,361 @@
+//! Campaign-server integration: a served campaign is byte-identical to a
+//! direct run, concurrent clients are isolated, the wire protocol rejects
+//! garbage without falling over, and drain leaves every accepted request
+//! finished or resumably checkpointed.
+//!
+//! Every test runs its own server on its own socket in a private temp
+//! directory — nothing here touches `results/` (the determinism suite
+//! counts files there).
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use random_limited_scan::core::{Procedure2, RlsConfig};
+use rls_serve::{normalize_line, ServeConfig, Server};
+
+/// A fresh private directory for one test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rls-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts a server; returns its socket path and join handle.
+fn start_server(dir: &Path, threads: usize, max_inflight: usize) -> (PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
+    let socket = dir.join("rls.sock");
+    let server = Server::bind(ServeConfig {
+        socket: socket.clone(),
+        threads,
+        max_inflight,
+        campaign_dir: dir.join("served"),
+    })
+    .expect("bind");
+    let handle = std::thread::spawn(move || server.run());
+    (socket, handle)
+}
+
+fn connect(socket: &Path) -> UnixStream {
+    // The listener is up as soon as `bind` returns, so connect directly.
+    UnixStream::connect(socket).expect("connect")
+}
+
+/// Sends one request line and collects the whole response stream.
+fn roundtrip(socket: &Path, request: &str) -> Vec<String> {
+    let mut stream = connect(socket);
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    BufReader::new(stream)
+        .lines()
+        .map_while(Result::ok)
+        .filter(|l| !l.is_empty())
+        .collect()
+}
+
+fn shutdown(socket: &Path) {
+    let lines = roundtrip(socket, r#"{"type":"shutdown"}"#);
+    assert_eq!(lines, vec![r#"{"type":"draining"}"#.to_string()]);
+}
+
+/// Normalizes a served response stream: control frames dropped, record
+/// lines normalized exactly as the byte-compare requires.
+fn normalize_stream(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| {
+            let v = rls_dispatch::jsonl::parse(l).expect("served line parses");
+            !rls_serve::protocol::is_control(&v)
+        })
+        .filter_map(|l| normalize_line(l).expect("served record normalizes"))
+        .collect()
+}
+
+/// Runs the configuration directly into `dir` and returns the campaign
+/// file's normalized lines — the reference bytes.
+fn direct_reference(circuit: &rls_netlist::Circuit, cfg: RlsConfig, dir: &Path) -> Vec<String> {
+    Procedure2::new(circuit, cfg.with_campaign_dir(dir)).run();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    assert_eq!(files.len(), 1, "one campaign file per direct run");
+    let text = std::fs::read_to_string(files.pop().unwrap()).unwrap();
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| normalize_line(l).expect("direct record normalizes"))
+        .collect()
+}
+
+#[test]
+fn served_campaign_is_byte_identical_to_a_direct_run() {
+    let dir = scratch("exact");
+    let (socket, server) = start_server(&dir, 2, 4);
+    let lines = roundtrip(
+        &socket,
+        r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"threads":2}"#,
+    );
+    assert!(
+        lines.first().is_some_and(|l| l.contains("\"accepted\"")),
+        "{lines:?}"
+    );
+    assert!(
+        lines.last().is_some_and(|l| l.contains("\"done\"")),
+        "{lines:?}"
+    );
+    let direct = direct_reference(
+        &random_limited_scan::benchmarks::s27(),
+        RlsConfig::new(4, 8, 8).with_threads(2),
+        &dir.join("direct"),
+    );
+    assert_eq!(normalize_stream(&lines), direct, "served ≡ direct, byte for byte");
+    // The served campaign file holds the same records as the stream.
+    let accepted = rls_dispatch::jsonl::parse(&lines[0]).unwrap();
+    let path = accepted.str_field("path").expect("accepted carries the file path");
+    let file_text = std::fs::read_to_string(path).unwrap();
+    let from_file: Vec<String> = file_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| normalize_line(l).unwrap())
+        .collect();
+    assert_eq!(from_file, direct, "stream and file carry the same records");
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_clients_are_isolated_and_exact() {
+    let dir = scratch("concurrent");
+    let (socket, server) = start_server(&dir, 3, 4);
+    let sock_a = socket.clone();
+    let sock_b = socket.clone();
+    let a = std::thread::spawn(move || {
+        roundtrip(
+            &sock_a,
+            r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"threads":2,"seed":7}"#,
+        )
+    });
+    let b = std::thread::spawn(move || {
+        roundtrip(
+            &sock_b,
+            r#"{"type":"run","circuit":"s208","la":2,"lb":3,"n":2,"threads":2,"max_iterations":2}"#,
+        )
+    });
+    let lines_a = a.join().unwrap();
+    let lines_b = b.join().unwrap();
+    for (lines, what) in [(&lines_a, "s27"), (&lines_b, "s208")] {
+        assert!(
+            lines.last().is_some_and(|l| l.contains("\"done\"")),
+            "{what}: {lines:?}"
+        );
+    }
+    let direct_a = direct_reference(
+        &random_limited_scan::benchmarks::s27(),
+        RlsConfig::new(4, 8, 8)
+            .with_seeds(rls_lfsr::SeedSequence::new(7))
+            .with_threads(2),
+        &dir.join("direct-a"),
+    );
+    let mut cfg_b = RlsConfig::new(2, 3, 2).with_threads(2);
+    cfg_b.max_iterations = 2;
+    let direct_b = direct_reference(
+        &random_limited_scan::benchmarks::by_name("s208").unwrap(),
+        cfg_b,
+        &dir.join("direct-b"),
+    );
+    assert_eq!(normalize_stream(&lines_a), direct_a, "client A unpolluted by B");
+    assert_eq!(normalize_stream(&lines_b), direct_b, "client B unpolluted by A");
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_and_unservable_requests_get_structured_frames() {
+    let dir = scratch("reject");
+    let (socket, server) = start_server(&dir, 1, 4);
+    for (request, expect) in [
+        ("not json at all", "\"error\""),
+        (r#"{"type":"frobnicate"}"#, "\"error\""),
+        (r#"{"type":"run","circuit":"s27"}"#, "\"error\""),
+        (
+            r#"{"type":"run","circuit":"no-such-circuit","la":4,"lb":8,"n":8}"#,
+            "\"rejected\"",
+        ),
+        (
+            r#"{"type":"run","netlist":"y = NOT(","name":"bad","la":1,"lb":2,"n":1}"#,
+            "\"rejected\"",
+        ),
+        (
+            r#"{"type":"run","circuit":"s27","la":9,"lb":3,"n":8}"#,
+            "\"rejected\"",
+        ),
+    ] {
+        let lines = roundtrip(&socket, request);
+        assert_eq!(lines.len(), 1, "{request} → {lines:?}");
+        assert!(lines[0].contains(expect), "{request} → {lines:?}");
+    }
+    // The server is still perfectly serviceable afterwards.
+    let lines = roundtrip(
+        &socket,
+        r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8}"#,
+    );
+    assert!(lines.last().is_some_and(|l| l.contains("\"done\"")));
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_netlist_uploads_are_refused() {
+    let dir = scratch("oversize");
+    let (socket, server) = start_server(&dir, 1, 4);
+    // A request line just over the limit; the trailing unread kilobyte
+    // fits in the socket buffer, so the write never wedges.
+    let filler = "a".repeat(rls_serve::MAX_REQUEST_BYTES + 1000);
+    let request = format!(
+        r#"{{"type":"run","netlist":"{filler}","name":"big","la":1,"lb":2,"n":1}}"#
+    );
+    let mut stream = connect(&socket);
+    // The server may close the socket after reading its bounded prefix;
+    // a late EPIPE on our remaining bytes is expected, not a failure.
+    let _ = stream.write_all(request.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let mut reply = String::new();
+    let _ = BufReader::new(&stream).read_line(&mut reply);
+    assert!(
+        reply.contains("\"error\"") && reply.contains("exceeds"),
+        "{reply:?}"
+    );
+    // A normal request right after proves the server shrugged it off.
+    let lines = roundtrip(
+        &socket,
+        r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8}"#,
+    );
+    assert!(lines.last().is_some_and(|l| l.contains("\"done\"")));
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_server_healthy() {
+    let dir = scratch("disconnect");
+    let (socket, server) = start_server(&dir, 2, 4);
+    {
+        let mut stream = connect(&socket);
+        stream
+            .write_all(
+                b"{\"type\":\"run\",\"circuit\":\"s208\",\"la\":2,\"lb\":3,\"n\":2,\"threads\":2}\n",
+            )
+            .unwrap();
+        let mut first = String::new();
+        BufReader::new(&stream).read_line(&mut first).unwrap();
+        assert!(first.contains("\"accepted\""), "{first:?}");
+        // Drop the connection while the campaign runs (or just finished —
+        // either way the server must not care).
+    }
+    // Give the abandoned session a moment to hit the dead socket.
+    std::thread::sleep(Duration::from_millis(100));
+    let lines = roundtrip(
+        &socket,
+        r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"threads":2}"#,
+    );
+    let direct = direct_reference(
+        &random_limited_scan::benchmarks::s27(),
+        RlsConfig::new(4, 8, 8).with_threads(2),
+        &dir.join("direct"),
+    );
+    assert_eq!(
+        normalize_stream(&lines),
+        direct,
+        "a later campaign is still exact after an abandoned one"
+    );
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn drained_campaign_checkpoints_and_a_served_resume_completes_it() {
+    // A drain must leave every accepted campaign finished *or* resumable.
+    // Build the drained half directly with the server's own executor (a
+    // pre-set drain flag is the deterministic stand-in for "shutdown
+    // arrived mid-campaign"), then hand the checkpointed file to a real
+    // server and let a `resume` request finish it.
+    let dir = scratch("drain-resume");
+    let circuit = random_limited_scan::benchmarks::by_name("s208").unwrap();
+    let cfg = RlsConfig::new(2, 3, 2); // TS0 alone does not reach coverage
+    let uninterrupted = Procedure2::new(&circuit, cfg.clone()).run();
+    assert!(!uninterrupted.pairs.is_empty(), "needs pairs, else resume is trivial");
+
+    let compiled = Arc::new(rls_dispatch::CompiledCircuit::compile(circuit.clone()).unwrap());
+    let pool = rls_dispatch::SharedPool::new(2);
+    let ctx = Arc::new(rls_dispatch::SharedSimContext::new(
+        Arc::clone(&compiled),
+        cfg.observe,
+    ));
+    let runner = rls_dispatch::SharedSetRunner::new(ctx, pool.register(1));
+    let drain = AtomicBool::new(true); // drained before the first trial
+    let mut exec = rls_serve::ServedExecutor::new(
+        runner,
+        &compiled,
+        &drain,
+        Arc::new(AtomicBool::new(false)),
+    );
+    let print = random_limited_scan::core::fingerprint(circuit.name(), &cfg);
+    let mut campaign =
+        rls_dispatch::Campaign::create(&dir.join("served"), circuit.name(), 1, print).unwrap();
+    let procedure = Procedure2::new(&circuit, cfg.clone());
+    let outcome = procedure.run_on(&mut exec, Some(&mut campaign), None);
+    assert!(!outcome.complete, "the drain stopped it early");
+    let path = campaign.path().expect("campaign streamed to disk").to_path_buf();
+    drop(campaign);
+    pool.shutdown();
+
+    let (socket, server) = start_server(&dir, 2, 4);
+    let request = format!(
+        r#"{{"type":"run","circuit":"s208","la":2,"lb":3,"n":2,"resume":"{}"}}"#,
+        path.display()
+    );
+    let lines = roundtrip(&socket, &request);
+    let done = lines.last().expect("resume produced a stream");
+    assert!(done.contains("\"done\""), "{lines:?}");
+    let v = rls_dispatch::jsonl::parse(done).unwrap();
+    assert_eq!(v.u64_field("detected"), Some(uninterrupted.total_detected as u64));
+    assert_eq!(v.u64_field("pairs"), Some(uninterrupted.pairs.len() as u64));
+    assert_eq!(
+        v.bool_field("complete"),
+        Some(uninterrupted.complete),
+        "resumed run converges to the uninterrupted outcome"
+    );
+    // The stream replays the resume seam so clients see the whole story.
+    assert!(lines.iter().any(|l| l.contains("\"type\":\"resume\"")), "{lines:?}");
+    // And the file now ends in a summary matching that outcome.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let last = text.lines().rfind(|l| !l.trim().is_empty()).unwrap();
+    assert!(last.contains("\"type\":\"summary\""), "{last}");
+    assert!(last.contains(&format!("\"detected\":{}", uninterrupted.total_detected)), "{last}");
+
+    // A resume against a mismatched configuration is a clean reject.
+    let bad = format!(
+        r#"{{"type":"run","circuit":"s208","la":2,"lb":3,"n":4,"resume":"{}"}}"#,
+        path.display()
+    );
+    let lines = roundtrip(&socket, &bad);
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].contains("\"rejected\"") && lines[0].contains("cannot resume"), "{lines:?}");
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_and_removes_the_socket() {
+    let dir = scratch("shutdown");
+    let (socket, server) = start_server(&dir, 1, 4);
+    assert!(socket.exists());
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+    assert!(!socket.exists(), "drained server removes its socket file");
+    // New campaigns can no longer connect.
+    assert!(UnixStream::connect(&socket).is_err());
+}
