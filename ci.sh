@@ -27,7 +27,10 @@ cargo test -q --offline --test determinism
 echo "== resilience: fault-injected recovery paths =="
 # Also re-runs determinism with the hooks compiled in but disarmed:
 # the fault-inject feature must be a no-op until a plan is armed.
-cargo test -q --offline --features fault-inject --test resilience --test determinism
+# serve_chaos is the serve-layer harness: crash/restart recovery, journal
+# crash windows, watchdog requeues, deadlines, and the stream-fault soak.
+cargo test -q --offline --features fault-inject --test resilience --test determinism \
+    --test serve_chaos
 
 echo "== fsim: width matrix =="
 # The RLS_LANE_WIDTH knob drives the wide-word kernel end to end: a full
@@ -95,5 +98,42 @@ cmp "$SERVE_DIR/served-s208.txt" "$SERVE_DIR/direct-s208.txt"
 wait "$SERVE_PID"
 [ ! -e "$SERVE_DIR/rls.sock" ]
 rm -rf "$SERVE_DIR"
+
+echo "== serve: chaos smoke =="
+# Crash-only service through the real binaries: kill -9 a fault-slowed
+# server mid-campaign, restart it over the same directory, and the
+# journaled orphan must be recovered unprompted — an attach by the
+# original run id collects bytes identical to an uninterrupted direct run.
+cargo build -q --release --offline --features fault-inject -p rls-serve
+CHAOS_DIR=$(mktemp -d)
+RLS_CHAOS="job_delay=1:40" ./target/release/rls-serve --socket "$CHAOS_DIR/rls.sock" \
+    --threads 2 --max-inflight 4 --campaign-dir "$CHAOS_DIR/served" \
+    2> "$CHAOS_DIR/server1.log" &
+SERVE_PID=$!
+for _ in $(seq 50); do [ -S "$CHAOS_DIR/rls.sock" ] && break; sleep 0.1; done
+"$RLS_CLIENT" run --socket "$CHAOS_DIR/rls.sock" --circuit s208 --la 2 --lb 3 --n 2 \
+    --threads 2 --retries 0 > /dev/null 2>&1 &
+C1=$!
+for _ in $(seq 100); do
+    grep -qs '"type":"checkpoint"' "$CHAOS_DIR/served/"campaign-*.jsonl && break
+    sleep 0.1
+done
+grep -qs '"type":"checkpoint"' "$CHAOS_DIR/served/"campaign-*.jsonl
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2> /dev/null || true
+wait "$C1" 2> /dev/null || true
+RUN_ID=$(sed -n 's/.*"run_id":"\([^"]*\)".*/\1/p' "$CHAOS_DIR/served/serve-journal.jsonl" | head -n 1)
+./target/release/rls-serve --socket "$CHAOS_DIR/rls.sock" --threads 2 \
+    --max-inflight 4 --campaign-dir "$CHAOS_DIR/served" 2> "$CHAOS_DIR/server2.log" &
+SERVE_PID=$!
+for _ in $(seq 50); do [ -S "$CHAOS_DIR/rls.sock" ] && break; sleep 0.1; done
+"$RLS_CLIENT" attach --socket "$CHAOS_DIR/rls.sock" --run-id "$RUN_ID" --normalize \
+    > "$CHAOS_DIR/recovered.txt" 2> /dev/null
+"$RLS_CLIENT" direct --campaign-dir "$CHAOS_DIR/direct" --circuit s208 --la 2 --lb 3 --n 2 \
+    --threads 2 > "$CHAOS_DIR/direct.txt" 2> /dev/null
+cmp "$CHAOS_DIR/recovered.txt" "$CHAOS_DIR/direct.txt"
+"$RLS_CLIENT" shutdown --socket "$CHAOS_DIR/rls.sock" > /dev/null
+wait "$SERVE_PID"
+rm -rf "$CHAOS_DIR"
 
 echo "CI OK"

@@ -131,10 +131,16 @@ impl CampaignFile {
         Ok(CampaignFile { file, path })
     }
 
-    /// Opens an existing campaign file for appending (resume).
+    /// Opens an existing campaign file for appending (resume). A torn
+    /// final line — a crash mid-append left bytes without a trailing
+    /// newline — is truncated away first; appending straight after it
+    /// would glue the resume seam onto the torn bytes and turn one
+    /// tolerated torn tail into intolerable mid-file garbage.
     fn append_to(path: &Path) -> Result<Self, DispatchError> {
         inject::on_io("open campaign file for append")
             .map_err(|e| DispatchError::io("open campaign file for append", path, e))?;
+        truncate_torn_tail(path)
+            .map_err(|e| DispatchError::io("repair campaign file tail", path, e))?;
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -154,6 +160,40 @@ impl CampaignFile {
             f.sync_data()
         };
         write(&mut self.file).map_err(|e| DispatchError::io("append campaign record", &self.path, e))
+    }
+}
+
+/// Truncates a torn final line (bytes after the last newline, left by a
+/// crash mid-append) so subsequent appends start on a fresh line. A file
+/// ending in a newline — or an empty one — is left untouched. Scans
+/// backwards in chunks, so only the tail is read regardless of size.
+fn truncate_torn_tail(path: &Path) -> std::io::Result<()> {
+    use std::io::{Read as _, Seek, SeekFrom};
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let mut buf = [0u8; 4096];
+    let mut end = len;
+    loop {
+        let start = end.saturating_sub(buf.len() as u64);
+        let n = (end - start) as usize;
+        f.seek(SeekFrom::Start(start))?;
+        f.read_exact(&mut buf[..n])?; // lint: panic-ok(n = end - start <= buf.len() by the saturating_sub above)
+        if end == len && buf[n - 1] == b'\n' { // lint: panic-ok(n >= 1: len > 0 and start < end on every pass)
+            return Ok(()); // intact tail, nothing to repair
+        }
+        let keep = match buf[..n].iter().rposition(|&b| b == b'\n') { // lint: panic-ok(n <= buf.len(), as above)
+            Some(pos) => start + pos as u64 + 1,
+            None if start == 0 => 0, // one torn line is the whole file
+            None => {
+                end = start;
+                continue;
+            }
+        };
+        f.set_len(keep)?;
+        return f.sync_data();
     }
 }
 
@@ -680,6 +720,37 @@ mod tests {
         assert_eq!(log.of_type("trial").count(), 1);
         assert_eq!(log.of_type("checkpoint").count(), 1);
         drop(c);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn append_to_repairs_a_torn_tail() {
+        use std::io::Write as _;
+        let dir = scratch_dir("torn-tail");
+        let c = Campaign::create(&dir, "s27", 1, 0xfeed).unwrap();
+        let path = c.path().unwrap().to_path_buf();
+        drop(c);
+        // A crash mid-append leaves half a record with no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(br#"{"type":"trial","i":1,"d1":"#).unwrap();
+        }
+        // Without the repair, the resume seam would be glued onto the
+        // torn bytes — one garbled line mid-file that no reader accepts.
+        let mut r = Campaign::append_to(&path, "s27", 1).unwrap();
+        r.record_raw(r#"{"type":"checkpoint","iteration":1}"#);
+        drop(r);
+        let log = CampaignLog::read(&path).unwrap();
+        let kinds: Vec<&str> = log
+            .records()
+            .iter()
+            .filter_map(|v| v.str_field("type"))
+            .collect();
+        assert_eq!(kinds, ["campaign", "resume", "checkpoint"]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("trial"), "torn bytes truncated away:\n{text}");
+        assert!(text.ends_with('\n'));
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
     }

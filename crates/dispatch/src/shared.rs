@@ -367,6 +367,38 @@ impl CampaignHandle {
         }
     }
 
+    /// [`wait_idle`](Self::wait_idle) with an upper bound: returns `false`
+    /// if jobs are still pending when `timeout` elapses. A wedged worker
+    /// (infinite loop, never-returning syscall) would otherwise pin its
+    /// campaign in the barrier forever; the serve-layer watchdog uses this
+    /// to turn "no progress" into a bounded, checkpointable failure
+    /// instead. Timing out abandons no state — the jobs finish (or not)
+    /// on their own and the slot drains normally at handle drop.
+    pub fn wait_idle_for(&self, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout; // lint: det-ok(bounds the wait only; the reduced result never depends on when the timeout fires)
+        let mut sched = self.hub.lock();
+        loop {
+            let pending = sched
+                .slots
+                .iter()
+                .find(|s| s.id == self.id)
+                .map_or(0, |s| s.pending);
+            if pending == 0 {
+                return true;
+            }
+            let left = deadline.saturating_duration_since(Instant::now()); // lint: det-ok(bounds the wait only; the reduced result never depends on when the timeout fires)
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _timed_out) = self
+                .hub
+                .idle_cv
+                .wait_timeout(sched, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            sched = guard;
+        }
+    }
+
     /// Drains the failures recorded since the last call (see
     /// [`crate::Dispatcher::take_failures`]).
     pub fn take_failures(&self) -> Vec<JobFailure> {
@@ -537,6 +569,8 @@ pub struct SharedSetRunner {
     handle: CampaignHandle,
     live: Vec<FaultId>,
     detected: Vec<FaultId>,
+    /// Upper bound on one wave's reduction barrier; `None` waits forever.
+    wave_timeout: Option<std::time::Duration>,
 }
 
 impl SharedSetRunner {
@@ -549,7 +583,17 @@ impl SharedSetRunner {
             handle,
             live,
             detected: Vec::new(),
+            wave_timeout: None,
         }
+    }
+
+    /// Bounds every wave barrier: a wave whose jobs have not all finished
+    /// within `timeout` is reported as a [`SetFailure`] instead of
+    /// blocking forever, so the caller can fall back to sequential
+    /// execution of the same set (which re-derives every drop and keeps
+    /// the outcome bit-identical). `None` restores unbounded waits.
+    pub fn set_wave_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.wave_timeout = timeout;
     }
 
     /// Restricts the live list to `targets`, mirroring
@@ -686,7 +730,28 @@ impl SharedSetRunner {
                 self.handle.snapshot().pending as u64,
                 phase = phase
             );
-            self.handle.wait_idle();
+            match self.wave_timeout {
+                None => self.handle.wait_idle(),
+                Some(timeout) => {
+                    if !self.handle.wait_idle_for(timeout) {
+                        let mut failures = self.handle.take_failures();
+                        failures.push(JobFailure {
+                            worker: usize::MAX,
+                            tag: 0,
+                            message: format!(
+                                "wave barrier timed out after {}ms with jobs still running",
+                                timeout.as_millis()
+                            ),
+                            class: crate::pool::FailureClass::Other,
+                        });
+                        return Err(SetFailure {
+                            phase,
+                            attempts,
+                            failures,
+                        });
+                    }
+                }
+            }
             let failures = self.handle.take_failures();
             if failures.is_empty() {
                 return Ok(());
@@ -968,6 +1033,24 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].tag, 42);
         assert!(failures[0].message.contains("shut down"));
+    }
+
+    #[test]
+    fn bounded_idle_wait_times_out_on_a_wedged_job_then_drains() {
+        let pool = SharedPool::new(2);
+        let h = pool.register(2);
+        h.submit_tagged(1, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+        });
+        assert!(
+            !h.wait_idle_for(std::time::Duration::from_millis(10)),
+            "a job outliving the bound must report not-idle"
+        );
+        assert!(
+            h.wait_idle_for(std::time::Duration::from_secs(10)),
+            "once the job finishes the same wait succeeds"
+        );
+        assert!(h.wait_idle_for(std::time::Duration::ZERO), "idle slot: zero bound is fine");
     }
 
     #[test]

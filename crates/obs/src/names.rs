@@ -44,6 +44,16 @@ pub const COUNTERS: &[&str] = &[
     "pool.worker.steals",     // steals performed, per worker
     "serve.requests_accepted", // campaign requests admitted by the server
     "serve.requests_rejected", // requests refused (admission, parse, compile)
+    "serve.load_shed",         // requests shed at the in-flight limit
+    "serve.recovered",         // journaled campaigns resumed after a crash
+    "serve.attach_replays",    // finished runs replayed to attach clients
+    "serve.journal_rejects",   // recoveries refused on fingerprint mismatch
+    "serve.journal_errors",    // journal writes that failed (run unaffected)
+    "serve.deadline_cancels",  // campaigns interrupted by a request deadline
+    "serve.slow_client_disconnects", // writes that hit the client timeout
+    "serve.watchdog.stalls",   // campaigns declared stalled by the watchdog
+    "serve.watchdog.requeues", // stalled campaigns requeued from checkpoints
+    "serve.watchdog.degrades", // stalled campaigns forced to the sequential path
 ];
 
 /// Gauge names (sinks keep the last observation).
@@ -55,6 +65,7 @@ pub const GAUGES: &[&str] = &[
     "pool.worker.busy_nanos", // per-worker time inside simulate calls
     "pool.worker.idle_nanos", // per-worker pool lifetime minus busy time
     "serve.queue_depth",      // in-flight campaigns right after an admit
+    "serve.watchdog.monitored", // campaigns currently under the watchdog
 ];
 
 /// Histogram names (sinks report count and mean).

@@ -5,17 +5,48 @@
 //! test set out through a [`SharedSetRunner`] (bit-identical to both the
 //! scoped pool and the sequential oracle), degrades to a sequential
 //! [`FaultSimulator`] when a chunk exhausts the retry budget, and — the
-//! server-specific part — answers `cancelled()` from two flags so the
-//! greedy loop stops at the next trial boundary when the server drains or
-//! the client disconnects. Checkpoints written after `TS0` and after
-//! every kept pair make a cancelled campaign resumable.
+//! server-specific part — answers `cancelled()` from four sources so the
+//! greedy loop stops at the next trial boundary: the server draining,
+//! the client disconnecting, the watchdog declaring the campaign
+//! stalled, and a per-request deadline lapsing. Checkpoints written
+//! after `TS0` and after every kept pair make a cancelled campaign
+//! resumable, whichever source stopped it.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use rls_core::TrialExecutor;
 use rls_dispatch::{CompiledCircuit, SharedSetRunner};
 use rls_fsim::{FaultId, FaultSimulator, LaneStats, ScanTest};
+
+use crate::watchdog::ProgressCell;
+
+/// Why a served campaign stopped early — reported in the `interrupted`
+/// frame and used to pick the requeue/journal policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The server is draining for shutdown.
+    Drain,
+    /// The watchdog declared the campaign stalled.
+    Stall,
+    /// The request's deadline lapsed.
+    Deadline,
+    /// The client went away (or its stream write failed).
+    Disconnect,
+}
+
+impl CancelCause {
+    /// The wire label used in `interrupted` frames.
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelCause::Drain => "drain",
+            CancelCause::Stall => "stall",
+            CancelCause::Deadline => "deadline",
+            CancelCause::Disconnect => "disconnect",
+        }
+    }
+}
 
 /// Drives one served campaign's trials on the shared pool.
 pub struct ServedExecutor<'c> {
@@ -24,6 +55,8 @@ pub struct ServedExecutor<'c> {
     fallback: Option<FaultSimulator<'c>>,
     drain: &'c AtomicBool,
     disconnect: Arc<AtomicBool>,
+    progress: Option<Arc<ProgressCell>>,
+    deadline: Option<Instant>,
 }
 
 impl std::fmt::Debug for ServedExecutor<'_> {
@@ -50,7 +83,22 @@ impl<'c> ServedExecutor<'c> {
             fallback: None,
             drain,
             disconnect,
+            progress: None,
+            deadline: None,
         }
+    }
+
+    /// Attaches a watchdog progress cell: `apply_set` beats it at every
+    /// trial boundary and `cancelled()` honours its stall flag.
+    pub fn with_progress(mut self, cell: Arc<ProgressCell>) -> Self {
+        self.progress = Some(cell);
+        self
+    }
+
+    /// Attaches a per-request deadline checked at trial boundaries.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The underlying set runner (for end-of-run pool snapshots).
@@ -58,10 +106,55 @@ impl<'c> ServedExecutor<'c> {
         &self.runner
     }
 
-    /// True when the run was asked to stop (drain or disconnect) —
-    /// distinguishes an `interrupted` stream from a `done` one.
+    /// Mutable access to the set runner (the session bounds wave waits
+    /// to the watchdog deadline through this).
+    pub fn runner_mut(&mut self) -> &mut SharedSetRunner {
+        &mut self.runner
+    }
+
+    /// True when the run was asked to stop — distinguishes an
+    /// `interrupted` stream from a `done` one.
     pub fn was_cancelled(&self) -> bool {
         self.cancelled()
+    }
+
+    /// Why the run was asked to stop (most systemic cause wins when
+    /// several apply), or `None` when it was not.
+    pub fn cancel_cause(&self) -> Option<CancelCause> {
+        if self.drain.load(Ordering::Acquire) {
+            Some(CancelCause::Drain)
+        } else if self.progress.as_ref().is_some_and(|c| c.stalled()) {
+            Some(CancelCause::Stall)
+        } else if self.past_deadline() {
+            Some(CancelCause::Deadline)
+        } else if self.disconnect.load(Ordering::Acquire) {
+            Some(CancelCause::Disconnect)
+        } else {
+            None
+        }
+    }
+
+    /// Installs the sequential fallback up front (watchdog retries
+    /// exhausted): every subsequent set runs on this thread, which the
+    /// pool cannot stall. Detections are bit-identical because the
+    /// fallback replays whole sets against the same live list.
+    pub fn force_degrade(&mut self) {
+        if self.fallback.is_none() {
+            let (options, lane_width) = {
+                let ctx = self.runner.context();
+                (ctx.options(), ctx.lane_width())
+            };
+            let mut sim = FaultSimulator::new(self.compiled.circuit());
+            sim.set_options(options);
+            sim.set_lane_width(lane_width);
+            sim.set_targets(self.runner.live());
+            self.fallback = Some(sim);
+        }
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| Instant::now() >= d) // lint: det-ok(deadline cancellation stops at a checkpointed trial boundary; the resumed outcome is bit-identical)
     }
 }
 
@@ -74,6 +167,9 @@ impl TrialExecutor for ServedExecutor<'_> {
     }
 
     fn apply_set(&mut self, tests: &[ScanTest]) -> usize {
+        if let Some(cell) = &self.progress {
+            cell.beat();
+        }
         if let Some(sim) = self.fallback.as_mut() {
             return sim.run_tests(tests);
         }
@@ -118,7 +214,10 @@ impl TrialExecutor for ServedExecutor<'_> {
     }
 
     fn cancelled(&self) -> bool {
-        self.drain.load(Ordering::Acquire) || self.disconnect.load(Ordering::Acquire)
+        self.drain.load(Ordering::Acquire)
+            || self.disconnect.load(Ordering::Acquire)
+            || self.progress.as_ref().is_some_and(|c| c.stalled())
+            || self.past_deadline()
     }
 
     fn fallback_lane_stats(&self) -> Option<LaneStats> {
@@ -174,9 +273,60 @@ mod tests {
         assert!(!exec.cancelled());
         disconnect.store(true, Ordering::Release);
         assert!(exec.cancelled());
+        assert_eq!(exec.cancel_cause(), Some(CancelCause::Disconnect));
         disconnect.store(false, Ordering::Release);
         drain.store(true, Ordering::Release);
         assert!(exec.cancelled());
+        assert_eq!(exec.cancel_cause(), Some(CancelCause::Drain));
+    }
+
+    #[test]
+    fn stall_and_deadline_are_cancel_sources_too() {
+        let (pool, compiled) = fixture();
+        let drain = AtomicBool::new(false);
+        let dog = crate::watchdog::Watchdog::start(std::time::Duration::from_secs(3600));
+        let guard = dog.register().unwrap();
+        let ctx = Arc::new(SharedSimContext::new(
+            Arc::clone(&compiled),
+            SimOptions::default(),
+        ));
+        let runner = SharedSetRunner::new(ctx, pool.register(1));
+        let exec = ServedExecutor::new(runner, &compiled, &drain, Arc::new(AtomicBool::new(false)))
+            .with_progress(Arc::clone(guard.cell()))
+            .with_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+        assert!(!exec.cancelled());
+        // Raise the stall flag the way the heartbeat thread would.
+        guard.cell().mark_stalled();
+        assert!(exec.cancelled(), "a watchdog stall cancels");
+        assert_eq!(exec.cancel_cause(), Some(CancelCause::Stall));
+        guard.cell().clear_stall();
+        assert!(!exec.cancelled());
+        let exec = exec.with_deadline(Some(Instant::now() - std::time::Duration::from_millis(1)));
+        assert!(exec.cancelled(), "a lapsed deadline cancels");
+        assert_eq!(exec.cancel_cause(), Some(CancelCause::Deadline));
+    }
+
+    #[test]
+    fn force_degrade_routes_every_set_to_the_oracle() {
+        let (pool, compiled) = fixture();
+        let drain = AtomicBool::new(false);
+        let ctx = Arc::new(SharedSimContext::new(
+            Arc::clone(&compiled),
+            SimOptions::default(),
+        ));
+        let runner = SharedSetRunner::new(ctx, pool.register(2));
+        let mut exec = ServedExecutor::new(
+            runner,
+            &compiled,
+            &drain,
+            Arc::new(AtomicBool::new(false)),
+        );
+        exec.force_degrade();
+        assert!(exec.degraded(), "degraded before any set ran");
+        let mut oracle = FaultSimulator::new(compiled.circuit());
+        let set = vec![ScanTest::from_strings("001", &["0111", "1001", "0100"]).unwrap()];
+        assert_eq!(exec.apply_set(&set), oracle.run_tests(&set));
+        assert_eq!(exec.undetected(), oracle.live());
     }
 
     #[test]

@@ -22,7 +22,13 @@
 //!   oracle on poisoned chunks, and stops at trial boundaries when the
 //!   server drains or the client disconnects;
 //! - [`server`]: the accept loop, per-connection sessions, admission
-//!   control, and graceful drain.
+//!   control, and graceful drain;
+//! - [`journal`]: the crash-recovery journal — every admitted campaign
+//!   is journaled before its run id is announced, and a restarted server
+//!   replays the in-flight entries under the same run ids;
+//! - [`watchdog`]: the liveness heartbeat — campaigns with no trial
+//!   progress within the deadline are requeued from their checkpoints
+//!   and, after bounded retries, degraded to the sequential path.
 //!
 //! # Determinism
 //!
@@ -35,14 +41,22 @@
 //! clients sharing the executor.
 //!
 //! See DESIGN.md §11 for the protocol grammar, executor lifecycle, cache
-//! keying, and drain semantics.
+//! keying, and drain semantics, and §12 for the self-healing service:
+//! journal format, watchdog state machine, and deadline semantics.
 
 pub mod cache;
 pub mod exec;
+pub mod journal;
 pub mod protocol;
 pub mod server;
+pub mod watchdog;
 
 pub use cache::CircuitCache;
-pub use exec::ServedExecutor;
-pub use protocol::{normalize_line, CircuitRef, Request, RunRequest, MAX_REQUEST_BYTES};
+pub use exec::{CancelCause, ServedExecutor};
+pub use journal::Journal;
+pub use protocol::{
+    backoff_ms, fnv1a, normalize_line, normalize_recovered, retry_after_hint, CircuitRef, Request,
+    RunRequest, MAX_REQUEST_BYTES,
+};
 pub use server::{ServeConfig, Server};
+pub use watchdog::Watchdog;

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rls-serve --socket /tmp/rls.sock [--threads N] [--max-inflight N]
-//!           [--campaign-dir DIR]
+//!           [--campaign-dir DIR] [--watchdog-ms MS]
+//!           [--watchdog-retries N] [--write-timeout-ms MS]
 //! ```
 //!
 //! Listens on a Unix-domain socket for newline-delimited JSON campaign
@@ -10,18 +11,30 @@
 //! `RLS_OBS=1` (and optionally `RLS_OBS_SINK=stderr|jsonl|both`) to
 //! record server metrics (`serve.*`) alongside the campaign records.
 //!
+//! The server is crash-only: admitted campaigns are journaled under the
+//! campaign directory, and a restarted server resumes any the previous
+//! process left in flight (clients reattach with `rls_client attach`).
+//! `--watchdog-ms` bounds how long a campaign may go without trial
+//! progress before it is requeued from its checkpoint; zero (the
+//! default) disables the watchdog. `--write-timeout-ms` bounds any
+//! single client write (zero = unbounded); a client that cannot drain
+//! its socket is disconnected and the campaign stays collectable.
+//!
 //! The server exits after a `{"type":"shutdown"}` request drains every
 //! in-flight campaign (see `rls_client shutdown`). Pure-std binaries
 //! cannot trap SIGTERM, so supervisors should drain via that request.
+//! A SIGKILL (or power cut) is recovered from the journal instead.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use rls_serve::{ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rls-serve --socket PATH [--threads N] [--max-inflight N] [--campaign-dir DIR]"
+        "usage: rls-serve --socket PATH [--threads N] [--max-inflight N] [--campaign-dir DIR]\n\
+         \x20                [--watchdog-ms MS] [--watchdog-retries N] [--write-timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -31,6 +44,9 @@ fn parse_args() -> ServeConfig {
     let mut threads = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
     let mut max_inflight = 4;
     let mut campaign_dir = PathBuf::from("results");
+    let mut watchdog_ms: u64 = 0;
+    let mut watchdog_retries: u32 = 2;
+    let mut write_timeout_ms: u64 = 10_000;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| args.next().unwrap_or_else(|| {
@@ -46,6 +62,19 @@ fn parse_args() -> ServeConfig {
                 max_inflight = value("--max-inflight").parse().unwrap_or_else(|_| usage());
             }
             "--campaign-dir" => campaign_dir = PathBuf::from(value("--campaign-dir")),
+            "--watchdog-ms" => {
+                watchdog_ms = value("--watchdog-ms").parse().unwrap_or_else(|_| usage());
+            }
+            "--watchdog-retries" => {
+                watchdog_retries = value("--watchdog-retries")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--write-timeout-ms" => {
+                write_timeout_ms = value("--write-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -57,16 +86,38 @@ fn parse_args() -> ServeConfig {
         eprintln!("--socket is required");
         usage();
     };
-    ServeConfig {
-        socket,
-        threads,
-        max_inflight,
-        campaign_dir,
+    let mut cfg = ServeConfig::new(socket, campaign_dir);
+    cfg.threads = threads;
+    cfg.max_inflight = max_inflight;
+    cfg.watchdog_deadline = Duration::from_millis(watchdog_ms);
+    cfg.watchdog_retries = watchdog_retries;
+    cfg.write_timeout = Duration::from_millis(write_timeout_ms);
+    cfg
+}
+
+/// Arms the chaos schedule from `RLS_CHAOS` (fault-inject builds only);
+/// see `rls_dispatch::inject::arm_from_spec` for the spec grammar.
+#[cfg(feature = "fault-inject")]
+fn arm_chaos() {
+    if let Ok(spec) = std::env::var("RLS_CHAOS") {
+        if !spec.is_empty() {
+            match rls_dispatch::inject::arm_from_spec(&spec) {
+                Ok(()) => eprintln!("rls-serve: chaos schedule armed: {spec}"),
+                Err(e) => {
+                    eprintln!("rls-serve: bad RLS_CHAOS spec: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
     }
 }
 
+#[cfg(not(feature = "fault-inject"))]
+fn arm_chaos() {}
+
 fn main() -> ExitCode {
     let cfg = parse_args();
+    arm_chaos();
     if std::env::var_os("RLS_OBS").is_some_and(|v| v != "0") {
         let mode = std::env::var("RLS_OBS_SINK")
             .ok()

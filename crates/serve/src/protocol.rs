@@ -79,6 +79,10 @@ pub struct RunRequest {
     /// Campaign file to resume from (its last checkpoint is loaded and
     /// validated against this request's configuration).
     pub resume: Option<PathBuf>,
+    /// Per-request deadline in milliseconds: a campaign still running
+    /// when it lapses is checkpointed and answered with `interrupted`
+    /// (`reason:"deadline"`); absent means no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 /// One request line.
@@ -86,6 +90,10 @@ pub struct RunRequest {
 pub enum Request {
     /// Run (or resume) a campaign.
     Run(Box<RunRequest>),
+    /// Reattach to a run by id (after a crash or dropped connection):
+    /// waits for it to finish, then replays its campaign file behind a
+    /// `recovered` frame.
+    Attach(String),
     /// Drain and exit.
     Shutdown,
 }
@@ -96,6 +104,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match v.str_field("type") {
         Some("shutdown") => Ok(Request::Shutdown),
         Some("run") => parse_run(&v).map(|r| Request::Run(Box::new(r))),
+        Some("attach") => v
+            .str_field("run_id")
+            .map(|id| Request::Attach(id.to_string()))
+            .ok_or("attach requests need a string `run_id` field".to_string()),
         Some(other) => Err(format!("unknown request type `{other}`")),
         None => Err("request has no string `type` field".to_string()),
     }
@@ -149,6 +161,13 @@ fn parse_run(v: &JsonValue) -> Result<RunRequest, String> {
         threads: usize::try_from(v.u64_field("threads").unwrap_or(1)).unwrap_or(1),
         max_iterations,
         resume: v.str_field("resume").map(PathBuf::from),
+        deadline_ms: match v.get("deadline_ms") {
+            Some(x) => Some(
+                x.as_u64()
+                    .ok_or("`deadline_ms` must be an unsigned integer")?,
+            ),
+            None => None,
+        },
     })
 }
 
@@ -161,6 +180,7 @@ pub const CONTROL_TYPES: &[&str] = &[
     "draining",
     "done",
     "interrupted",
+    "recovered",
 ];
 
 /// True when a parsed response line is a control frame rather than a
@@ -183,6 +203,29 @@ pub fn rejected_line(reason: &str) -> String {
     JsonObject::new()
         .str("type", "rejected")
         .str("reason", reason)
+        .render()
+}
+
+/// The `rejected` frame for load shedding: carries a deterministic
+/// retry-after hint (milliseconds) derived from the request fingerprint,
+/// so a fleet of identical clients retrying the same rejected request
+/// spreads out instead of stampeding in lockstep.
+pub fn rejected_retry_line(reason: &str, retry_after_ms: u64) -> String {
+    JsonObject::new()
+        .str("type", "rejected")
+        .str("reason", reason)
+        .num("retry_after_ms", retry_after_ms)
+        .render()
+}
+
+/// The `recovered` frame: an `attach` is about to replay the campaign
+/// file of a finished (possibly crash-recovered) run.
+pub fn recovered_line(run_id: &str, path: &str, outcome: &str) -> String {
+    JsonObject::new()
+        .str("type", "recovered")
+        .str("run_id", run_id)
+        .str("path", path)
+        .str("outcome", outcome)
         .render()
 }
 
@@ -219,13 +262,14 @@ pub fn done_line(
         .render()
 }
 
-/// The `interrupted` frame: the campaign stopped at a trial boundary
-/// (server drain or client disconnect); the campaign file's last
-/// checkpoint makes it resumable.
-pub fn interrupted_line(run_id: &str) -> String {
+/// The `interrupted` frame: the campaign stopped at a trial boundary;
+/// `reason` says why (`drain`, `disconnect`, `deadline`, `stall`). The
+/// campaign file's last checkpoint makes it resumable either way.
+pub fn interrupted_line(run_id: &str, reason: &str) -> String {
     JsonObject::new()
         .str("type", "interrupted")
         .str("run_id", run_id)
+        .str("reason", reason)
         .render()
 }
 
@@ -280,6 +324,83 @@ pub fn normalize_line(line: &str) -> Result<Option<String>, String> {
         other => other.clone(),
     };
     Ok(Some(render_value(&stripped)))
+}
+
+/// Normalizes a *recovered* trajectory — stream lines or a campaign file
+/// that went through any number of crash/resume/requeue cycles — down to
+/// the exact normalized lines an uninterrupted direct run produces:
+///
+/// - control frames, `resume` seams, and operational `degrade` records
+///   are dropped (a direct run has none);
+/// - each remaining line is [`normalize_line`]d (volatile fields and
+///   `workers` records go away);
+/// - duplicates are dropped, keeping first occurrences in order — a
+///   resumed attempt replays the rejected trials since the last
+///   checkpoint, producing byte-identical lines *because* resume is
+///   bit-exact (every normalized line of a direct run is unique, so
+///   dedup can erase only replay);
+/// - only the final `summary` survives, at the end — interim summaries
+///   written at each interruption are superseded by it.
+pub fn normalize_recovered<'a, I>(lines: I) -> Result<Vec<String>, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut out: Vec<String> = Vec::new();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut last_summary: Option<String> = None;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line)?;
+        if is_control(&v) || matches!(v.str_field("type"), Some("resume") | Some("degrade")) {
+            continue;
+        }
+        let Some(normalized) = normalize_line(line)? else {
+            continue;
+        };
+        if v.str_field("type") == Some("summary") {
+            last_summary = Some(normalized);
+            continue;
+        }
+        if seen.insert(normalized.clone()) {
+            out.push(normalized);
+        }
+    }
+    out.extend(last_summary);
+    Ok(out)
+}
+
+/// FNV-1a over `bytes` — the deterministic seed for retry-after hints
+/// and client backoff jitter (no wall clock anywhere in the schedule).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic retry-after hint (milliseconds) the server attaches
+/// to load-shed rejections: 100–499ms, spread by the request fingerprint.
+pub fn retry_after_hint(request_seed: u64) -> u64 {
+    100 + request_seed % 400
+}
+
+/// Deterministic jittered exponential backoff for client retries:
+/// attempt 0, 1, 2, … map to ~100ms, ~200ms, ~400ms, … capped at 5s,
+/// plus a jitter in `[0, 100)`ms drawn from the seed and attempt only.
+/// Same request + same attempt → same delay, different requests spread.
+pub fn backoff_ms(seed: u64, attempt: u32) -> u64 {
+    let base = 100u64 << attempt.min(6);
+    let mut x = seed ^ (u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    // xorshift64* keeps the jitter well-mixed without any RNG dependency.
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    let jitter = x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 100;
+    base.min(5_000) + jitter
 }
 
 #[cfg(test)]
@@ -351,15 +472,91 @@ mod tests {
         for line in [
             accepted_line("id", "/tmp/x.jsonl"),
             rejected_line("no"),
+            rejected_retry_line("busy", 137),
             error_line("bad"),
             draining_line(),
             done_line("id", 32, 32, 3, true, 2),
-            interrupted_line("id"),
+            interrupted_line("id", "drain"),
+            recovered_line("id", "/tmp/x.jsonl", "done"),
         ] {
             assert!(is_control(&parse(&line).unwrap()), "{line}");
         }
         let record = r#"{"type":"trial","i":1,"d1":2}"#;
         assert!(!is_control(&parse(record).unwrap()));
+    }
+
+    #[test]
+    fn attach_and_deadline_parse() {
+        assert_eq!(
+            parse_request(r#"{"type":"attach","run_id":"abc-r0"}"#).unwrap(),
+            Request::Attach("abc-r0".to_string())
+        );
+        assert!(parse_request(r#"{"type":"attach"}"#).is_err());
+        let r = parse_request(
+            r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Run(req) = r else { panic!("not a run request") };
+        assert_eq!(req.deadline_ms, Some(250));
+        assert!(parse_request(
+            r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"deadline_ms":"soon"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn retry_hints_and_backoff_are_deterministic_and_bounded() {
+        let seed = fnv1a(br#"{"type":"run","circuit":"s27"}"#);
+        assert_eq!(fnv1a(br#"{"type":"run","circuit":"s27"}"#), seed);
+        let hint = retry_after_hint(seed);
+        assert!((100..500).contains(&hint));
+        for attempt in 0..10 {
+            let d = backoff_ms(seed, attempt);
+            assert_eq!(d, backoff_ms(seed, attempt), "same inputs, same delay");
+            assert!(d < 5_100, "capped: attempt {attempt} gave {d}");
+        }
+        assert!(backoff_ms(seed, 4) > backoff_ms(seed, 0), "grows with attempts");
+        assert_ne!(
+            backoff_ms(seed, 1),
+            backoff_ms(seed ^ 1, 1),
+            "different requests spread"
+        );
+    }
+
+    #[test]
+    fn recovered_normalization_collapses_a_crash_resume_trajectory() {
+        // A direct run's trajectory…
+        let direct = [
+            r#"{"type":"campaign","circuit":"s27","threads":2}"#,
+            r#"{"type":"initial","ts0_tests":16,"ts0_detected":28,"ts0_wall_nanos":5}"#,
+            r#"{"type":"checkpoint","iteration":0,"live":[3,5]}"#,
+            r#"{"type":"trial","i":1,"d1":2,"kept":false,"wall_nanos":10}"#,
+            r#"{"type":"trial","i":1,"d1":3,"kept":true,"wall_nanos":11}"#,
+            r#"{"type":"checkpoint","iteration":1,"live":[5]}"#,
+            r#"{"type":"workers","threads":2,"workers":[]}"#,
+            r#"{"type":"summary","detected":31,"complete":true}"#,
+        ];
+        // …and the same campaign interrupted after the first checkpoint,
+        // then resumed: seam, replayed rejected trial, interim summary.
+        let recovered = [
+            direct[0],
+            direct[1],
+            direct[2],
+            r#"{"type":"trial","i":1,"d1":2,"kept":false,"wall_nanos":77}"#,
+            r#"{"type":"workers","threads":2,"workers":[]}"#,
+            r#"{"type":"summary","detected":28,"complete":false}"#,
+            r#"{"type":"resume","from_iteration":0}"#,
+            r#"{"type":"trial","i":1,"d1":2,"kept":false,"wall_nanos":99}"#,
+            direct[4],
+            direct[5],
+            r#"{"type":"degrade","reason":"watchdog"}"#,
+            direct[6],
+            direct[7],
+        ];
+        let want = normalize_recovered(direct.iter().copied()).unwrap();
+        let got = normalize_recovered(recovered.iter().copied()).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(want.last().map(String::as_str), Some(r#"{"type":"summary","detected":31,"complete":true}"#));
     }
 
     #[test]

@@ -28,13 +28,10 @@ fn scratch(tag: &str) -> PathBuf {
 /// Starts a server; returns its socket path and join handle.
 fn start_server(dir: &Path, threads: usize, max_inflight: usize) -> (PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
     let socket = dir.join("rls.sock");
-    let server = Server::bind(ServeConfig {
-        socket: socket.clone(),
-        threads,
-        max_inflight,
-        campaign_dir: dir.join("served"),
-    })
-    .expect("bind");
+    let mut cfg = ServeConfig::new(socket.clone(), dir.join("served"));
+    cfg.threads = threads;
+    cfg.max_inflight = max_inflight;
+    let server = Server::bind(cfg).expect("bind");
     let handle = std::thread::spawn(move || server.run());
     (socket, handle)
 }
@@ -346,6 +343,176 @@ fn drained_campaign_checkpoints_and_a_served_resume_completes_it() {
     assert!(lines[0].contains("\"rejected\"") && lines[0].contains("cannot resume"), "{lines:?}");
     shutdown(&socket);
     server.join().unwrap().unwrap();
+}
+
+#[test]
+fn attach_replays_a_finished_run_and_rejects_unknown_ids() {
+    let dir = scratch("attach");
+    let (socket, server) = start_server(&dir, 2, 4);
+    let lines = roundtrip(
+        &socket,
+        r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"threads":2}"#,
+    );
+    assert!(lines.last().is_some_and(|l| l.contains("\"done\"")), "{lines:?}");
+    let accepted = rls_dispatch::jsonl::parse(&lines[0]).unwrap();
+    let run_id = accepted.str_field("run_id").expect("accepted carries run_id").to_string();
+
+    // Attaching to the finished run replays the campaign file behind a
+    // `recovered` frame and ends with the stored final frame.
+    let replay = roundtrip(&socket, &format!(r#"{{"type":"attach","run_id":"{run_id}"}}"#));
+    assert!(
+        replay.first().is_some_and(|l| l.contains("\"recovered\"") && l.contains("\"done\"")),
+        "{replay:?}"
+    );
+    assert!(replay.last().is_some_and(|l| l.contains("\"type\":\"done\"")), "{replay:?}");
+    let direct = direct_reference(
+        &random_limited_scan::benchmarks::s27(),
+        RlsConfig::new(4, 8, 8).with_threads(2),
+        &dir.join("direct"),
+    );
+    let replayed =
+        rls_serve::normalize_recovered(replay.iter().map(String::as_str)).expect("replay normalizes");
+    assert_eq!(replayed, direct, "attach replay ≡ direct, byte for byte");
+
+    // Unknown run ids are a structured rejection, not a hang.
+    let unknown = roundtrip(&socket, r#"{"type":"attach","run_id":"no-such-run"}"#);
+    assert_eq!(unknown.len(), 1, "{unknown:?}");
+    assert!(
+        unknown[0].contains("\"rejected\"") && unknown[0].contains("unknown run id"),
+        "{unknown:?}"
+    );
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn a_clean_run_leaves_no_journal_backlog() {
+    // Every admitted campaign journals a begin; a finished one must pair
+    // it with an end, so a restart after a clean run recovers nothing.
+    let dir = scratch("journal-clean");
+    let (socket, server) = start_server(&dir, 1, 4);
+    let lines = roundtrip(
+        &socket,
+        r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8}"#,
+    );
+    assert!(lines.last().is_some_and(|l| l.contains("\"done\"")), "{lines:?}");
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+    let (journal, orphans) = rls_serve::Journal::open(&dir.join("served")).unwrap();
+    drop(journal);
+    assert!(orphans.is_empty(), "clean runs leave nothing in flight: {orphans:?}");
+}
+
+/// Builds a checkpointed-but-unfinished s208 campaign in `dir`/served —
+/// the on-disk state a crashed server leaves behind — and returns its
+/// file plus the config fingerprint a correct recovery must match.
+fn interrupted_campaign(dir: &Path) -> (RlsConfig, PathBuf, u64) {
+    let circuit = random_limited_scan::benchmarks::by_name("s208").unwrap();
+    let cfg = RlsConfig::new(2, 3, 2); // TS0 alone does not reach coverage
+    let compiled = Arc::new(rls_dispatch::CompiledCircuit::compile(circuit.clone()).unwrap());
+    let pool = rls_dispatch::SharedPool::new(2);
+    let ctx = Arc::new(rls_dispatch::SharedSimContext::new(
+        Arc::clone(&compiled),
+        cfg.observe,
+    ));
+    let runner = rls_dispatch::SharedSetRunner::new(ctx, pool.register(1));
+    let drain = AtomicBool::new(true); // cancelled before the first trial
+    let mut exec = rls_serve::ServedExecutor::new(
+        runner,
+        &compiled,
+        &drain,
+        Arc::new(AtomicBool::new(false)),
+    );
+    let print = random_limited_scan::core::fingerprint(circuit.name(), &cfg);
+    let mut campaign =
+        rls_dispatch::Campaign::create(&dir.join("served"), circuit.name(), 1, print).unwrap();
+    let outcome = Procedure2::new(&circuit, cfg.clone()).run_on(&mut exec, Some(&mut campaign), None);
+    assert!(!outcome.complete, "the campaign must be left unfinished");
+    let path = campaign.path().expect("campaign streamed to disk").to_path_buf();
+    drop(campaign);
+    pool.shutdown();
+    (cfg, path, print)
+}
+
+#[test]
+fn a_journaled_orphan_is_auto_recovered_and_attach_collects_the_result() {
+    // The deterministic heart of crash recovery, no fault injection
+    // needed: a journal `begin` without an `end` plus a checkpointed
+    // campaign file is exactly what a dead server leaves behind. A fresh
+    // server over that directory must finish the campaign unprompted,
+    // under the original run id, to the direct run's exact bytes.
+    let dir = scratch("auto-recovery");
+    let (cfg, path, print) = interrupted_campaign(&dir);
+    let request = r#"{"type":"run","circuit":"s208","la":2,"lb":3,"n":2}"#;
+    let (journal, orphans) = rls_serve::Journal::open(&dir.join("served")).unwrap();
+    assert!(orphans.is_empty());
+    journal
+        .begin(&rls_serve::journal::JournalEntry {
+            run_id: "restart-owes-me".to_string(),
+            circuit: "s208".to_string(),
+            fingerprint: print,
+            path: path.clone(),
+            threads: 1,
+            request: request.to_string(),
+        })
+        .unwrap();
+    drop(journal);
+
+    let (socket, server) = start_server(&dir, 2, 4);
+    // Attach blocks while the recovery runs, then replays the result.
+    let replay = roundtrip(&socket, r#"{"type":"attach","run_id":"restart-owes-me"}"#);
+    assert!(replay.first().is_some_and(|l| l.contains("\"recovered\"")), "{replay:?}");
+    assert!(replay.last().is_some_and(|l| l.contains("\"type\":\"done\"")), "{replay:?}");
+    let direct = direct_reference(
+        &random_limited_scan::benchmarks::by_name("s208").unwrap(),
+        cfg,
+        &dir.join("direct"),
+    );
+    let replayed = rls_serve::normalize_recovered(replay.iter().map(String::as_str))
+        .expect("replay normalizes");
+    assert_eq!(replayed, direct, "auto-recovery ≡ direct, byte for byte");
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+    // The recovery closed the journal entry it was owed.
+    let (journal, orphans) = rls_serve::Journal::open(&dir.join("served")).unwrap();
+    drop(journal);
+    assert!(orphans.is_empty(), "{orphans:?}");
+}
+
+#[test]
+fn recovery_rejects_a_journal_entry_whose_fingerprint_no_longer_matches() {
+    // If the rebuilt configuration no longer hashes to what the journal
+    // recorded (changed defaults, edited file), recovery must refuse to
+    // resume — silently computing different science under the old run id
+    // would be worse than failing — and must close the entry as rejected.
+    let dir = scratch("fingerprint-reject");
+    let (journal, orphans) = rls_serve::Journal::open(&dir.join("served")).unwrap();
+    assert!(orphans.is_empty());
+    journal
+        .begin(&rls_serve::journal::JournalEntry {
+            run_id: "stale-config".to_string(),
+            circuit: "s208".to_string(),
+            fingerprint: 0xdead_beef, // not what the request rebuilds to
+            path: dir.join("served").join("never-loaded.jsonl"),
+            threads: 1,
+            request: r#"{"type":"run","circuit":"s208","la":2,"lb":3,"n":2}"#.to_string(),
+        })
+        .unwrap();
+    drop(journal);
+
+    let (socket, server) = start_server(&dir, 2, 4);
+    let reply = roundtrip(&socket, r#"{"type":"attach","run_id":"stale-config"}"#);
+    assert_eq!(reply.len(), 1, "{reply:?}");
+    assert!(
+        reply[0].contains("\"error\"") && reply[0].contains("fingerprint"),
+        "{reply:?}"
+    );
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+    // The reject closed the begin: a second restart owes nothing.
+    let (journal, orphans) = rls_serve::Journal::open(&dir.join("served")).unwrap();
+    drop(journal);
+    assert!(orphans.is_empty(), "{orphans:?}");
 }
 
 #[test]
