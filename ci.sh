@@ -18,6 +18,13 @@ echo "== lint: rls-lint baseline gate =="
 # the committed baseline; regenerate with --update-baseline after review.
 cargo run -q -p rls-lint --offline -- --baseline lint-baseline.json
 
+echo "== lint: concurrency gates =="
+# The flow-aware families gate with NO baseline: lock-order cycles,
+# blocking-under-lock, atomic-pairing mismatches, and fsync-less renames
+# must be at absolute zero on the committed tree (DESIGN.md §13).
+cargo run -q -p rls-lint --offline -- --only concurrency
+cargo run -q -p rls-lint --offline -- --only persistence
+
 echo "== tier-1: tests =="
 cargo test -q --offline --workspace
 
@@ -31,6 +38,15 @@ echo "== resilience: fault-injected recovery paths =="
 # crash windows, watchdog requeues, deadlines, and the stream-fault soak.
 cargo test -q --offline --features fault-inject --test resilience --test determinism \
     --test serve_chaos
+
+echo "== dispatch: schedule soak =="
+# The dynamic complement of the flow-aware lint (DESIGN.md §13): each
+# seed drives the shared pool through ≥100 provably distinct adversarial
+# interleavings of submit/claim/drain/settle, every one byte-identical
+# to the sequential oracle. A failing seed replays verbatim.
+for seed in 11 1997 861551; do
+    RLS_SCHED_SEED=$seed cargo test -q --offline --features fault-inject --test sched
+done
 
 echo "== fsim: width matrix =="
 # The RLS_LANE_WIDTH knob drives the wide-word kernel end to end: a full

@@ -61,7 +61,7 @@ impl<'c> Podem<'c> {
     pub fn new(circuit: &'c Circuit, backtrack_limit: usize) -> Self {
         let lev = circuit
             .levelize()
-            .expect("test generation requires an acyclic circuit");
+            .expect("test generation requires an acyclic circuit"); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
         let mut observed: Vec<(NetId, Option<NetId>)> =
             circuit.outputs().iter().map(|&po| (po, None)).collect();
         for &ff in circuit.dffs() {
@@ -164,32 +164,32 @@ impl<'c> Podem<'c> {
         planes.faulty.fill(V3::X);
         for (i, node) in c.nodes().iter().enumerate() {
             if let NodeKind::Const(v) = node.kind {
-                planes.good[i] = V3::from_bool(v);
-                planes.faulty[i] = V3::from_bool(v);
+                planes.good[i] = V3::from_bool(v); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
+                planes.faulty[i] = V3::from_bool(v); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             }
         }
         for &(input, value, _) in stack {
-            planes.good[input.index()] = V3::from_bool(value);
-            planes.faulty[input.index()] = V3::from_bool(value);
+            planes.good[input.index()] = V3::from_bool(value); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
+            planes.faulty[input.index()] = V3::from_bool(value); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
         }
         // Stem fault on a source (input/flip-flop/constant) forces the
         // faulty plane there.
         if let FaultSite::Stem(net) = fault.site {
             if !c.node(net).is_gate() {
-                planes.faulty[net.index()] = V3::from_bool(fault.stuck);
+                planes.faulty[net.index()] = V3::from_bool(fault.stuck); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             }
         }
         let mut good_in: Vec<V3> = Vec::with_capacity(8);
         let mut faulty_in: Vec<V3> = Vec::with_capacity(8);
         for &gate in &self.order {
             let NodeKind::Gate { kind, fanin } = &c.node(gate).kind else {
-                unreachable!("order contains only gates");
+                unreachable!("order contains only gates"); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             };
             good_in.clear();
             faulty_in.clear();
             for (pin, &f) in fanin.iter().enumerate() {
-                good_in.push(planes.good[f.index()]);
-                let mut fv = planes.faulty[f.index()];
+                good_in.push(planes.good[f.index()]); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
+                let mut fv = planes.faulty[f.index()]; // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
                 if let FaultSite::Branch { node, pin: p } = fault.site {
                     if node == gate && p as usize == pin {
                         fv = V3::from_bool(fault.stuck);
@@ -197,12 +197,12 @@ impl<'c> Podem<'c> {
                 }
                 faulty_in.push(fv);
             }
-            planes.good[gate.index()] = eval_v3(*kind, &good_in);
+            planes.good[gate.index()] = eval_v3(*kind, &good_in); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             let mut fv = eval_v3(*kind, &faulty_in);
             if fault.site == FaultSite::Stem(gate) {
                 fv = V3::from_bool(fault.stuck);
             }
-            planes.faulty[gate.index()] = fv;
+            planes.faulty[gate.index()] = fv; // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
         }
     }
 
@@ -220,12 +220,12 @@ impl<'c> Podem<'c> {
                 return V3::from_bool(fault.stuck);
             }
         }
-        planes.faulty[port.index()]
+        planes.faulty[port.index()] // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
     }
 
     fn success(&self, fault: Fault, planes: &Planes) -> bool {
         self.observed.iter().any(|&(port, owner)| {
-            let g = planes.good[port.index()].known();
+            let g = planes.good[port.index()].known(); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             let f = self.port_faulty(fault, port, owner, planes).known();
             matches!((g, f), (Some(a), Some(b)) if a != b)
         })
@@ -234,7 +234,7 @@ impl<'c> Podem<'c> {
     fn objective(&self, fault: Fault, site_net: NetId, planes: &Planes) -> Option<(NetId, bool)> {
         // 1. Activate: the good value at the site must be the opposite of
         //    the stuck value.
-        match planes.good[site_net.index()].known() {
+        match planes.good[site_net.index()].known() { // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             None => return Some((site_net, !fault.stuck)),
             Some(v) if v == fault.stuck => return None, // conflict
             Some(_) => {}
@@ -243,17 +243,17 @@ impl<'c> Podem<'c> {
         //    non-controlling value.
         for &gate in &self.order {
             let NodeKind::Gate { kind, fanin } = &self.circuit.node(gate).kind else {
-                unreachable!("order contains only gates");
+                unreachable!("order contains only gates"); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             };
-            let out_g = planes.good[gate.index()];
-            let out_f = planes.faulty[gate.index()];
+            let out_g = planes.good[gate.index()]; // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
+            let out_f = planes.faulty[gate.index()]; // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             let out_error = matches!((out_g.known(), out_f.known()), (Some(a), Some(b)) if a != b);
             if out_error || (!out_g.is_x() && !out_f.is_x()) {
                 continue;
             }
             let has_error_input = fanin.iter().enumerate().any(|(pin, &f)| {
-                let g = planes.good[f.index()].known();
-                let mut fv = planes.faulty[f.index()];
+                let g = planes.good[f.index()].known(); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
+                let mut fv = planes.faulty[f.index()]; // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
                 if let FaultSite::Branch { node, pin: p } = fault.site {
                     if node == gate && p as usize == pin {
                         fv = V3::from_bool(fault.stuck);
@@ -271,7 +271,7 @@ impl<'c> Podem<'c> {
             // get misclassified as redundant.
             if let Some(&x_input) = fanin
                 .iter()
-                .find(|f| planes.good[f.index()].is_x() || planes.faulty[f.index()].is_x())
+                .find(|f| planes.good[f.index()].is_x() || planes.faulty[f.index()].is_x()) // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             {
                 let val = match kind.controlling_value() {
                     Some(c) => !c,
@@ -290,7 +290,7 @@ impl<'c> Podem<'c> {
             let node = self.circuit.node(net);
             match &node.kind {
                 NodeKind::Input | NodeKind::Dff { .. } => {
-                    return planes.good[net.index()].is_x().then_some((net, val));
+                    return planes.good[net.index()].is_x().then_some((net, val)); // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
                 }
                 NodeKind::Const(_) => return None,
                 NodeKind::Gate { kind, fanin } => {
@@ -302,12 +302,12 @@ impl<'c> Podem<'c> {
                     let x_input = fanin
                         .iter()
                         .copied()
-                        .find(|f| planes.good[f.index()].is_x())
+                        .find(|f| planes.good[f.index()].is_x()) // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
                         .or_else(|| {
                             fanin
                                 .iter()
                                 .copied()
-                                .find(|f| planes.faulty[f.index()].is_x())
+                                .find(|f| planes.faulty[f.index()].is_x()) // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
                         })?;
                     let next_val = match kind {
                         GateKind::And | GateKind::Nand => t, // 0 needs one 0; 1 needs all 1
@@ -317,7 +317,7 @@ impl<'c> Podem<'c> {
                             // Aim for the parity using known inputs.
                             let known_parity = fanin
                                 .iter()
-                                .filter_map(|f| planes.good[f.index()].known())
+                                .filter_map(|f| planes.good[f.index()].known()) // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
                                 .fold(false, |acc, b| acc ^ b);
                             t ^ known_parity
                         }
@@ -337,9 +337,9 @@ impl<'c> Podem<'c> {
         let mut state = vec![false; c.num_dffs()];
         for &(input, value, _) in stack {
             if let Some(k) = c.inputs().iter().position(|&p| p == input) {
-                pi[k] = value;
+                pi[k] = value; // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             } else if let Some(p) = c.dff_position(input) {
-                state[p] = value;
+                state[p] = value; // lint: panic-ok(PODEM search: gate and net ids validated when the circuit is built)
             }
         }
         ScanTest::new(state, vec![pi])

@@ -72,6 +72,22 @@ pub struct InjectionPlan {
     pub stream_kill_every: Option<u64>,
     /// Crash the process at the `n`-th journal append: `(n, kind)`.
     pub journal_crash_at: Option<(u64, JournalCrash)>,
+    /// Perturb thread scheduling at every [`on_sched_point`] call, with
+    /// the perturbation chosen by [`sched_verdict`] of this seed and the
+    /// point's 1-based index. Two seeds give two different interleavings;
+    /// the same seed replays the same perturbation schedule.
+    pub sched_seed: Option<u64>,
+}
+
+/// The pure decision function behind [`on_sched_point`]: a splitmix64
+/// mix of the armed seed and the 1-based call index. Exposed (and always
+/// compiled) so the schedule-exploration harness can fingerprint a
+/// seed's perturbation schedule without arming anything.
+pub fn sched_verdict(seed: u64, call: u64) -> u64 {
+    let mut z = seed ^ call.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Per-class fired counts for the stream fault points, reset by `arm`.
@@ -99,6 +115,7 @@ mod armed {
         io_calls: u64,
         stream_calls: u64,
         journal_calls: u64,
+        sched_calls: u64,
         stream_fired: StreamFired,
     }
 
@@ -114,6 +131,7 @@ mod armed {
             io_calls: 0,
             stream_calls: 0,
             journal_calls: 0,
+            sched_calls: 0,
             stream_fired: StreamFired::default(),
         });
         FIRED.store(0, Ordering::Relaxed); // lint: ordering-ok(test-only telemetry counter; asserted after the campaign joins, never read mid-run)
@@ -238,6 +256,44 @@ mod armed {
         }
     }
 
+    /// Schedule hook: a seeded scheduling perturbation at a named yield
+    /// point (`_site` is for debugging only — the decision depends purely
+    /// on the armed seed and the global point counter, never the site).
+    /// Dispatch inserts these at lock-free points of the shared pool so a
+    /// seed explores one adversarial interleaving of submit / claim /
+    /// drain / settle; the disarmed hook costs one mutex probe in test
+    /// builds and nothing in production builds.
+    pub fn on_sched_point(_site: &'static str) {
+        let verdict = {
+            let mut st = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(state) = st.as_mut() else { return };
+            let Some(seed) = state.plan.sched_seed else { return };
+            state.sched_calls += 1;
+            super::sched_verdict(seed, state.sched_calls)
+            // Lock dropped before perturbing: sleeping or spinning while
+            // holding it would serialize every other hook call behind us,
+            // collapsing the very interleavings the seed is exploring.
+        };
+        match verdict % 4 {
+            0 => {} // run on undisturbed
+            1 => std::thread::yield_now(),
+            2 => {
+                // A short spin: long enough to shift claim order, short
+                // enough to keep 100+ seeded runs cheap.
+                for _ in 0..(verdict >> 2) % 256 {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => std::thread::sleep(std::time::Duration::from_micros((verdict >> 2) % 40)),
+        }
+    }
+
+    /// Number of schedule points perturbed since the last [`arm`].
+    pub fn sched_points() -> u64 {
+        let st = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+        st.as_ref().map_or(0, |s| s.sched_calls)
+    }
+
     /// Parses a chaos plan from a compact spec string and arms it —
     /// `key=value` pairs joined by commas, e.g.
     /// `"job_delay=1:40,stream_kill=17,journal_crash=2:durable"`.
@@ -268,6 +324,7 @@ mod armed {
                 "stream_short" => plan.stream_short_every = Some(num(value)?),
                 "stream_drop" => plan.stream_drop_every = Some(num(value)?),
                 "stream_kill" => plan.stream_kill_every = Some(num(value)?),
+                "sched_seed" => plan.sched_seed = Some(num(value)?),
                 "journal_crash" => {
                     let (n, kind) = value
                         .split_once(':')
@@ -289,8 +346,8 @@ mod armed {
 
 #[cfg(feature = "fault-inject")]
 pub use armed::{
-    arm, arm_from_spec, disarm, fired, on_io, on_job_start, on_journal_append, on_stream_write,
-    stream_fired,
+    arm, arm_from_spec, disarm, fired, on_io, on_job_start, on_journal_append, on_sched_point,
+    on_stream_write, sched_points, stream_fired,
 };
 
 /// No-op hook (fault injection compiled out).
@@ -318,6 +375,11 @@ pub fn on_stream_write() -> StreamFault {
 pub fn on_journal_append() -> JournalCrash {
     JournalCrash::None
 }
+
+/// No-op hook (fault injection compiled out).
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn on_sched_point(_site: &'static str) {}
 
 #[cfg(all(test, feature = "fault-inject"))]
 mod tests {
@@ -409,6 +471,32 @@ mod tests {
         assert_eq!(on_journal_append(), JournalCrash::Torn);
         assert_eq!(on_journal_append(), JournalCrash::None, "fires once, not every 2nd");
         disarm();
+    }
+
+    #[test]
+    fn sched_points_count_only_while_a_seed_is_armed() {
+        let _g = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        arm(InjectionPlan::default());
+        on_sched_point("a");
+        assert_eq!(sched_points(), 0, "no seed armed: points pass through uncounted");
+        arm_from_spec("sched_seed=42").unwrap();
+        for _ in 0..5 {
+            on_sched_point("b");
+        }
+        assert_eq!(sched_points(), 5);
+        assert_eq!(fired(), 0, "schedule perturbations are not faults");
+        disarm();
+        on_sched_point("c");
+        assert_eq!(sched_points(), 0);
+    }
+
+    #[test]
+    fn sched_verdicts_are_pure_and_seed_sensitive() {
+        let a: Vec<u64> = (1..=16).map(|n| sched_verdict(7, n)).collect();
+        let b: Vec<u64> = (1..=16).map(|n| sched_verdict(7, n)).collect();
+        let c: Vec<u64> = (1..=16).map(|n| sched_verdict(8, n)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
     }
 
     #[test]

@@ -140,6 +140,10 @@ fn claim(sched: &mut Sched) -> Option<(u64, u64, SharedJob, Arc<Ledger>)> {
 /// The supervised worker loop: claim, run under `catch_unwind`, settle.
 fn worker_loop(hub: Arc<Hub>, w: usize) {
     loop {
+        // Schedule-exploration points sit *outside* the sched lock: the
+        // soak harness perturbs who reaches the lock next, never what
+        // happens under it.
+        inject::on_sched_point("worker.scan");
         let claimed = {
             let mut sched = hub.lock();
             loop {
@@ -158,6 +162,7 @@ fn worker_loop(hub: Arc<Hub>, w: usize) {
         let Some((id, tag, job, ledger)) = claimed else {
             return; // closed and drained
         };
+        inject::on_sched_point("worker.claimed");
         let counters = &ledger.counters[w]; // lint: panic-ok(ledgers are built with one counter per pool worker; w < threads by construction)
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             inject::on_job_start(tag);
@@ -322,6 +327,7 @@ impl CampaignHandle {
     /// not run; a failure is recorded under the tag so the caller's wave
     /// protocol observes the outage.
     pub fn submit_tagged(&self, tag: u64, job: impl FnOnce(&WorkerCounters) + Send + 'static) {
+        inject::on_sched_point("campaign.submit");
         let mut sched = self.hub.lock();
         if !sched.open {
             drop(sched);
@@ -349,6 +355,7 @@ impl CampaignHandle {
     /// per-campaign reduction barrier. Other campaigns' jobs are
     /// irrelevant to (and unaffected by) this wait.
     pub fn wait_idle(&self) {
+        inject::on_sched_point("campaign.wait_idle");
         let mut sched = self.hub.lock();
         loop {
             let pending = sched
@@ -402,6 +409,7 @@ impl CampaignHandle {
     /// Drains the failures recorded since the last call (see
     /// [`crate::Dispatcher::take_failures`]).
     pub fn take_failures(&self) -> Vec<JobFailure> {
+        inject::on_sched_point("campaign.take_failures");
         std::mem::take(
             &mut self
                 .ledger

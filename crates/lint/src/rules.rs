@@ -11,10 +11,11 @@
 //! | `det-thread-id` | determinism | outcomes never depend on which worker ran a job |
 //! | `det-env-read` | determinism | configuration flows through `ExecProfile`, not scattered reads |
 //! | `panic-unwrap` / `panic-expect` / `panic-macro` / `panic-slice-index` | panic-safety | failures route through `DispatchError`/`ConfigError`, not unwinds |
-//! | `atomic-ordering` | atomics | every `Relaxed`/`SeqCst` states why it cannot reorder past its barrier |
-//! | `persist-raw-create` | persistence | campaign files are created via temp-file + atomic rename |
+//! | `atomic-pairing` | atomics | store/load ordering sites of each atomic field pair up (flow analysis, [`crate::flow`]) |
+//! | `lock-order` / `blocking-under-lock` | concurrency | no lock-order cycles; no blocking calls under a held guard (flow analysis) |
+//! | `persist-raw-create` / `persist-protocol` | persistence | campaign files are created via temp-file + `sync_all` + atomic rename |
 //! | `obs-metric-name` | observability | `span!`/`counter!`/`gauge!`/`histogram!` names are registered literals from `rls_obs::names` |
-//! | `lint-annotation` | hygiene | markers are well-formed and still suppress something |
+//! | `lint-annotation` / `stale-blessing` | hygiene | markers are well-formed and still suppress something |
 
 use crate::lexer::{lex, TokKind, Token};
 use crate::scope::{AnnKey, FileScope};
@@ -27,12 +28,16 @@ pub struct RuleSet {
     pub det: bool,
     /// Panic-safety rules (`panic-*`).
     pub panic: bool,
-    /// Atomic-ordering audit.
+    /// Atomic-pairing audit (`atomic-pairing`, whole-field flow analysis).
     pub atomics: bool,
-    /// Persistence hygiene (`persist-*`).
+    /// Persistence hygiene (`persist-*`, incl. the flow-level
+    /// `persist-protocol`).
     pub persist: bool,
     /// Observability metric-name audit (`obs-metric-name`).
     pub obs: bool,
+    /// Concurrency flow rules (`lock-order`, `blocking-under-lock`) — the
+    /// lock-dense crates only.
+    pub conc: bool,
 }
 
 impl RuleSet {
@@ -44,6 +49,7 @@ impl RuleSet {
             atomics: true,
             persist: true,
             obs: true,
+            conc: true,
         }
     }
 }
@@ -62,22 +68,69 @@ pub struct Finding {
     pub snippet: String,
     /// Human explanation.
     pub message: String,
+    /// Flow-analysis witness path (empty for token-level findings): one
+    /// line per hop, e.g. each edge of a lock-order cycle.
+    pub witness: Vec<String>,
 }
 
-/// The suppression class a rule belongs to (`None` for hygiene findings,
-/// which cannot be blessed away).
+/// The suppression class a rule belongs to (`None` for hygiene findings
+/// and lock-order cycles, which cannot be blessed away).
 fn class_of(rule: &str) -> Option<AnnKey> {
     if rule.starts_with("det-") {
         Some(AnnKey::DetOk)
     } else if rule.starts_with("panic-") {
         Some(AnnKey::PanicOk)
-    } else if rule == "atomic-ordering" {
+    } else if rule == "atomic-pairing" {
         Some(AnnKey::OrderingOk)
+    } else if rule == "blocking-under-lock" {
+        Some(AnnKey::BlockOk)
     } else if rule.starts_with("persist-") {
         Some(AnnKey::PersistOk)
     } else {
         None
     }
+}
+
+/// The rule family a rule id belongs to — `--json` groups findings by
+/// this, and CI gates whole families.
+pub fn family(rule: &str) -> &'static str {
+    if rule.starts_with("det-") {
+        "determinism"
+    } else if rule.starts_with("panic-") {
+        "panic-safety"
+    } else if rule == "atomic-pairing" {
+        "atomics"
+    } else if rule == "lock-order" || rule == "blocking-under-lock" {
+        "concurrency"
+    } else if rule.starts_with("persist-") {
+        "persistence"
+    } else if rule.starts_with("obs-") {
+        "observability"
+    } else {
+        "hygiene"
+    }
+}
+
+/// Rules whose findings may never be carried in the baseline: deadlock
+/// cycles and persistence-protocol violations must be fixed (or blessed in
+/// code with a reason), and hygiene findings are auto-fixable.
+pub fn baselineable(rule: &str) -> bool {
+    !matches!(
+        rule,
+        "lock-order" | "persist-protocol" | "stale-blessing" | "lint-annotation"
+    )
+}
+
+/// Flow-analysis results for one file, merged into the token-level pass
+/// so suppression, sorting, and baseline matching treat both uniformly.
+#[derive(Debug, Default)]
+pub struct FileExtras {
+    /// Flow findings labelled for this file.
+    pub findings: Vec<Finding>,
+    /// Annotation target lines consumed by flow analysis (atomic sites
+    /// whose markers justify a whole group) — keeps them off the
+    /// stale-blessing report.
+    pub consumed_lines: Vec<u32>,
 }
 
 /// Iteration methods that expose hash-bucket order.
@@ -101,10 +154,23 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "pub", "fn", "use", "struct", "enum", "type", "yield",
 ];
 
-/// Lints one file's source text under the given rule classes.
+/// Lints one file's source text under the given rule classes (token-level
+/// rules only; flow findings come via [`lint_source_with`]).
 ///
 /// `file` is the label used in findings (workspace-relative path).
 pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
+    lint_source_with(file, rules, source, &FileExtras::default())
+}
+
+/// Lints one file, merging flow-analysis `extras` into the pipeline before
+/// suppression so `lint:` markers bless flow findings exactly like
+/// token-level ones.
+pub fn lint_source_with(
+    file: &str,
+    rules: RuleSet,
+    source: &str,
+    extras: &FileExtras,
+) -> Vec<Finding> {
     let tokens = lex(source);
     let scope = FileScope::build(&tokens);
     let lines: Vec<&str> = source.lines().collect();
@@ -157,6 +223,7 @@ pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
             line,
             snippet: snippet(line),
             message,
+            witness: Vec::new(),
         });
     };
 
@@ -165,24 +232,6 @@ pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
             continue;
         }
         let line = line_at(k);
-
-        // --- atomics: Ordering::Relaxed / Ordering::SeqCst ---
-        if rules.atomics
-            && ident_at(k) == Some("Ordering")
-            && punct_at(k + 1, ':')
-            && punct_at(k + 2, ':')
-        {
-            if let Some(which @ ("Relaxed" | "SeqCst")) = ident_at(k + 3) {
-                emit(
-                    "atomic-ordering",
-                    line,
-                    format!(
-                        "`Ordering::{which}` on shared state needs an ordering-ok justification \
-                         (why can this access not reorder past its reduction barrier?)"
-                    ),
-                );
-            }
-        }
 
         // --- determinism: wall clock, thread identity, env reads ---
         if rules.det {
@@ -355,9 +404,21 @@ pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
         }
     }
 
+    // Merge flow findings before suppression so blessings apply to them.
+    raw.extend(extras.findings.iter().cloned());
+
     // Suppression: a marker of the matching class on the finding's line
     // blesses it (and is thereby consumed).
     let mut used = vec![false; scope.annotations.len()];
+    // Flow analysis may consume markers without an emitted finding (e.g.
+    // ordering-ok on a site of a justified all-Relaxed group).
+    for (i, a) in scope.annotations.iter().enumerate() {
+        if extras.consumed_lines.contains(&a.target_line) {
+            if let Some(slot) = used.get_mut(i) {
+                *slot = true;
+            }
+        }
+    }
     let mut findings: Vec<Finding> = Vec::new();
     for f in raw {
         let class = class_of(&f.rule);
@@ -379,7 +440,9 @@ pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
         }
     }
 
-    // Hygiene: malformed markers, and markers that bless nothing.
+    // Hygiene: malformed markers, and markers that bless nothing. The
+    // latter get their own rule — `stale-blessing` — so `--fix-stale` can
+    // remove them mechanically.
     for bad in &scope.bad_annotations {
         findings.push(Finding {
             rule: "lint-annotation".to_string(),
@@ -387,20 +450,22 @@ pub fn lint_source(file: &str, rules: RuleSet, source: &str) -> Vec<Finding> {
             line: bad.line,
             snippet: snippet(bad.line),
             message: bad.message.clone(),
+            witness: Vec::new(),
         });
     }
     for (i, a) in scope.annotations.iter().enumerate() {
         if !used.get(i).copied().unwrap_or(false) {
             findings.push(Finding {
-                rule: "lint-annotation".to_string(),
+                rule: "stale-blessing".to_string(),
                 file: file.to_string(),
                 line: a.line,
                 snippet: snippet(a.line),
                 message: format!(
-                    "stale `{}` marker: it suppresses nothing on line {}",
+                    "stale `{}` marker: it suppresses nothing on line {} — remove it (`--fix-stale`)",
                     a.key.name(),
                     a.target_line
                 ),
+                witness: Vec::new(),
             });
         }
     }
@@ -533,19 +598,56 @@ mod tests {
     }
 
     #[test]
-    fn synthetic_unannotated_relaxed_is_flagged_and_blessing_clears_it() {
-        let hazard = r#"
-            fn publish(flag: &std::sync::atomic::AtomicU64) {
-                flag.store(1, Ordering::Relaxed);
+    fn flow_findings_merge_and_markers_bless_them() {
+        // A flow-level finding (here: atomic-pairing, produced by
+        // `crate::flow` in real runs) is suppressed by a marker of its
+        // class on its line — same pipeline as token-level findings.
+        let src = r#"
+            fn publish(flag: &AtomicU64) {
+                flag.store(1, Ordering::Release); // lint: ordering-ok(paired by the flow pass)
             }
         "#;
-        assert_eq!(all(hazard), ["atomic-ordering"]);
-        let blessed = r#"
-            fn publish(flag: &std::sync::atomic::AtomicU64) {
-                flag.store(1, Ordering::Relaxed); // lint: ordering-ok(monotone flag; readers re-check under the pool mutex)
+        let extras = FileExtras {
+            findings: vec![Finding {
+                rule: "atomic-pairing".to_string(),
+                file: "fixture.rs".to_string(),
+                line: 3,
+                snippet: String::new(),
+                message: "Release store with no Acquire load".to_string(),
+                witness: Vec::new(),
+            }],
+            consumed_lines: Vec::new(),
+        };
+        let found = lint_source_with("fixture.rs", RuleSet::all(), src, &extras);
+        assert!(found.is_empty(), "{found:?}");
+        // Without the blessing, the merged flow finding surfaces.
+        let bare = src.replace("// lint: ordering-ok(paired by the flow pass)", "");
+        let found = lint_source_with("fixture.rs", RuleSet::all(), &bare, &extras);
+        let rules: Vec<&str> = found.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, ["atomic-pairing"]);
+    }
+
+    #[test]
+    fn consumed_lines_keep_markers_off_the_stale_report() {
+        // Flow analysis may consume a marker without emitting a finding
+        // (ordering-ok justifying an all-Relaxed group); the marker must
+        // not then be reported stale.
+        let src = r#"
+            fn bump(c: &AtomicU64) {
+                c.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(observational counter)
             }
         "#;
-        assert!(all(blessed).is_empty(), "{:?}", all(blessed));
+        let stale = lint_source("fixture.rs", RuleSet::all(), src);
+        assert_eq!(
+            stale.first().map(|f| f.rule.as_str()),
+            Some("stale-blessing")
+        );
+        let extras = FileExtras {
+            findings: Vec::new(),
+            consumed_lines: vec![3],
+        };
+        let kept = lint_source_with("fixture.rs", RuleSet::all(), src, &extras);
+        assert!(kept.is_empty(), "{kept:?}");
     }
 
     // --- determinism rules ---
@@ -720,27 +822,14 @@ mod tests {
         assert!(all(src).is_empty(), "{:?}", all(src));
     }
 
-    // --- atomics ---
-
-    #[test]
-    fn seqcst_needs_blessing_and_acquire_release_do_not() {
-        let src = r#"
-            fn f(a: &AtomicU64) {
-                a.store(1, Ordering::SeqCst);
-                a.store(2, Ordering::Release);
-                let _ = a.load(Ordering::Acquire);
-                let _ = a.swap(3, Ordering::AcqRel);
-            }
-        "#;
-        assert_eq!(all(src), ["atomic-ordering"]);
-    }
+    // --- marker targeting ---
 
     #[test]
     fn standalone_marker_line_blesses_next_line() {
         let src = r#"
-            fn f(a: &AtomicU64) {
-                // lint: ordering-ok(counter is observational; snapshot happens at the idle barrier)
-                a.fetch_add(1, Ordering::Relaxed);
+            fn f(v: &[u8], i: usize) -> u8 {
+                // lint: panic-ok(i is bounds-checked by the caller's barrier)
+                v[i]
             }
         "#;
         assert!(all(src).is_empty(), "{:?}", all(src));
@@ -831,14 +920,14 @@ mod tests {
         let found = lint_source("fixture.rs", RuleSet::all(), src);
         assert_eq!(found.len(), 1);
         let f = found.first().map(|f| (f.rule.as_str(), f.line));
-        assert_eq!(f, Some(("lint-annotation", 3)));
+        assert_eq!(f, Some(("stale-blessing", 3)));
     }
 
     #[test]
     fn misspelled_marker_is_reported() {
-        let src = "fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); } // lint: orderin-ok(typo)";
+        let src = "fn f(o: Option<u8>) -> u8 { o.unwrap() } // lint: panik-ok(typo)";
         let rules: Vec<String> = all(src);
-        assert!(rules.contains(&"atomic-ordering".to_string()), "{rules:?}");
+        assert!(rules.contains(&"panic-unwrap".to_string()), "{rules:?}");
         assert!(rules.contains(&"lint-annotation".to_string()), "{rules:?}");
     }
 

@@ -14,7 +14,7 @@
 //! # Suppression markers
 //!
 //! A comment containing a `lint:` marker followed by one of the keys
-//! `ordering-ok`, `det-ok`, `panic-ok`, `persist-ok` and a parenthesised
+//! `ordering-ok`, `det-ok`, `panic-ok`, `persist-ok`, `block-ok` and a parenthesised
 //! non-empty reason suppresses that class of finding on its target line:
 //! the comment's own line when it trails code, otherwise the next line
 //! that holds code. The full grammar is documented in DESIGN.md §8.
@@ -37,6 +37,9 @@ pub enum AnnKey {
     /// `persist-ok`: a justified raw file creation (the atomic-rename
     /// helper itself).
     PersistOk,
+    /// `block-ok`: a justified blocking operation under a held lock (e.g.
+    /// the journal's serialised append writes).
+    BlockOk,
 }
 
 impl AnnKey {
@@ -46,6 +49,7 @@ impl AnnKey {
             "det-ok" => Some(AnnKey::DetOk),
             "panic-ok" => Some(AnnKey::PanicOk),
             "persist-ok" => Some(AnnKey::PersistOk),
+            "block-ok" => Some(AnnKey::BlockOk),
             _ => None,
         }
     }
@@ -57,6 +61,7 @@ impl AnnKey {
             AnnKey::DetOk => "det-ok",
             AnnKey::PanicOk => "panic-ok",
             AnnKey::PersistOk => "persist-ok",
+            AnnKey::BlockOk => "block-ok",
         }
     }
 }

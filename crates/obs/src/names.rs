@@ -54,6 +54,8 @@ pub const COUNTERS: &[&str] = &[
     "serve.watchdog.stalls",   // campaigns declared stalled by the watchdog
     "serve.watchdog.requeues", // stalled campaigns requeued from checkpoints
     "serve.watchdog.degrades", // stalled campaigns forced to the sequential path
+    "lint.findings",           // findings reported by an rls-lint run
+    "sched.permutations",      // adversarial interleavings explored by the soak
 ];
 
 /// Gauge names (sinks keep the last observation).

@@ -1,0 +1,250 @@
+//! Schedule-exploration harness for the shared worker pool.
+//!
+//! The static side of PR 8's concurrency work is the flow-aware linter;
+//! this is the dynamic side: drive [`rls_dispatch::SharedPool`] through
+//! *seeded adversarial interleavings* of submit / claim / drain / settle
+//! and assert the campaign outcome stays byte-identical to the
+//! sequential oracle under every one of them.
+//!
+//! Mechanics: `dispatch::inject` exposes `on_sched_point`, called at the
+//! pool's lock-free scheduling points. When a plan with `sched_seed` is
+//! armed, each point draws a pure `sched_verdict(seed, n)` and runs on,
+//! yields, spins, or micro-sleeps accordingly — so one seed replays one
+//! perturbation schedule and different seeds explore different
+//! interleavings. [`soak`] derives ≥`runs` sub-seeds from one CI seed,
+//! proves their perturbation schedules pairwise distinct (by
+//! fingerprinting the verdict stream — no timing luck involved), and
+//! rotates four scenarios over them:
+//!
+//! 1. a plain campaign wave (`SharedSetRunner` over the s27 sets);
+//! 2. two concurrent campaigns racing on one pool;
+//! 3. a campaign with seeded worker panics riding the requeue protocol;
+//! 4. a shutdown drain with jobs still queued.
+//!
+//! Every scenario asserts the oracle contract; the harness then reports
+//! the explored count through the `sched.permutations` counter.
+//!
+//! Included from test binaries via `#[path = "support/sched.rs"]`;
+//! Cargo does not compile `tests/` subdirectories as test crates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use rls_dispatch::inject::{self, sched_verdict, InjectionPlan};
+use rls_dispatch::{CompiledCircuit, SharedPool, SharedSetRunner, SharedSimContext};
+use rls_fsim::{FaultId, FaultSimulator, ScanTest, SimOptions};
+use rls_netlist::Circuit;
+
+/// How many leading verdicts identify a seed's perturbation schedule.
+/// Far shorter than any scenario's point count, so two seeds with equal
+/// fingerprints would genuinely replay each other's prefix.
+const FINGERPRINT_LEN: usize = 32;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes a scenario against the process-global injection state and
+/// quiets the panic hook (scenario 3 panics workers on purpose); restores
+/// both on drop, exactly like `tests/resilience.rs`.
+pub struct Armed {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Armed {
+    pub fn new(plan: InjectionPlan) -> Self {
+        let guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        std::panic::set_hook(Box::new(|info| {
+            if std::thread::current().name().is_some() {
+                eprintln!("{info}");
+            }
+        }));
+        inject::arm(plan);
+        Armed { _guard: guard }
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        inject::disarm();
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// Derives the `i`-th sub-seed of a CI seed: one extra verdict draw, so
+/// sub-seed streams are as decorrelated as the verdict streams they key.
+pub fn sub_seed(ci_seed: u64, i: u64) -> u64 {
+    sched_verdict(ci_seed, i.wrapping_add(1))
+}
+
+/// The first [`FINGERPRINT_LEN`] scheduling verdicts a seed would draw —
+/// the replayable identity of its interleaving.
+pub fn fingerprint(seed: u64) -> Vec<u64> {
+    (1..=FINGERPRINT_LEN as u64).map(|n| sched_verdict(seed, n)).collect()
+}
+
+/// The three-set s27 workload shared by every campaign scenario (the
+/// same shape the shared-pool unit tests pin).
+fn s27_sets() -> Vec<Vec<ScanTest>> {
+    let plain = ScanTest::from_strings("001", &["0111", "1001", "0111", "1001", "0100"]).unwrap();
+    let shifted = plain
+        .clone()
+        .with_shifts(vec![rls_fsim::ShiftOp {
+            at: 3,
+            amount: 1,
+            fill: vec![false],
+        }])
+        .unwrap();
+    let short = ScanTest::from_strings("110", &["1011", "0001"]).unwrap();
+    vec![vec![plain.clone(), short], vec![shifted], vec![plain]]
+}
+
+/// The sequential oracle over the same sets, rendered to bytes.
+fn oracle_bytes(c: &Circuit, sets: &[Vec<ScanTest>]) -> Vec<u8> {
+    let mut sim = FaultSimulator::new(c);
+    let mut counts = Vec::new();
+    for set in sets {
+        let mut n = 0;
+        for t in set {
+            if sim.live_count() == 0 {
+                break;
+            }
+            n += sim.run_test(t).len();
+        }
+        counts.push(n);
+    }
+    campaign_bytes(&counts, sim.live())
+}
+
+/// Canonical byte rendering of a campaign outcome: per-set detection
+/// counts plus the surviving live list. Byte equality here is the same
+/// claim the serve-layer smoke makes by `cmp`-ing campaign records.
+pub fn campaign_bytes(counts: &[usize], live: &[FaultId]) -> Vec<u8> {
+    format!("{counts:?}|{live:?}").into_bytes()
+}
+
+fn run_campaign(runner: &mut SharedSetRunner, sets: &[Vec<ScanTest>]) -> Vec<u8> {
+    let counts: Vec<usize> = sets
+        .iter()
+        .map(|set| runner.try_run_set(set).expect("waves settle").len())
+        .collect();
+    campaign_bytes(&counts, runner.live())
+}
+
+fn compiled_s27() -> Arc<CompiledCircuit> {
+    Arc::new(CompiledCircuit::compile(rls_benchmarks::s27()).unwrap())
+}
+
+/// Scenario 1: one campaign, one pool, seeded schedule noise.
+fn plain_wave(seed: u64) {
+    let _armed = Armed::new(InjectionPlan {
+        sched_seed: Some(seed),
+        ..InjectionPlan::default()
+    });
+    let sets = s27_sets();
+    let want = oracle_bytes(&rls_benchmarks::s27(), &sets);
+    let pool = SharedPool::new(4);
+    let ctx = Arc::new(SharedSimContext::new(compiled_s27(), SimOptions::default()));
+    let mut runner = SharedSetRunner::new(ctx, pool.register(2));
+    assert_eq!(run_campaign(&mut runner, &sets), want, "plain wave, seed {seed:#x}");
+    drop(runner);
+    pool.shutdown();
+    assert!(inject::sched_points() > 0, "the seed must actually have steered points");
+}
+
+/// Scenario 2: two campaigns racing on one pool; each must finish as if
+/// it ran alone, whatever the perturbed claim order interleaves.
+fn concurrent_campaigns(seed: u64) {
+    let _armed = Armed::new(InjectionPlan {
+        sched_seed: Some(seed),
+        ..InjectionPlan::default()
+    });
+    let sets = s27_sets();
+    let want = oracle_bytes(&rls_benchmarks::s27(), &sets);
+    let compiled = compiled_s27();
+    let pool = SharedPool::new(4);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let ctx = Arc::new(SharedSimContext::new(
+                    Arc::clone(&compiled),
+                    SimOptions::default(),
+                ));
+                let handle = pool.register(2);
+                let sets = &sets;
+                s.spawn(move || {
+                    let mut runner = SharedSetRunner::new(ctx, handle);
+                    run_campaign(&mut runner, sets)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), want, "concurrent campaigns, seed {seed:#x}");
+        }
+    });
+    pool.shutdown();
+}
+
+/// Scenario 3: schedule noise *plus* seeded worker panics — the requeue
+/// waves must re-run exactly the failed tags and still converge on the
+/// oracle bytes.
+fn requeue_under_noise(seed: u64) {
+    let _armed = Armed::new(InjectionPlan {
+        sched_seed: Some(seed),
+        panic_every: Some(5),
+        ..InjectionPlan::default()
+    });
+    let sets = s27_sets();
+    let want = oracle_bytes(&rls_benchmarks::s27(), &sets);
+    let pool = SharedPool::new(4);
+    let ctx = Arc::new(SharedSimContext::new(compiled_s27(), SimOptions::default()));
+    let mut runner = SharedSetRunner::new(ctx, pool.register(2));
+    assert_eq!(run_campaign(&mut runner, &sets), want, "requeue, seed {seed:#x}");
+    assert!(inject::fired() > 0, "panic_every=5 must have supervised some panics");
+}
+
+/// Scenario 4: shutdown with jobs still queued — the drain guarantee
+/// (every queued job runs before workers exit) must hold under any
+/// claim-order perturbation.
+fn shutdown_drain(seed: u64) {
+    let _armed = Armed::new(InjectionPlan {
+        sched_seed: Some(seed),
+        ..InjectionPlan::default()
+    });
+    let pool = SharedPool::new(2);
+    let h = pool.register(2);
+    let ran = Arc::new(AtomicUsize::new(0));
+    for t in 0..48 {
+        let r = Arc::clone(&ran);
+        h.submit_tagged(t, move |_| {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    pool.shutdown();
+    assert_eq!(ran.load(Ordering::SeqCst), 48, "drain, seed {seed:#x}");
+    assert!(h.take_failures().is_empty(), "drained jobs are not failures");
+}
+
+/// Explores at least `runs` distinct interleavings derived from one CI
+/// seed, rotating the four scenarios, and returns how many ran. Panics
+/// if any two sub-seeds would replay the same perturbation schedule, so
+/// "distinct interleavings" is a checked claim, not a hope.
+pub fn soak(ci_seed: u64, runs: usize) -> usize {
+    let seeds: Vec<u64> = (0..runs as u64).map(|i| sub_seed(ci_seed, i)).collect();
+    let mut prints: Vec<Vec<u64>> = seeds.iter().map(|&s| fingerprint(s)).collect();
+    prints.sort();
+    prints.dedup();
+    assert_eq!(
+        prints.len(),
+        seeds.len(),
+        "CI seed {ci_seed:#x} derived colliding perturbation schedules"
+    );
+    for (i, &seed) in seeds.iter().enumerate() {
+        match i % 4 {
+            0 => plain_wave(seed),
+            1 => concurrent_campaigns(seed),
+            2 => requeue_under_noise(seed),
+            _ => shutdown_drain(seed),
+        }
+    }
+    rls_obs::counter!("sched.permutations", seeds.len() as u64);
+    seeds.len()
+}
