@@ -83,6 +83,36 @@ tail -n 1 "$OBS_STREAM" | grep -q '"type":"obs_summary"'
 grep -q 's27' "$OBS_DIR/table6.out"
 rm -rf "$OBS_DIR"
 
+echo "== obs: profile smoke =="
+# Continuous profiling end to end: record a real s953 table run with the
+# flight recorder armed, render the collapsed stacks plus the
+# self-contained flamegraph SVG and the Chrome trace, and gate the
+# per-phase self-time shares against the committed
+# BENCH_phase_profile.json (regenerate after an intentional phase shift
+# with `rls-report --phase-profile`). The recorder must also never
+# change results: a table run with RLS_RECORD=1 is byte-identical to
+# one without.
+PROF_DIR=$(mktemp -d)
+RLS_OBS=1 RLS_OBS_SINK=jsonl RLS_RECORD=1 RLS_THREADS=2 RLS_CAMPAIGN_DIR="$PROF_DIR" \
+    cargo run -q --release --offline -p rls-bench --bin table6 -- s953 \
+    > "$PROF_DIR/recorded.out" 2> /dev/null
+PROF_STREAM=$(ls "$PROF_DIR"/obs-*.jsonl)
+RLS_REPORT=./target/release/rls-report
+"$RLS_REPORT" --flamegraph "$PROF_STREAM" --svg "$PROF_DIR/flame.svg" \
+    > "$PROF_DIR/collapsed.txt" 2> /dev/null
+grep -q 'bench.table;bench.circuit' "$PROF_DIR/collapsed.txt"
+head -n 1 "$PROF_DIR/flame.svg" | grep -q '^<svg xmlns'
+! grep -q '<script' "$PROF_DIR/flame.svg"
+"$RLS_REPORT" --trace "$PROF_STREAM" | grep -q '"traceEvents"'
+"$RLS_REPORT" --gate "$PROF_STREAM" BENCH_phase_profile.json
+RLS_RECORD=1 RLS_THREADS=2 \
+    cargo run -q --release --offline -p rls-bench --bin table6 -- s27 \
+    > "$PROF_DIR/rec-on.out" 2> /dev/null
+RLS_THREADS=2 cargo run -q --release --offline -p rls-bench --bin table6 -- s27 \
+    > "$PROF_DIR/rec-off.out" 2> /dev/null
+cmp "$PROF_DIR/rec-on.out" "$PROF_DIR/rec-off.out"
+rm -rf "$PROF_DIR"
+
 echo "== serve: smoke =="
 # The campaign server end to end through the real binary: two concurrent
 # campaigns multiplexed over one shared pool must each be byte-identical

@@ -3,6 +3,10 @@
 //! ```text
 //! rls-report <baseline.jsonl> <candidate.jsonl>
 //! rls-report --lanes <BENCH_fsim_lanes.json>
+//! rls-report --flamegraph <obs.jsonl> [--svg <out.svg>]
+//! rls-report --trace <obs.jsonl|rec-dump.jsonl>
+//! rls-report --gate <obs.jsonl> <BENCH_phase_profile.json>
+//! rls-report --phase-profile <obs.jsonl> [circuit]
 //! ```
 //!
 //! With two campaign records (written by the table binaries under
@@ -22,13 +26,24 @@
 //! width: it must be no slower than the 64-lane baseline (within a 25%
 //! noise allowance).
 //!
+//! The profiling modes consume one obs metrics stream (see
+//! `rls_bench::profile`): `--flamegraph` prints collapsed stacks
+//! (`a;b;c <self-nanos>`, `flamegraph.pl`/speedscope-compatible) and
+//! with `--svg` also writes a self-contained flamegraph SVG; `--trace`
+//! prints Chrome trace-event JSON (also renders `rec_event` lines of a
+//! flight-recorder crash dump); `--phase-profile` emits a committable
+//! per-phase self-time profile; and `--gate` compares a run's phase
+//! shares against the committed `BENCH_phase_profile.json` the same way
+//! `--lanes` gates the compiled lane width.
+//!
 //! Exit codes make every mode usable as a CI gate:
 //!
 //! * `0` — candidate coverage is at least the baseline's (or the default
 //!   lane width holds up)
 //! * `1` — coverage regression (fewer faults detected, or a complete
-//!   campaign turned incomplete), or a default lane width slower than
-//!   the 64-lane baseline
+//!   campaign turned incomplete), a default lane width slower than
+//!   the 64-lane baseline, or a phase share outside its committed
+//!   tolerance
 //! * `2` — a file could not be read, is not a campaign/obs record, or the
 //!   two files are of different kinds
 
@@ -384,8 +399,153 @@ fn load(path: &Path) -> Result<Loaded, String> {
     Ok(stats)
 }
 
+/// Reads an obs metrics stream and collapses its span tree, exiting
+/// with code 2 on any failure.
+fn frames_or_exit(path: &str) -> Result<Vec<rls_bench::profile::Frame>, ExitCode> {
+    CampaignLog::read(Path::new(path))
+        .map_err(|e| e.to_string())
+        .and_then(|log| rls_bench::profile::spans_from(&log))
+        .map(|spans| rls_bench::profile::collapse(&spans))
+        .map_err(|e| {
+            eprintln!("rls-report: {path}: {e}");
+            ExitCode::from(2)
+        })
+}
+
+/// `--flamegraph`: collapsed stacks to stdout, optional SVG to a file.
+fn run_flamegraph(obs_path: &str, svg_path: Option<&str>) -> ExitCode {
+    use rls_bench::profile;
+    let frames = match frames_or_exit(obs_path) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    print!("{}", profile::collapsed_text(&frames));
+    if let Some(out) = svg_path {
+        let title = Path::new(obs_path)
+            .file_stem()
+            .map_or_else(|| obs_path.to_string(), |s| s.to_string_lossy().into_owned());
+        let svg = profile::render_svg(&frames, &title);
+        if let Err(e) = std::fs::write(out, svg) {
+            eprintln!("rls-report: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        let (selfs, roots) = (profile::self_total(&frames), profile::root_total(&frames));
+        eprintln!(
+            "rls-report: {out}: {} frames, self-time sum {:.3}ms vs root total {:.3}ms",
+            frames.len(),
+            selfs as f64 / 1e6,
+            roots as f64 / 1e6,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--trace`: Chrome trace-event JSON to stdout.
+fn run_trace(path: &str) -> ExitCode {
+    let trace = match CampaignLog::read(Path::new(path))
+        .map_err(|e| e.to_string())
+        .and_then(|log| rls_bench::profile::chrome_trace(&log))
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rls-report: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{trace}");
+    ExitCode::SUCCESS
+}
+
+/// `--phase-profile`: committable per-phase self-time profile to stdout.
+fn run_phase_profile(obs_path: &str, circuit: &str) -> ExitCode {
+    use rls_bench::profile;
+    let frames = match frames_or_exit(obs_path) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let shares = profile::self_shares(&frames);
+    print!(
+        "{}",
+        profile::render_phase_profile(circuit, profile::DEFAULT_TOLERANCE, &shares)
+    );
+    ExitCode::SUCCESS
+}
+
+/// `--gate`: compare a run's phase shares against the committed profile.
+fn run_gate(obs_path: &str, profile_path: &str) -> ExitCode {
+    use rls_bench::profile;
+    let frames = match frames_or_exit(obs_path) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let committed = match CampaignLog::read(Path::new(profile_path))
+        .map_err(|e| e.to_string())
+        .and_then(|log| profile::phase_profile_from(&log))
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("rls-report: {profile_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let shares = profile::self_shares(&frames);
+    print!("{}", profile::render_gate(&shares, &committed));
+    let breaches = profile::gate_breaches(&shares, &committed);
+    if breaches.is_empty() {
+        println!("\nphase profile holds");
+        return ExitCode::SUCCESS;
+    }
+    for b in &breaches {
+        eprintln!("rls-report: PHASE PROFILE BREACH: {b}");
+    }
+    ExitCode::from(1)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--flamegraph") => {
+            return match args.get(1..) {
+                Some([obs]) => run_flamegraph(obs, None),
+                Some([obs, flag, svg]) if flag == "--svg" => run_flamegraph(obs, Some(svg)),
+                _ => {
+                    eprintln!("usage: rls-report --flamegraph <obs.jsonl> [--svg <out.svg>]");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        Some("--trace") => {
+            return match args.get(1..) {
+                Some([path]) => run_trace(path),
+                _ => {
+                    eprintln!("usage: rls-report --trace <obs.jsonl|rec-dump.jsonl>");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        Some("--phase-profile") => {
+            return match args.get(1..) {
+                Some([obs]) => run_phase_profile(obs, "?"),
+                Some([obs, circuit]) => run_phase_profile(obs, circuit),
+                _ => {
+                    eprintln!("usage: rls-report --phase-profile <obs.jsonl> [circuit]");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        Some("--gate") => {
+            return match args.get(1..) {
+                Some([obs, profile]) => run_gate(obs, profile),
+                _ => {
+                    eprintln!(
+                        "usage: rls-report --gate <obs.jsonl> <BENCH_phase_profile.json>"
+                    );
+                    ExitCode::from(2)
+                }
+            };
+        }
+        _ => {}
+    }
     if let [flag, lanes_path] = args.as_slice() {
         if flag == "--lanes" {
             let stats = match CampaignLog::read(Path::new(lanes_path))
@@ -413,7 +573,11 @@ fn main() -> ExitCode {
     let [base_path, cand_path] = args.as_slice() else {
         eprintln!(
             "usage: rls-report <baseline.jsonl> <candidate.jsonl>\n       \
-             rls-report --lanes <BENCH_fsim_lanes.json>"
+             rls-report --lanes <BENCH_fsim_lanes.json>\n       \
+             rls-report --flamegraph <obs.jsonl> [--svg <out.svg>]\n       \
+             rls-report --trace <obs.jsonl|rec-dump.jsonl>\n       \
+             rls-report --gate <obs.jsonl> <BENCH_phase_profile.json>\n       \
+             rls-report --phase-profile <obs.jsonl> [circuit]"
         );
         return ExitCode::from(2);
     };

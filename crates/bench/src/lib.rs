@@ -16,6 +16,8 @@
 //! With no arguments the binaries use their default circuit lists; `table6`
 //! through `table8` accept circuit names to restrict the run.
 
+pub mod profile;
+
 use rls_core::experiment::{detectable_target, CircuitResult, ExecProfile, TargetInfo};
 use rls_core::report::{kilo, TextTable};
 use rls_core::{CoverageTarget, D1Order};
@@ -27,7 +29,9 @@ use rls_netlist::Circuit;
 /// `RLS_CAMPAIGN_DIR=dir` persists JSONL campaign records (typically
 /// `results/`), `RLS_OBS=1` turns on the `rls-obs` tracing/metrics layer
 /// (`RLS_OBS_SINK` picks `stderr`, `jsonl`, or `both`; the metrics
-/// stream lands next to the campaign records), and `RLS_RESUME=file`
+/// stream lands next to the campaign records), `RLS_RECORD=1` arms the
+/// flight recorder (crash dumps land next to the campaign records), and
+/// `RLS_RESUME=file`
 /// (or the `--resume <file>` flag, which takes precedence) restarts an
 /// interrupted campaign from its last checkpoint. Logs the profile when
 /// it differs from the default.
@@ -40,16 +44,26 @@ pub fn exec_profile() -> ExecProfile {
         eprintln!("[exec] {e}");
         std::process::exit(2);
     });
+    let obs_dir = exec
+        .campaign_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
     if exec.obs && !rls_obs::enabled() {
-        let dir = exec
-            .campaign_dir
-            .clone()
-            .unwrap_or_else(|| std::path::PathBuf::from("results"));
-        match rls_obs::install_standard(exec.obs_sink, &dir, 0) {
+        match rls_obs::install_standard(exec.obs_sink, &obs_dir, 0) {
             Ok(Some(path)) => eprintln!("[obs] metrics stream: {}", path.display()),
             Ok(None) => eprintln!("[obs] tracing to stderr"),
             // Observability must never block the run: degrade to off.
             Err(e) => eprintln!("[obs] cannot install sinks ({e}); tracing disabled"),
+        }
+    }
+    if exec.record > 0 {
+        rls_obs::recorder::set_dump_dir(&obs_dir);
+        if rls_obs::recorder::start(exec.record) {
+            eprintln!(
+                "[obs] flight recorder armed ({} events/thread; dumps under {})",
+                exec.record,
+                obs_dir.display()
+            );
         }
     }
     if let Some(path) = resume_from_args(&mut std::env::args().skip(1)) {

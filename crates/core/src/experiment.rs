@@ -39,6 +39,12 @@ pub struct ExecProfile {
     /// `u64` words (`1`/`2`/`4`/`8`). `None` keeps the measured default
     /// ([`rls_fsim::LaneWidth::DEFAULT`]); every width is bit-identical.
     pub lane_width: Option<rls_fsim::LaneWidth>,
+    /// Flight-recorder ring capacity in events per thread (`RLS_RECORD`):
+    /// `0` disables (the default), `1` arms with the default capacity,
+    /// larger values size the per-thread rings. Recording is independent
+    /// of `RLS_OBS` — the recorder keeps a rolling raw-event window for
+    /// crash dumps and snapshots, while the sinks aggregate.
+    pub record: usize,
 }
 
 impl ExecProfile {
@@ -112,6 +118,18 @@ impl ExecProfile {
                 }
             },
         };
+        let record = match env_value("RLS_RECORD")? {
+            None => 0,
+            Some(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "0" | "false" | "off" | "" => 0,
+                "1" | "true" | "on" => rls_obs::recorder::DEFAULT_CAPACITY,
+                trimmed => trimmed.parse::<usize>().map_err(|_| ConfigError::InvalidEnv {
+                    var: "RLS_RECORD",
+                    value: v,
+                    expected: "`1`/`on` (default ring capacity) or an event count such as `16384`",
+                })?,
+            },
+        };
         let lane_width = match env_value("RLS_LANE_WIDTH")? {
             None => None,
             Some(v) => match rls_fsim::LaneWidth::parse(&v) {
@@ -133,6 +151,7 @@ impl ExecProfile {
             obs,
             obs_sink,
             lane_width,
+            record,
         })
     }
 

@@ -581,6 +581,12 @@ impl TrialExecutor for PoolExecutor<'_, '_> {
                     "[procedure2] parallel set execution failed ({e}); \
                      degrading campaign to the sequential simulator"
                 );
+                // The moment worth a post-mortem: mark it and dump the
+                // flight recorder's window before state is rebuilt.
+                rls_obs::mark!("dispatch.degrade");
+                if let Some(path) = rls_obs::recorder::dump("degrade") {
+                    eprintln!("[procedure2] flight-recorder dump: {}", path.display());
+                }
                 let ctx = self.runner.context();
                 let mut sim = FaultSimulator::new(ctx.circuit());
                 sim.set_options(ctx.options());

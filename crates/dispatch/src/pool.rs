@@ -411,6 +411,11 @@ impl<'env> Station<'env> {
                     }
                     let message = payload_message(payload.as_ref());
                     let class = classify(&message);
+                    // A caught job panic is exactly what the flight
+                    // recorder exists for: mark it and dump the window
+                    // while the failing context is still in the rings.
+                    rls_obs::mark!("dispatch.panic", tag);
+                    let _ = rls_obs::recorder::dump("worker-panic");
                     self.failures
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)

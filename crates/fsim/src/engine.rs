@@ -206,6 +206,10 @@ impl<'c> FaultSimulator<'c> {
         let lanes = self.lane_width.lanes();
         let mut newly: Vec<FaultId> = Vec::new();
         for chunk in candidates.chunks(lanes) {
+            // Timeline resolution inside `fsim.test`: one mark per kernel
+            // batch lets the flight recorder attribute time to bands of
+            // the candidate list, not just whole tests.
+            rls_obs::mark!("fsim.batch", chunk.len());
             newly.extend(simulate_chunk_at(
                 self.lane_width,
                 &self.good,

@@ -14,7 +14,7 @@
 //! | `atomic-pairing` | atomics | store/load ordering sites of each atomic field pair up (flow analysis, [`crate::flow`]) |
 //! | `lock-order` / `blocking-under-lock` | concurrency | no lock-order cycles; no blocking calls under a held guard (flow analysis) |
 //! | `persist-raw-create` / `persist-protocol` | persistence | campaign files are created via temp-file + `sync_all` + atomic rename |
-//! | `obs-metric-name` | observability | `span!`/`counter!`/`gauge!`/`histogram!` names are registered literals from `rls_obs::names` |
+//! | `obs-metric-name` | observability | `span!`/`counter!`/`gauge!`/`histogram!`/`mark!` names are registered literals from `rls_obs::names` |
 //! | `lint-annotation` / `stale-blessing` | hygiene | markers are well-formed and still suppress something |
 
 use crate::lexer::{lex, TokKind, Token};
@@ -363,7 +363,7 @@ pub fn lint_source_with(
 
         // --- observability: metric names are registered literals ---
         if rules.obs {
-            if let Some(mac @ ("span" | "counter" | "gauge" | "histogram")) = ident_at(k) {
+            if let Some(mac @ ("span" | "counter" | "gauge" | "histogram" | "mark")) = ident_at(k) {
                 if punct_at(k + 1, '!') && punct_at(k + 2, '(') {
                     match code.get(k + 3) {
                         Some((_, t)) if t.kind == TokKind::StrLit => {
@@ -871,6 +871,16 @@ mod tests {
         assert!(all(ok).is_empty(), "{:?}", all(ok));
         let unregistered = r#"fn f() { rls_obs::gauge!("dispatch.oops", 1); }"#;
         assert_eq!(all(unregistered), ["obs-metric-name"]);
+    }
+
+    #[test]
+    fn flight_recorder_event_names_are_audited_like_metrics() {
+        let ok = r#"fn f(n: usize) { rls_obs::mark!("fsim.batch", n as u64); }"#;
+        assert!(all(ok).is_empty(), "{:?}", all(ok));
+        let unregistered = r#"fn f() { rls_obs::mark!("fsim.oops", 1); }"#;
+        assert_eq!(all(unregistered), ["obs-metric-name"]);
+        let computed = r#"fn f(name: &str) { rls_obs::mark!(name, 1); }"#;
+        assert_eq!(all(computed), ["obs-metric-name"]);
     }
 
     #[test]

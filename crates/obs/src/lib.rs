@@ -14,6 +14,9 @@
 //!   emitted once, on drop, carrying its duration, its parent (the
 //!   enclosing span on the same thread), and a slash-joined name path.
 //! - [`counter!`] / [`gauge!`] / [`histogram!`] emit one observation each.
+//! - [`mark!`] drops an instantaneous event on the [`recorder`] — the
+//!   per-thread flight recorder whose bounded rings feed crash dumps and
+//!   live snapshots (see the module docs).
 //! - Every name is a lowercase dot-separated literal from the
 //!   [`names`] registry — enforced by `rls-lint`'s `obs-metric-name` rule.
 //! - Events flow to one installed [`Sink`]: the human-readable
@@ -40,23 +43,27 @@
 //! `RLS_OBS_SINK=stderr|jsonl|both`) — this crate itself reads no
 //! environment variables.
 
+pub mod hist;
 pub mod names;
 pub mod reader;
 pub mod record;
+pub mod recorder;
 pub mod sink;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
+pub use hist::HdrHistogram;
 pub use reader::MetricsLog;
 pub use record::{Event, FieldValue, MetricKind, MetricRecord, SpanRecord};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink, TeeSink};
 
 /// Process-global enable flag — the one atomic every disabled event site
-/// pays for.
+/// pays for. True when a collector is installed **or** the flight
+/// recorder is armed; [`refresh_enabled`] keeps it in sync.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// The installed sink. Emitters clone the `Arc` under the read lock, so
@@ -73,16 +80,54 @@ static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 /// Per-process run sequence for [`run_id`].
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Per-thread obs id allocator; `0` means "not assigned yet".
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
 thread_local! {
     /// The open spans on this thread, innermost last: `(id, name path)`.
     static SPAN_STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
+
+    /// This thread's obs id, assigned lazily on first use.
+    static TID: Cell<u32> = const { Cell::new(0) };
 }
 
-/// True when a collector is installed and events are flowing.
+/// Serializes unit tests across this crate that flip the process-global
+/// obs state (collector install, recorder arm).
+#[cfg(test)]
+pub(crate) static OBS_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// True when any consumer is on — a collector installed or the flight
+/// recorder armed — and instrumented sites should do work.
 #[inline]
 pub fn enabled() -> bool {
     // lint: ordering-ok(monotone-ish advisory flag; emitters that race an install/finish merely drop or no-op one event)
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Recomputes [`enabled`] from the collector slot and the recorder flag.
+pub(crate) fn refresh_enabled() {
+    let has_collector = COLLECTOR
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .is_some();
+    // lint: ordering-ok(advisory enable; an emitter racing the flip drops or no-ops one event)
+    ENABLED.store(has_collector || recorder::recording(), Ordering::Relaxed);
+}
+
+/// This thread's small stable obs id, shared between span records
+/// (`tid`) and the flight recorder's rings. Assigned on first use; the
+/// disabled instrumentation path never calls this.
+pub fn current_tid() -> u32 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        // lint: ordering-ok(uniqueness-only id allocation, mirrors NEXT_SPAN_ID)
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
 }
 
 fn epoch() -> Instant {
@@ -119,7 +164,7 @@ pub fn install(sink: Arc<dyn Sink>) -> bool {
 /// crash-safe line by line regardless.
 pub fn finish() -> Option<Arc<dyn Sink>> {
     // lint: ordering-ok(advisory disable; stragglers mid-emission still see a consistent collector slot under the lock)
-    ENABLED.store(false, Ordering::Relaxed);
+    ENABLED.store(recorder::recording(), Ordering::Relaxed);
     let sink = COLLECTOR
         .write()
         .unwrap_or_else(PoisonError::into_inner)
@@ -165,6 +210,14 @@ pub fn emit_metric(
     if !enabled() {
         return;
     }
+    if recorder::recording() {
+        let rec_kind = match kind {
+            MetricKind::Counter => recorder::RecKind::Counter,
+            MetricKind::Gauge => recorder::RecKind::Gauge,
+            MetricKind::Histogram => recorder::RecKind::Histogram,
+        };
+        recorder::record(rec_kind, name, since_epoch_nanos(), value);
+    }
     dispatch_event(Event::Metric(MetricRecord {
         kind,
         name,
@@ -177,6 +230,7 @@ struct SpanStart {
     name: &'static str,
     id: u64,
     parent: u64,
+    tid: u32,
     path: String,
     start: Instant,
     start_nanos: u64,
@@ -209,11 +263,16 @@ impl SpanGuard {
         let start_nanos = since_epoch_nanos();
         // lint: det-ok(span timing is observability metadata; results never read it)
         let start = Instant::now();
+        let tid = current_tid();
+        if recorder::recording() {
+            recorder::record(recorder::RecKind::Enter, name, start_nanos, id);
+        }
         SpanGuard {
             live: Some(SpanStart {
                 name,
                 id,
                 parent,
+                tid,
                 path,
                 start,
                 start_nanos,
@@ -251,10 +310,19 @@ impl Drop for SpanGuard {
             }
         });
         let nanos = s.start.elapsed().as_nanos() as u64;
+        if recorder::recording() {
+            recorder::record(
+                recorder::RecKind::Exit,
+                s.name,
+                s.start_nanos + nanos,
+                s.id,
+            );
+        }
         dispatch_event(Event::Span(SpanRecord {
             name: s.name,
             id: s.id,
             parent: s.parent,
+            tid: s.tid,
             path: s.path,
             start_nanos: s.start_nanos,
             nanos,
@@ -414,14 +482,33 @@ macro_rules! histogram {
     };
 }
 
+/// Records an instantaneous named event on the flight recorder:
+/// `mark!("fsim.batch");` or `mark!("dispatch.degrade", wave);`
+///
+/// Marks never reach the sink pipeline — they exist to put fine-grained
+/// timeline points (kernel batch boundaries, degrade moments) into
+/// recorder snapshots and crash dumps. The name must be registered in
+/// [`names::EVENTS`] (the `obs-metric-name` lint covers `mark!` sites).
+/// One relaxed atomic load when disabled; the value expression is not
+/// evaluated.
+#[macro_export]
+macro_rules! mark {
+    ($name:expr $(,)?) => {
+        if $crate::enabled() {
+            $crate::recorder::record_mark($name, 0);
+        }
+    };
+    ($name:expr, $value:expr $(,)?) => {
+        if $crate::enabled() {
+            $crate::recorder::record_mark($name, $value as u64);
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Mutex;
-
-    /// Obs state is process-global; every test that installs a collector
-    /// holds this lock so the crate's unit tests can run concurrently.
-    static OBS_TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn with_memory_sink<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
         let _guard = OBS_TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);

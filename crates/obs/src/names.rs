@@ -56,6 +56,10 @@ pub const COUNTERS: &[&str] = &[
     "serve.watchdog.degrades", // stalled campaigns forced to the sequential path
     "lint.findings",           // findings reported by an rls-lint run
     "sched.permutations",      // adversarial interleavings explored by the soak
+    "obs.recorder.dumps",      // flight-recorder crash dumps written
+    "obs.recorder.dropped",    // ring events overwritten before a dump read them
+    "serve.stats.requests",    // stats/watch introspection requests served
+    "serve.stats.frames",      // progress frames streamed to watch clients
 ];
 
 /// Gauge names (sinks keep the last observation).
@@ -68,21 +72,61 @@ pub const GAUGES: &[&str] = &[
     "pool.worker.idle_nanos", // per-worker pool lifetime minus busy time
     "serve.queue_depth",      // in-flight campaigns right after an admit
     "serve.watchdog.monitored", // campaigns currently under the watchdog
+    "serve.stats.watchers",   // watch sessions currently streaming frames
 ];
 
-/// Histogram names (sinks report count and mean).
+/// Histogram names (sinks report count, mean, and log-scaled quantiles).
 pub const HISTOGRAMS: &[&str] = &[
     "procedure2.trial_cycles", // N_SH(I, D1) cost of one trial
     "fsim.test_nanos",         // sequential engine time per test
     "serve.campaign_nanos",    // wall time of one served campaign
 ];
 
+/// Instantaneous event names — the [`crate::mark!`] macro. Marks are
+/// recorded only by the flight recorder ([`crate::recorder`]): they cost
+/// nothing on the sink path and show up in crash dumps and timelines.
+pub const EVENTS: &[&str] = &[
+    "fsim.batch",       // one wide-word kernel batch boundary
+    "dispatch.degrade", // pool executor fell back to the sequential oracle
+    "dispatch.panic",   // supervised worker caught a job panic
+    "serve.stall",      // watchdog declared a campaign stalled
+];
+
+/// Registry groups in index order — the flight recorder encodes names as
+/// a `u16` index into this concatenation (see [`index_of`]/[`by_index`]).
+fn groups() -> [&'static [&'static str]; 5] {
+    [SPANS, COUNTERS, GAUGES, HISTOGRAMS, EVENTS]
+}
+
 /// True when `name` is registered under any kind.
 pub fn is_registered(name: &str) -> bool {
-    SPANS.contains(&name)
-        || COUNTERS.contains(&name)
-        || GAUGES.contains(&name)
-        || HISTOGRAMS.contains(&name)
+    groups().iter().any(|g| g.contains(&name))
+}
+
+/// The compact registry index of `name` (stable for one build: names are
+/// indexed in declaration order across all groups). `None` when the name
+/// is not registered — the flight recorder stores a sentinel instead.
+pub fn index_of(name: &str) -> Option<u16> {
+    let mut base = 0u16;
+    for group in groups() {
+        if let Some(pos) = group.iter().position(|n| *n == name) {
+            return Some(base + pos as u16);
+        }
+        base += group.len() as u16;
+    }
+    None
+}
+
+/// The inverse of [`index_of`].
+pub fn by_index(index: u16) -> Option<&'static str> {
+    let mut rest = index as usize;
+    for group in groups() {
+        if rest < group.len() {
+            return Some(group[rest]); // lint: panic-ok(rest < group.len() checked just above)
+        }
+        rest -= group.len();
+    }
+    None
 }
 
 /// True when `name` is well-formed: non-empty dot-separated segments of
@@ -109,9 +153,25 @@ mod tests {
             .chain(COUNTERS)
             .chain(GAUGES)
             .chain(HISTOGRAMS)
+            .chain(EVENTS)
         {
             assert!(is_well_formed(name), "bad registry entry {name:?}");
         }
+    }
+
+    #[test]
+    fn index_round_trips_every_name() {
+        let total: usize = [SPANS, COUNTERS, GAUGES, HISTOGRAMS, EVENTS]
+            .iter()
+            .map(|g| g.len())
+            .sum();
+        for idx in 0..total as u16 {
+            let name = by_index(idx).expect("index in range");
+            assert_eq!(index_of(name), Some(idx), "{name}");
+        }
+        assert_eq!(by_index(total as u16), None);
+        assert_eq!(index_of("procedure2.bogus"), None);
+        assert!(is_registered("fsim.batch"), "events are registered names");
     }
 
     #[test]
@@ -133,6 +193,7 @@ mod tests {
             .chain(COUNTERS)
             .chain(GAUGES)
             .chain(HISTOGRAMS)
+            .chain(EVENTS)
             .copied()
             .collect();
         let total = all.len();

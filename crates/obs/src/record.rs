@@ -111,6 +111,10 @@ pub struct SpanRecord {
     pub id: u64,
     /// Id of the enclosing span on the same thread; `0` for roots.
     pub parent: u64,
+    /// The emitting thread's obs id ([`crate::current_tid`]) — lets
+    /// renderers (Chrome trace export, flamegraphs) lay spans out on
+    /// per-thread tracks.
+    pub tid: u32,
     /// Slash-joined name path from the thread's root span
     /// (`"procedure2.run/procedure2.iter"`) — lets sinks rebuild the tree
     /// without waiting for parents to close.
@@ -165,8 +169,8 @@ impl Event {
                 escape_into(&s.path, &mut out);
                 let _ = write!(
                     out,
-                    "\",\"id\":{},\"parent\":{},\"start_nanos\":{},\"nanos\":{}",
-                    s.id, s.parent, s.start_nanos, s.nanos
+                    "\",\"id\":{},\"parent\":{},\"tid\":{},\"start_nanos\":{},\"nanos\":{}",
+                    s.id, s.parent, s.tid, s.start_nanos, s.nanos
                 );
                 fields_into(&s.fields, &mut out);
             }
@@ -226,6 +230,7 @@ mod tests {
             name: "procedure2.iter",
             id: 7,
             parent: 3,
+            tid: 2,
             path: "procedure2.run/procedure2.iter".to_string(),
             start_nanos: 10,
             nanos: 456,
@@ -235,7 +240,7 @@ mod tests {
             e.to_json(),
             "{\"type\":\"span\",\"name\":\"procedure2.iter\",\
              \"path\":\"procedure2.run/procedure2.iter\",\
-             \"id\":7,\"parent\":3,\"start_nanos\":10,\"nanos\":456,\
+             \"id\":7,\"parent\":3,\"tid\":2,\"start_nanos\":10,\"nanos\":456,\
              \"fields\":{\"i\":2}}"
         );
     }

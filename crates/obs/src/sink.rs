@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+use crate::hist::HdrHistogram;
 use crate::record::{escape_into, Event, MetricKind};
 
 /// An event consumer.
@@ -40,8 +41,10 @@ struct Aggregate {
     /// deterministic, and since a child's path extends its parent's,
     /// lexicographic order *is* tree order.
     spans: BTreeMap<String, (u64, u64)>,
-    /// (kind, name) → aggregate.
+    /// (kind, name) → aggregate (counters and gauges).
     metrics: BTreeMap<(MetricKind, &'static str), MetricAgg>,
+    /// Histograms get log-scaled bucketing so tails stay resolvable.
+    hists: BTreeMap<&'static str, HdrHistogram>,
 }
 
 /// Human-readable renderer: aggregates everything in memory and prints a
@@ -61,18 +64,18 @@ impl StderrSink {
     pub fn render(&self, wall_nanos: u64) -> String {
         let mut out = self.render_tree(true);
         let agg = self.agg.lock().unwrap_or_else(PoisonError::into_inner);
-        if !agg.metrics.is_empty() {
+        if !agg.metrics.is_empty() || !agg.hists.is_empty() {
             out.push_str("== obs: metrics ==\n");
             for ((kind, name), m) in &agg.metrics {
                 let shown = match kind {
                     MetricKind::Counter => format!("{}", m.sum),
                     MetricKind::Gauge => format!("last {}", m.last),
-                    MetricKind::Histogram => {
-                        let mean = m.sum.checked_div(m.events).unwrap_or(0);
-                        format!("n {}  mean {}", m.events, mean)
-                    }
+                    MetricKind::Histogram => unreachable!("histograms live in hists"), // lint: panic-ok(agg.metrics never holds histograms)
                 };
                 out.push_str(&format!("{:9} {:28} {shown}\n", kind.as_str(), name));
+            }
+            for (name, h) in &agg.hists {
+                out.push_str(&format!("histogram {:28} {}\n", name, h.render()));
             }
         }
         out.push_str(&format!("wall: {:.3} ms\n", wall_nanos as f64 / 1e6));
@@ -114,6 +117,9 @@ impl Sink for StderrSink {
                 let entry = agg.spans.entry(s.path.clone()).or_insert((0, 0));
                 entry.0 += 1;
                 entry.1 += s.nanos;
+            }
+            Event::Metric(m) if m.kind == MetricKind::Histogram => {
+                agg.hists.entry(m.name).or_default().record(m.value);
             }
             Event::Metric(m) => {
                 let entry = agg.metrics.entry((m.kind, m.name)).or_default();
@@ -340,6 +346,7 @@ mod tests {
             name,
             id: 1,
             parent: 0,
+            tid: 1,
             path: path.to_string(),
             start_nanos: 0,
             nanos,
@@ -396,6 +403,30 @@ mod tests {
         assert!(report.contains("10"), "counter sums: {report}");
         assert!(report.contains("last 5"), "gauge keeps last: {report}");
         assert!(report.contains("wall: 1.000 ms"), "{report}");
+    }
+
+    #[test]
+    fn stderr_sink_histograms_report_log_scaled_quantiles() {
+        let sink = StderrSink::new();
+        for _ in 0..99 {
+            sink.event(&Event::Metric(MetricRecord {
+                kind: MetricKind::Histogram,
+                name: "fsim.test_nanos",
+                value: 1_000,
+                fields: Vec::new(),
+            }));
+        }
+        sink.event(&Event::Metric(MetricRecord {
+            kind: MetricKind::Histogram,
+            name: "fsim.test_nanos",
+            value: 1_000_000,
+            fields: Vec::new(),
+        }));
+        let report = sink.render(1_000_000);
+        assert!(report.contains("fsim.test_nanos"), "{report}");
+        assert!(report.contains("n 100"), "{report}");
+        assert!(report.contains("p99 1000"), "tail resolved: {report}");
+        assert!(report.contains("max 1000000"), "{report}");
     }
 
     #[test]

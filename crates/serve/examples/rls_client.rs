@@ -6,6 +6,9 @@
 //!     --socket /tmp/rls.sock --circuit s27 --la 4 --lb 8 --n 8 --threads 2
 //! cargo run -p rls-serve --example rls_client -- attach \
 //!     --socket /tmp/rls.sock --run-id 00c0ffee-r0 --normalize
+//! cargo run -p rls-serve --example rls_client -- stats --socket /tmp/rls.sock
+//! cargo run -p rls-serve --example rls_client -- watch \
+//!     --socket /tmp/rls.sock --run-id 00c0ffee-r0
 //! cargo run -p rls-serve --example rls_client -- shutdown --socket /tmp/rls.sock
 //! cargo run -p rls-serve --example rls_client -- direct \
 //!     --circuit s27 --la 4 --lb 8 --n 8 --threads 2 --campaign-dir /tmp/direct
@@ -22,6 +25,11 @@
 //! replay is collapsed through `normalize_recovered`, which erases
 //! resume seams and replayed trials, so even a crash-recovered run
 //! byte-compares against `direct`.
+//!
+//! `stats` prints the server's one-line introspection snapshot (admission
+//! state plus every registered campaign's live progress). `watch` streams
+//! a run's `progress` frames — one per campaign record, so they move at
+//! trial boundaries — until the run closes with its final control frame.
 //!
 //! Connection failures and `rejected` answers are retried up to
 //! `--retries` times with deterministic jittered exponential backoff —
@@ -70,6 +78,8 @@ fn usage() -> ! {
          \x20                  [--timeout SECS] [--retries N] [--normalize]\n\
          \x20      rls_client attach --socket PATH --run-id ID [--timeout SECS] [--retries N]\n\
          \x20                  [--normalize]\n\
+         \x20      rls_client stats --socket PATH [--timeout SECS]\n\
+         \x20      rls_client watch --socket PATH --run-id ID [--timeout SECS] [--retries N]\n\
          \x20      rls_client shutdown --socket PATH [--timeout SECS]\n\
          \x20      rls_client direct --campaign-dir DIR (--circuit NAME | --netlist-file F --name LABEL)\n\
          \x20                  --la A --lb B --n N [--threads T] [--seed S] [--lane-width W]\n\
@@ -344,6 +354,38 @@ fn cmd_attach(o: &Opts) -> Result<bool, String> {
     })
 }
 
+fn cmd_stats(o: &Opts) -> Result<bool, String> {
+    let socket = o.socket.as_ref().ok_or("--socket is required")?;
+    let mut stream = connect(o, socket)?;
+    stream
+        .write_all(b"{\"type\":\"stats\"}\n")
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reply = String::new();
+    let _ = BufReader::new(&stream).read_line(&mut reply);
+    if reply.trim().is_empty() {
+        return Err("server closed the connection without answering".to_string());
+    }
+    print!("{reply}");
+    Ok(true)
+}
+
+fn cmd_watch(o: &Opts) -> Result<bool, String> {
+    let socket = o.socket.as_ref().ok_or("--socket is required")?;
+    let run_id = o.run_id.as_ref().ok_or("watch needs --run-id")?;
+    let request = JsonObject::new()
+        .str("type", "watch")
+        .str("run_id", run_id)
+        .render();
+    with_retries(o, &request, || {
+        let mut stream = connect(o, socket)?;
+        stream
+            .write_all(request.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        Ok(tail(stream, false))
+    })
+}
+
 fn cmd_shutdown(o: &Opts) -> Result<bool, String> {
     let socket = o.socket.as_ref().ok_or("--socket is required")?;
     let mut stream = connect(o, socket)?;
@@ -422,6 +464,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(&opts),
         "attach" => cmd_attach(&opts),
+        "stats" => cmd_stats(&opts),
+        "watch" => cmd_watch(&opts),
         "shutdown" => cmd_shutdown(&opts),
         "direct" => cmd_direct(&opts),
         _ => {

@@ -23,6 +23,10 @@
 //!   server drains or the client disconnects;
 //! - [`server`]: the accept loop, per-connection sessions, admission
 //!   control, and graceful drain;
+//! - [`stats`]: live introspection — the per-campaign
+//!   [`stats::CampaignProgress`] atomics every run's record observer
+//!   updates, and the `stats`/`progress` frames answered to the `stats`
+//!   and `watch` requests (see `rls_client stats` / `rls_client watch`);
 //! - [`journal`]: the crash-recovery journal — every admitted campaign
 //!   is journaled before its run id is announced, and a restarted server
 //!   replays the in-flight entries under the same run ids;
@@ -49,6 +53,7 @@ pub mod exec;
 pub mod journal;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 pub mod watchdog;
 
 pub use cache::CircuitCache;
@@ -59,4 +64,5 @@ pub use protocol::{
     RunRequest, MAX_REQUEST_BYTES,
 };
 pub use server::{ServeConfig, Server};
+pub use stats::{CampaignProgress, RunPhase, ServerCounters};
 pub use watchdog::Watchdog;

@@ -9,7 +9,15 @@
 //! Listens on a Unix-domain socket for newline-delimited JSON campaign
 //! requests and serves them over one persistent shared worker pool. Set
 //! `RLS_OBS=1` (and optionally `RLS_OBS_SINK=stderr|jsonl|both`) to
-//! record server metrics (`serve.*`) alongside the campaign records.
+//! record server metrics (`serve.*`) alongside the campaign records, and
+//! `RLS_RECORD=1` (or a per-thread event capacity) to arm the flight
+//! recorder, whose crash dumps land in the campaign directory when a
+//! campaign panics, degrades, or trips the watchdog.
+//!
+//! A running server answers `stats` requests with a one-line snapshot of
+//! its admission state and every registered campaign's live progress,
+//! and `watch` requests with a stream of per-campaign `progress` frames
+//! at trial boundaries (see `rls_client stats` / `rls_client watch`).
 //!
 //! The server is crash-only: admitted campaigns are journaled under the
 //! campaign directory, and a restarted server resumes any the previous
@@ -95,6 +103,24 @@ fn parse_args() -> ServeConfig {
     cfg
 }
 
+/// Flight-recorder capacity from `RLS_RECORD`, mirroring the table
+/// binaries' grammar: unset/`0`/`false`/`off` → disabled, `1`/`true`/
+/// `on` → the default per-thread capacity, an integer → that capacity.
+fn record_capacity() -> Option<usize> {
+    let raw = std::env::var("RLS_RECORD").ok()?;
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "false" | "off" => None,
+        "1" | "true" | "on" => Some(rls_obs::recorder::DEFAULT_CAPACITY),
+        other => match other.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("rls-serve: bad RLS_RECORD value `{raw}`");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// Arms the chaos schedule from `RLS_CHAOS` (fault-inject builds only);
 /// see `rls_dispatch::inject::arm_from_spec` for the spec grammar.
 #[cfg(feature = "fault-inject")]
@@ -125,6 +151,15 @@ fn main() -> ExitCode {
             .unwrap_or_default();
         if let Err(e) = rls_obs::install_standard(mode, &cfg.campaign_dir, 0) {
             eprintln!("rls-serve: cannot install observability sinks: {e}");
+        }
+    }
+    if let Some(capacity) = record_capacity() {
+        rls_obs::recorder::set_dump_dir(&cfg.campaign_dir);
+        if rls_obs::recorder::start(capacity) {
+            eprintln!(
+                "rls-serve: flight recorder armed ({capacity} events/thread; dumps under {})",
+                cfg.campaign_dir.display()
+            );
         }
     }
     let server = match Server::bind(cfg.clone()) {

@@ -6,6 +6,10 @@
 //!   lines exactly as the campaign file holds them (header, `initial`,
 //!   `trial`, `checkpoint`, …, `summary`), then a final `done` or
 //!   `interrupted` control frame;
+//! - `{"type":"stats"}` → one `stats` frame: a server-wide snapshot of
+//!   admission state and every registered campaign's live progress;
+//! - `{"type":"watch","run_id":…}` → a stream of `progress` frames at
+//!   trial boundaries, closed by the run's final control frame;
 //! - `{"type":"shutdown"}` → `draining`, and the server stops accepting,
 //!   finishes (or checkpoints) every in-flight campaign, and exits;
 //! - anything unparsable → one `error` frame;
@@ -94,6 +98,11 @@ pub enum Request {
     /// waits for it to finish, then replays its campaign file behind a
     /// `recovered` frame.
     Attach(String),
+    /// Answer one server-wide `stats` snapshot frame and close.
+    Stats,
+    /// Stream `progress` frames for a run by id until it finishes, then
+    /// close with its final control frame.
+    Watch(String),
     /// Drain and exit.
     Shutdown,
 }
@@ -108,6 +117,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             .str_field("run_id")
             .map(|id| Request::Attach(id.to_string()))
             .ok_or("attach requests need a string `run_id` field".to_string()),
+        Some("stats") => Ok(Request::Stats),
+        Some("watch") => v
+            .str_field("run_id")
+            .map(|id| Request::Watch(id.to_string()))
+            .ok_or("watch requests need a string `run_id` field".to_string()),
         Some(other) => Err(format!("unknown request type `{other}`")),
         None => Err("request has no string `type` field".to_string()),
     }
@@ -181,6 +195,8 @@ pub const CONTROL_TYPES: &[&str] = &[
     "done",
     "interrupted",
     "recovered",
+    "stats",
+    "progress",
 ];
 
 /// True when a parsed response line is a control frame rather than a
@@ -483,6 +499,17 @@ mod tests {
         }
         let record = r#"{"type":"trial","i":1,"d1":2}"#;
         assert!(!is_control(&parse(record).unwrap()));
+    }
+
+    #[test]
+    fn stats_and_watch_parse() {
+        assert_eq!(parse_request(r#"{"type":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"type":"watch","run_id":"abc-r0"}"#).unwrap(),
+            Request::Watch("abc-r0".to_string())
+        );
+        let e = parse_request(r#"{"type":"watch"}"#).unwrap_err();
+        assert!(e.contains("run_id"), "{e}");
     }
 
     #[test]

@@ -81,6 +81,7 @@ use crate::protocol::{
     recovered_line, rejected_line, rejected_retry_line, retry_after_hint, Request, RunRequest,
     MAX_REQUEST_BYTES,
 };
+use crate::stats::{progress_line, stats_line, CampaignProgress, RunPhase, RunRow, ServerCounters};
 use crate::watchdog::Watchdog;
 
 /// How long a session waits for the client's request line.
@@ -151,11 +152,15 @@ enum RunState {
     Failed(String),
 }
 
-/// One run the server knows of, looked up by `attach`.
+/// One run the server knows of, looked up by `attach`/`watch`/`stats`.
 struct RegEntry {
     run_id: String,
+    circuit: String,
     path: PathBuf,
     state: RunState,
+    /// Live progress, fed by the run's campaign-record observer and read
+    /// by `stats` snapshots and `watch` streams.
+    progress: Arc<CampaignProgress>,
 }
 
 /// State shared by the accept loop and every session.
@@ -167,6 +172,7 @@ struct Shared {
     journal: Journal,
     watchdog: Watchdog,
     registry: Mutex<Vec<RegEntry>>,
+    counters: ServerCounters,
     cfg: ServeConfig,
 }
 
@@ -176,13 +182,23 @@ impl Shared {
     }
 }
 
-/// Records a run as in flight so `attach` can find it.
-fn registry_insert(shared: &Shared, run_id: &str, path: &Path) {
+/// Records a run as in flight so `attach`/`watch` can find it. Returns
+/// the entry's progress cell for the run's record observer to feed.
+fn registry_insert(
+    shared: &Shared,
+    run_id: &str,
+    circuit: &str,
+    path: &Path,
+) -> Arc<CampaignProgress> {
+    let progress = Arc::new(CampaignProgress::new());
     shared.registry().push(RegEntry {
         run_id: run_id.to_string(),
+        circuit: circuit.to_string(),
         path: path.to_path_buf(),
         state: RunState::Running,
+        progress: Arc::clone(&progress),
     });
+    progress
 }
 
 /// Publishes a run's final state. Resumes and recoveries reuse run ids
@@ -190,8 +206,24 @@ fn registry_insert(shared: &Shared, run_id: &str, path: &Path) {
 fn registry_set(shared: &Shared, run_id: &str, state: RunState) {
     let mut reg = shared.registry();
     if let Some(entry) = reg.iter_mut().rev().find(|e| e.run_id == run_id) {
+        entry.progress.set_phase(match &state {
+            RunState::Running => RunPhase::Running,
+            RunState::Done { outcome, .. } if *outcome == "interrupted" => RunPhase::Interrupted,
+            RunState::Done { .. } => RunPhase::Done,
+            RunState::Failed(_) => RunPhase::Failed,
+        });
         entry.state = state;
     }
+}
+
+/// The latest registered progress cell for a run id.
+fn registry_progress(shared: &Shared, run_id: &str) -> Option<(String, Arc<CampaignProgress>)> {
+    shared
+        .registry()
+        .iter()
+        .rev()
+        .find(|e| e.run_id == run_id)
+        .map(|e| (e.circuit.clone(), Arc::clone(&e.progress)))
 }
 
 /// A bound, not-yet-running campaign server.
@@ -246,6 +278,7 @@ impl Server {
                 journal,
                 watchdog,
                 registry: Mutex::new(Vec::new()),
+                counters: ServerCounters::default(),
                 cfg,
             }),
             orphans,
@@ -265,7 +298,7 @@ impl Server {
         for entry in std::mem::take(&mut self.orphans) {
             // Register before the thread starts so an attach that races
             // recovery sees `Running`, not `unknown run id`.
-            registry_insert(&self.shared, &entry.run_id, &entry.path);
+            registry_insert(&self.shared, &entry.run_id, &entry.circuit, &entry.path);
             let shared = Arc::clone(&self.shared);
             sessions.push(std::thread::spawn(move || recover_one(&shared, &entry)));
         }
@@ -379,7 +412,98 @@ fn session(stream: &UnixStream, shared: &Shared) {
             send(stream, &draining_line());
         }
         Ok(Request::Attach(run_id)) => attach(stream, shared, &run_id),
+        Ok(Request::Stats) => stats(stream, shared),
+        Ok(Request::Watch(run_id)) => watch(stream, shared, &run_id),
         Ok(Request::Run(req)) => run_campaign(stream, shared, &req, &line),
+    }
+}
+
+/// Answers one server-wide `stats` snapshot: admission state plus the
+/// live progress of every registered run (latest entry per run id).
+fn stats(stream: &UnixStream, shared: &Shared) {
+    shared.counters.stats_requests.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(advisory introspection counter)
+    rls_obs::counter!("serve.stats.requests", 1);
+    let reg = shared.registry();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut rows: Vec<RunRow<'_>> = Vec::new();
+    for e in reg.iter().rev() {
+        if seen.insert(e.run_id.as_str()) {
+            rows.push(RunRow {
+                run_id: &e.run_id,
+                circuit: &e.circuit,
+                progress: &e.progress,
+            });
+        }
+    }
+    rows.reverse(); // registration order reads naturally
+    let line = stats_line(
+        shared.inflight.load(Ordering::Acquire),
+        shared.cfg.max_inflight.max(1),
+        shared.drain.load(Ordering::Acquire),
+        shared.watchdog.monitored(),
+        &shared.counters,
+        &rows,
+    );
+    drop(reg);
+    send(stream, &line);
+}
+
+/// Streams `progress` frames for one run until it finishes, then closes
+/// the stream with the run's final control frame (or its failure). The
+/// progress cell's version counter moves once per campaign record, so
+/// frames fire at trial boundaries; between changes the session polls at
+/// [`ATTACH_POLL`].
+fn watch(stream: &UnixStream, shared: &Shared, run_id: &str) {
+    let Some((circuit, progress)) = registry_progress(shared, run_id) else {
+        rls_obs::counter!("serve.requests_rejected", 1);
+        send(stream, &rejected_line(&format!("unknown run id `{run_id}`")));
+        return;
+    };
+    let watchers = shared.counters.watchers.fetch_add(1, Ordering::Relaxed) + 1; // lint: ordering-ok(advisory introspection counter)
+    rls_obs::gauge!("serve.stats.watchers", watchers);
+    // Decrement on every exit path, client disconnects included.
+    struct WatcherSlot<'a>(&'a ServerCounters);
+    impl Drop for WatcherSlot<'_> {
+        fn drop(&mut self) {
+            let left = self.0.watchers.fetch_sub(1, Ordering::Relaxed) - 1; // lint: ordering-ok(advisory introspection counter)
+            rls_obs::gauge!("serve.stats.watchers", left);
+        }
+    }
+    let _slot = WatcherSlot(&shared.counters);
+    let mut last = None;
+    loop {
+        // Phase before version: a `Done` observed here means the final
+        // version bump already landed, so the frame below is the final
+        // snapshot and the loop can close the stream.
+        let phase = progress.phase();
+        let version = progress.version();
+        if last != Some(version) {
+            last = Some(version);
+            shared.counters.watch_frames.fetch_add(1, Ordering::Relaxed); // lint: ordering-ok(advisory introspection counter)
+            rls_obs::counter!("serve.stats.frames", 1);
+            if !send(stream, &progress_line(run_id, &circuit, &progress)) {
+                return;
+            }
+        }
+        if phase != RunPhase::Running {
+            break;
+        }
+        std::thread::sleep(ATTACH_POLL);
+    }
+    let state = shared
+        .registry()
+        .iter()
+        .rev()
+        .find(|e| e.run_id == run_id)
+        .map(|e| e.state.clone());
+    match state {
+        Some(RunState::Done { frame, .. }) => {
+            send(stream, &frame);
+        }
+        Some(RunState::Failed(message)) => {
+            send(stream, &error_line(&message));
+        }
+        _ => {}
     }
 }
 
@@ -594,7 +718,7 @@ fn run_campaign(stream: &UnixStream, shared: &Shared, req: &RunRequest, line: &s
         rls_obs::counter!("serve.journal_errors", 1);
         eprintln!("warning: could not journal run {run_id}: {e}");
     }
-    registry_insert(shared, &run_id, &path);
+    let progress = registry_insert(shared, &run_id, &name, &path);
 
     // The observer replays neither the header nor a resume seam; send
     // them ourselves so the stream mirrors the file from its first line.
@@ -617,26 +741,32 @@ fn run_campaign(stream: &UnixStream, shared: &Shared, req: &RunRequest, line: &s
     }
 
     let disconnect = Arc::new(AtomicBool::new(false));
-    match stream.try_clone() {
-        Ok(out) => {
-            let flag = Arc::clone(&disconnect);
-            campaign.set_observer(move |record| {
-                if flag.load(Ordering::Acquire) {
-                    return;
+    let out = stream.try_clone().ok();
+    if out.is_none() {
+        disconnect.store(true, Ordering::Release);
+    }
+    {
+        let flag = Arc::clone(&disconnect);
+        let progress = Arc::clone(&progress);
+        // Progress updates first, unconditionally: `stats`/`watch` track
+        // the run even after its own client vanishes.
+        campaign.set_observer(move |record| {
+            progress.observe_record(record);
+            if flag.load(Ordering::Acquire) {
+                return;
+            }
+            let Some(out) = &out else { return };
+            if let Err(e) = write_line(out, record) {
+                // EPIPE = the client vanished (Rust ignores SIGPIPE);
+                // a timeout = the client is alive but not draining
+                // its socket. Either way the campaign stops at the
+                // next trial boundary, checkpointed and collectable.
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                    rls_obs::counter!("serve.slow_client_disconnects", 1);
                 }
-                if let Err(e) = write_line(&out, record) {
-                    // EPIPE = the client vanished (Rust ignores SIGPIPE);
-                    // a timeout = the client is alive but not draining
-                    // its socket. Either way the campaign stops at the
-                    // next trial boundary, checkpointed and collectable.
-                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
-                        rls_obs::counter!("serve.slow_client_disconnects", 1);
-                    }
-                    flag.store(true, Ordering::Release);
-                }
-            });
-        }
-        Err(_) => disconnect.store(true, Ordering::Release),
+                flag.store(true, Ordering::Release);
+            }
+        });
     }
 
     let deadline = req
@@ -887,6 +1017,11 @@ fn recover_one(shared: &Shared, entry: &JournalEntry) {
         Err(e) => return fail("failed", format!("cannot reopen campaign file: {e}")),
     };
     rls_obs::counter!("serve.recovered", 1);
+    if let Some((_, progress)) = registry_progress(shared, &entry.run_id) {
+        // No client is attached, but `watch`/`stats` still follow the
+        // recovery through its record stream.
+        campaign.set_observer(move |record| progress.observe_record(record));
+    }
     let disconnect = Arc::new(AtomicBool::new(false));
     let watch = rls_obs::Stopwatch::start();
     let (outcome, cancel) = execute_campaign(
@@ -930,6 +1065,7 @@ mod tests {
             journal: Journal::open(dir).unwrap().0,
             watchdog: Watchdog::start(Duration::ZERO),
             registry: Mutex::new(Vec::new()),
+            counters: ServerCounters::default(),
             cfg,
         }
     }
@@ -979,7 +1115,7 @@ mod tests {
     fn registry_prefers_the_latest_entry_for_a_run_id() {
         let dir = scratch("registry");
         let shared = test_shared(&dir, 1);
-        registry_insert(&shared, "r1", Path::new("/tmp/a.jsonl"));
+        registry_insert(&shared, "r1", "s27", Path::new("/tmp/a.jsonl"));
         registry_set(
             &shared,
             "r1",
@@ -990,7 +1126,7 @@ mod tests {
         );
         // A recovery under the same run id registers a fresh entry; the
         // lookup must see *it*, not the superseded one.
-        registry_insert(&shared, "r1", Path::new("/tmp/a.jsonl"));
+        registry_insert(&shared, "r1", "s27", Path::new("/tmp/a.jsonl"));
         registry_set(
             &shared,
             "r1",

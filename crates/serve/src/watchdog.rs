@@ -202,7 +202,15 @@ fn scan_loop(inner: Arc<Inner>, deadline: Duration) {
             }
         }
         if stalls > 0 {
+            // Drop the registry lock first: the dump writes a file, and
+            // register/deregister must not queue behind that I/O.
+            drop(reg);
             rls_obs::counter!("serve.watchdog.stalls", stalls);
+            // What was everyone doing when the stall was declared? Mark
+            // it and dump the flight recorder's window for post-mortems.
+            rls_obs::mark!("serve.stall", stalls);
+            let _ = rls_obs::recorder::dump("watchdog-stall");
+            reg = inner.lock();
         }
         let (guard, _) = inner
             .tick

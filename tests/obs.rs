@@ -110,6 +110,52 @@ fn parallel_campaign_emits_only_registered_metric_names() {
 }
 
 #[test]
+fn flight_recorder_dump_survives_a_parallel_campaign() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let dir = std::env::temp_dir().join(format!("rls-obs-recdump-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    obs::recorder::set_dump_dir(&dir);
+    assert!(obs::recorder::start(256), "the recorder must arm");
+    let c = random_limited_scan::benchmarks::s27();
+    let ctx = SimContext::new(&c, SimOptions::default());
+    let cfg = RlsConfig::new(4, 8, 8);
+    let tests = generate_ts0(&c, &cfg);
+    WorkerPool::new(2).scope(|d| {
+        let mut runner = SetRunner::new(&ctx, d);
+        runner.run_set(&tests);
+    });
+    // The sequential engine's kernel-batch marks ride along in the same
+    // window (the pool path batches below the mark's granularity).
+    let mut sim = rls_fsim::FaultSimulator::new(&c);
+    let first = tests.first().expect("TS0 is non-empty");
+    let _ = sim.run_test(first);
+    let path = obs::recorder::dump("integration test!").expect("an armed recorder dumps");
+    obs::recorder::stop();
+    // The dump is readable through the same torn-tail-tolerant reader the
+    // metrics stream uses, and every event line carries a registered (or
+    // placeholder) name the report layer can rely on.
+    let log = obs::MetricsLog::read(&path).expect("dump parses as a metrics log");
+    assert!(!log.is_empty(), "dump holds a header at least");
+    let header = &log.lines()[0];
+    assert!(header.contains(r#""type":"rec_dump""#), "{header}");
+    assert!(header.contains(r#""reason":"integration test!""#), "{header}");
+    let events: Vec<&String> = log.lines()[1..].iter().collect();
+    assert!(!events.is_empty(), "the campaign recorded events");
+    for line in &events {
+        assert!(line.contains(r#""type":"rec_event""#), "{line}");
+    }
+    // The dispatch spans land in the rings as enter/exit pairs, and the
+    // kernel-batch marks from inside `fsim.test` ride along.
+    assert!(events.iter().any(|l| l.contains(r#""kind":"enter""#)), "no span enters");
+    assert!(events.iter().any(|l| l.contains(r#""kind":"exit""#)), "no span exits");
+    assert!(
+        events.iter().any(|l| l.contains(r#""name":"fsim.batch""#)),
+        "no kernel batch marks"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn disabled_obs_emits_nothing() {
     let _guard = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     assert!(!obs::enabled());

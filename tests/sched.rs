@@ -62,3 +62,21 @@ fn soak_explores_100_distinct_interleavings_against_the_oracle() {
     let explored = sched::soak(ci_seed(), 100);
     assert!(explored >= 100, "soak must explore at least 100 interleavings");
 }
+
+#[test]
+fn flight_recorder_never_perturbs_a_perturbed_campaign() {
+    // Same adversarial schedule, recorder off and on: the campaign bytes
+    // (per-set detections + surviving live list) must match exactly. The
+    // recorder is the observability layer allowed closest to the kernel
+    // hot loop, so its non-perturbation claim gets the same dynamic
+    // treatment as the pool's locking discipline.
+    for i in 0..4 {
+        let seed = sched::sub_seed(ci_seed(), 0x9ec0 + i);
+        let bare = sched::wave_bytes(seed, false);
+        let recorded = sched::wave_bytes(seed, true);
+        assert_eq!(
+            bare, recorded,
+            "recording changed the outcome under schedule seed {seed:#x}"
+        );
+    }
+}

@@ -516,6 +516,106 @@ fn recovery_rejects_a_journal_entry_whose_fingerprint_no_longer_matches() {
 }
 
 #[test]
+fn stats_snapshot_matches_the_campaign_summary_record() {
+    // The introspection acceptance claim: once a campaign finishes, the
+    // `stats` snapshot's entry for it agrees field-for-field with the
+    // summary record its JSONL file ends in — the live figures are parsed
+    // from the very lines the file holds, so they cannot drift.
+    let dir = scratch("stats");
+    let (socket, server) = start_server(&dir, 2, 4);
+    let lines = roundtrip(
+        &socket,
+        r#"{"type":"run","circuit":"s27","la":4,"lb":8,"n":8,"threads":2}"#,
+    );
+    assert!(lines.last().is_some_and(|l| l.contains("\"done\"")), "{lines:?}");
+    let accepted = rls_dispatch::jsonl::parse(&lines[0]).unwrap();
+    let run_id = accepted.str_field("run_id").expect("accepted carries run_id").to_string();
+    let path = PathBuf::from(accepted.str_field("path").expect("accepted carries the file path"));
+
+    let stats = roundtrip(&socket, r#"{"type":"stats"}"#);
+    assert_eq!(stats.len(), 1, "{stats:?}");
+    let v = rls_dispatch::jsonl::parse(&stats[0]).unwrap();
+    assert!(rls_serve::protocol::is_control(&v), "stats frames are control frames");
+    assert_eq!(v.str_field("type"), Some("stats"));
+    assert!(v.u64_field("max_inflight").is_some(), "{stats:?}");
+    assert!(v.u64_field("stats_requests").is_some_and(|n| n >= 1), "{stats:?}");
+    let campaigns = v.get("campaigns").and_then(|c| c.as_array()).expect("campaigns array");
+    let entry = campaigns
+        .iter()
+        .find(|c| c.str_field("run_id") == Some(run_id.as_str()))
+        .expect("the finished run is listed");
+    assert_eq!(entry.str_field("state"), Some("done"), "{stats:?}");
+    assert_eq!(entry.str_field("circuit"), Some("s27"), "{stats:?}");
+
+    let log = rls_dispatch::CampaignLog::read(&path).unwrap();
+    let summary = log.summary().expect("a finished campaign ends in a summary");
+    for field in ["detected", "target_faults", "pairs", "total_cycles", "iterations"] {
+        assert_eq!(
+            entry.u64_field(field),
+            summary.u64_field(field),
+            "stats `{field}` diverged from the summary record: {stats:?}"
+        );
+    }
+    assert_eq!(entry.bool_field("complete"), summary.bool_field("complete"), "{stats:?}");
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn watch_streams_progress_frames_and_closes_with_the_final_frame() {
+    let dir = scratch("watch");
+    let (socket, server) = start_server(&dir, 2, 4);
+    // Unknown ids answer a structured rejection, not a hang.
+    let unknown = roundtrip(&socket, r#"{"type":"watch","run_id":"no-such-run"}"#);
+    assert_eq!(unknown.len(), 1, "{unknown:?}");
+    assert!(
+        unknown[0].contains("\"rejected\"") && unknown[0].contains("unknown run id"),
+        "{unknown:?}"
+    );
+
+    // Start a campaign on one connection and watch it from another. The
+    // watcher may attach mid-run (several frames) or after it finished
+    // (one final frame) — either way the stream is `progress` frames
+    // followed by the run's stored `done` frame, never a hang.
+    let mut run_stream = connect(&socket);
+    run_stream
+        .write_all(
+            b"{\"type\":\"run\",\"circuit\":\"s27\",\"la\":4,\"lb\":8,\"n\":8,\"threads\":2}\n",
+        )
+        .unwrap();
+    let mut reader = BufReader::new(run_stream);
+    let mut accepted = String::new();
+    reader.read_line(&mut accepted).unwrap();
+    assert!(accepted.contains("\"accepted\""), "{accepted:?}");
+    let run_id = rls_dispatch::jsonl::parse(&accepted)
+        .unwrap()
+        .str_field("run_id")
+        .unwrap()
+        .to_string();
+
+    let frames = roundtrip(&socket, &format!(r#"{{"type":"watch","run_id":"{run_id}"}}"#));
+    assert!(frames.len() >= 2, "at least one progress frame and the final frame: {frames:?}");
+    assert!(
+        frames.last().is_some_and(|l| l.contains("\"type\":\"done\"")),
+        "{frames:?}"
+    );
+    for frame in &frames[..frames.len() - 1] {
+        let v = rls_dispatch::jsonl::parse(frame).unwrap();
+        assert_eq!(v.str_field("type"), Some("progress"), "{frames:?}");
+        assert_eq!(v.str_field("run_id"), Some(run_id.as_str()), "{frames:?}");
+        assert!(rls_serve::protocol::is_control(&v), "progress frames are control frames");
+    }
+    // The last progress frame published the finished state before close.
+    let final_progress = rls_dispatch::jsonl::parse(&frames[frames.len() - 2]).unwrap();
+    assert_eq!(final_progress.str_field("state"), Some("done"), "{frames:?}");
+    // The run's own stream still completes normally under a watcher.
+    let rest: Vec<String> = reader.lines().map_while(Result::ok).collect();
+    assert!(rest.last().is_some_and(|l| l.contains("\"done\"")), "{rest:?}");
+    shutdown(&socket);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
 fn shutdown_drains_and_removes_the_socket() {
     let dir = scratch("shutdown");
     let (socket, server) = start_server(&dir, 1, 4);

@@ -227,6 +227,31 @@ fn shutdown_drain(seed: u64) {
 /// seed, rotating the four scenarios, and returns how many ran. Panics
 /// if any two sub-seeds would replay the same perturbation schedule, so
 /// "distinct interleavings" is a checked claim, not a hope.
+/// Scenario 1's outcome bytes, optionally with the flight recorder
+/// armed. Equal bytes for `record` on and off — under the same
+/// adversarial schedule — is the proof that recording never perturbs a
+/// campaign: the recorder only ever appends to per-thread rings.
+pub fn wave_bytes(seed: u64, record: bool) -> Vec<u8> {
+    let _armed = Armed::new(InjectionPlan {
+        sched_seed: Some(seed),
+        ..InjectionPlan::default()
+    });
+    if record {
+        assert!(rls_obs::recorder::start(512), "the recorder must arm");
+    }
+    let sets = s27_sets();
+    let pool = SharedPool::new(4);
+    let ctx = Arc::new(SharedSimContext::new(compiled_s27(), SimOptions::default()));
+    let mut runner = SharedSetRunner::new(ctx, pool.register(4));
+    let got = run_campaign(&mut runner, &sets);
+    if record {
+        let snap = rls_obs::recorder::drain();
+        assert!(!snap.events.is_empty(), "an armed recorder captures events");
+        rls_obs::recorder::stop();
+    }
+    got
+}
+
 pub fn soak(ci_seed: u64, runs: usize) -> usize {
     let seeds: Vec<u64> = (0..runs as u64).map(|i| sub_seed(ci_seed, i)).collect();
     let mut prints: Vec<Vec<u64>> = seeds.iter().map(|&s| fingerprint(s)).collect();
