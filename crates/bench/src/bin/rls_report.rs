@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rls-report <baseline.jsonl> <candidate.jsonl>
-//! rls-report --lanes <BENCH_fsim_lanes.json>
+//! rls-report --lanes <BENCH_fsim_lanes.json> [--gate]
 //! rls-report --flamegraph <obs.jsonl> [--svg <out.svg>]
 //! rls-report --trace <obs.jsonl|rec-dump.jsonl>
 //! rls-report --gate <obs.jsonl> <BENCH_phase_profile.json>
@@ -21,10 +21,12 @@
 //! divergence point from the `procedure2.coverage` gauges.
 //!
 //! With `--lanes` and one `fsim_lanes` record (written by
-//! `bench_fsim_lanes`), prints the per-width `fsim.test_nanos`
-//! comparison of the wide-word kernel and gates the compiled default
-//! width: it must be no slower than the 64-lane baseline (within a 25%
-//! noise allowance).
+//! `bench_fsim_lanes`), prints the (kernel × lane width × pattern lanes)
+//! `fsim.test_nanos` matrix and gates the compiled default
+//! configuration: it must be no slower than the legacy 64-lane baseline
+//! (within a 25% noise allowance). Adding `--gate` also enforces the SoA
+//! rewrite's speedup floor: the soa kernel at the default tile shape
+//! must be at least 2x the legacy kernel at the same width.
 //!
 //! The profiling modes consume one obs metrics stream (see
 //! `rls_bench::profile`): `--flamegraph` prints collapsed stacks
@@ -292,23 +294,27 @@ fn render_obs(base: &ObsStats, cand: &ObsStats) -> String {
     out
 }
 
-/// One measured kernel width from a `fsim_lanes` bench record.
+/// One measured (kernel, width, tile height) configuration from a
+/// `fsim_lanes` bench record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct LaneRow {
+    kernel: String,
     lanes: u64,
     words: u64,
+    pattern_lanes: u64,
     test_nanos: u64,
     batches: u64,
 }
 
-/// The `bench_fsim_lanes` record: per-width kernel timings plus the
-/// compiled default width they justify.
+/// The `bench_fsim_lanes` record: per-configuration kernel timings plus
+/// the compiled defaults they justify.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct LaneStats {
     circuit: String,
     tests: u64,
     detected: u64,
     default_lanes: u64,
+    default_pattern_lanes: u64,
     rows: Vec<LaneRow>,
 }
 
@@ -320,8 +326,12 @@ fn lane_stats_from(log: &CampaignLog) -> Result<LaneStats, String> {
     let rows: Vec<LaneRow> = log
         .of_type("lane_width")
         .map(|r| LaneRow {
+            // Records predating the SoA kernel carry neither field: they
+            // measured the legacy kernel, one test per pass.
+            kernel: r.str_field("kernel").unwrap_or("legacy").to_string(),
             lanes: r.u64_field("lanes").unwrap_or(0),
             words: r.u64_field("words").unwrap_or(0),
+            pattern_lanes: r.u64_field("pattern_lanes").unwrap_or(1),
             test_nanos: r.u64_field("test_nanos").unwrap_or(0),
             batches: r.u64_field("batches").unwrap_or(0),
         })
@@ -334,53 +344,104 @@ fn lane_stats_from(log: &CampaignLog) -> Result<LaneStats, String> {
         tests: header.u64_field("tests").unwrap_or(0),
         detected: header.u64_field("detected").unwrap_or(0),
         default_lanes: header.u64_field("default_lanes").unwrap_or(0),
+        default_pattern_lanes: header.u64_field("default_pattern_lanes").unwrap_or(1),
         rows,
     })
 }
 
-/// The 64-lane baseline row, if measured.
+/// The legacy 64-lane baseline row, if measured.
 fn lane_baseline(stats: &LaneStats) -> Option<&LaneRow> {
-    stats.rows.iter().find(|r| r.lanes == 64)
+    stats
+        .rows
+        .iter()
+        .find(|r| r.kernel == "legacy" && r.lanes == 64)
+}
+
+/// The row matching the compiled defaults (SoA kernel at the default
+/// width and tile height), if measured.
+fn default_row(stats: &LaneStats) -> Option<&LaneRow> {
+    stats.rows.iter().find(|r| {
+        r.kernel == "soa"
+            && r.lanes == stats.default_lanes
+            && r.pattern_lanes == stats.default_pattern_lanes
+    })
+}
+
+/// The legacy row at the same width as the compiled default, if measured
+/// — the reference for the SoA speedup gate.
+fn legacy_at_default_width(stats: &LaneStats) -> Option<&LaneRow> {
+    stats
+        .rows
+        .iter()
+        .find(|r| r.kernel == "legacy" && r.lanes == stats.default_lanes)
 }
 
 fn render_lanes(stats: &LaneStats) -> String {
     let mut out = format!(
-        "wide-word kernel on {} ({} TS0 tests, {} faults detected at every width; \
-         compiled default: {} lanes)\n\n",
-        stats.circuit, stats.tests, stats.detected, stats.default_lanes
+        "fault-simulation kernels on {} ({} TS0 tests, {} faults detected by every \
+         configuration; compiled default: soa, {} lanes x{} patterns)\n\n",
+        stats.circuit,
+        stats.tests,
+        stats.detected,
+        stats.default_lanes,
+        stats.default_pattern_lanes
     );
     let base = lane_baseline(stats).map(|r| r.test_nanos);
-    let mut t = TextTable::new(vec!["lanes", "u64 words", "test time", "batches", "vs 64"]);
+    let mut t = TextTable::new(vec![
+        "kernel", "lanes", "patterns", "test time", "batches", "vs legacy/64", "vs legacy",
+    ]);
     for r in &stats.rows {
         let vs = match base {
             Some(b) if r.test_nanos > 0 => format!("{:.2}x", b as f64 / r.test_nanos as f64),
             _ => "?".into(),
         };
-        let mark = if r.lanes == stats.default_lanes { " *" } else { "" };
+        let vs_legacy = stats
+            .rows
+            .iter()
+            .find(|l| l.kernel == "legacy" && l.lanes == r.lanes)
+            .filter(|_| r.test_nanos > 0)
+            .map_or("?".into(), |l| {
+                format!("{:.2}x", l.test_nanos as f64 / r.test_nanos as f64)
+            });
+        let mark = if default_row(stats) == Some(r) { " *" } else { "" };
         t.row(vec![
-            format!("{}{mark}", r.lanes),
-            r.words.to_string(),
+            format!("{}{mark}", r.kernel),
+            r.lanes.to_string(),
+            r.pattern_lanes.to_string(),
             millis(r.test_nanos),
             r.batches.to_string(),
             vs,
+            vs_legacy,
         ]);
     }
     out.push_str(&t.render());
-    out.push_str("(* = compiled default width)\n");
+    out.push_str("(* = compiled default configuration)\n");
     out
 }
 
-/// `true` when the compiled default width is slower than the 64-lane
-/// baseline beyond measurement noise (25%).
+/// `true` when the compiled default configuration is slower than the
+/// legacy 64-lane baseline beyond measurement noise (25%).
 fn default_width_regressed(stats: &LaneStats) -> bool {
     let Some(base) = lane_baseline(stats) else {
         return false;
     };
-    let Some(default) = stats.rows.iter().find(|r| r.lanes == stats.default_lanes) else {
+    let Some(default) = default_row(stats) else {
         return true; // a default that was never measured is a regression
     };
     default.test_nanos as f64 > base.test_nanos as f64 * 1.25
 }
+
+/// The SoA-vs-legacy speedup at the compiled default shape, or `None`
+/// when either row is missing from the record.
+fn soa_speedup_at_default(stats: &LaneStats) -> Option<f64> {
+    let soa = default_row(stats)?;
+    let legacy = legacy_at_default_width(stats)?;
+    Some(legacy.test_nanos as f64 / soa.test_nanos.max(1) as f64)
+}
+
+/// Gate threshold: the SoA kernel at the default tile shape must be at
+/// least this many times the legacy kernel at the same width.
+const SOA_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// One parsed input file: a campaign record or an obs metrics stream.
 #[derive(Debug)]
@@ -546,34 +607,64 @@ fn main() -> ExitCode {
         }
         _ => {}
     }
-    if let [flag, lanes_path] = args.as_slice() {
-        if flag == "--lanes" {
-            let stats = match CampaignLog::read(Path::new(lanes_path))
-                .map_err(|e| e.to_string())
-                .and_then(|log| lane_stats_from(&log))
-            {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("rls-report: {lanes_path}: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            print!("{}", render_lanes(&stats));
-            if default_width_regressed(&stats) {
-                eprintln!(
-                    "rls-report: LANE WIDTH REGRESSION: the compiled default \
-                     ({} lanes) is slower than the 64-lane baseline",
-                    stats.default_lanes
-                );
-                return ExitCode::from(1);
+    if args.first().map(String::as_str) == Some("--lanes") {
+        let rest = &args[1..];
+        let gate = rest.iter().any(|a| a == "--gate");
+        let paths: Vec<&String> = rest.iter().filter(|a| *a != "--gate").collect();
+        let [lanes_path] = paths.as_slice() else {
+            eprintln!("usage: rls-report --lanes <BENCH_fsim_lanes.json> [--gate]");
+            return ExitCode::from(2);
+        };
+        let stats = match CampaignLog::read(Path::new(lanes_path))
+            .map_err(|e| e.to_string())
+            .and_then(|log| lane_stats_from(&log))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rls-report: {lanes_path}: {e}");
+                return ExitCode::from(2);
             }
-            return ExitCode::SUCCESS;
+        };
+        print!("{}", render_lanes(&stats));
+        if default_width_regressed(&stats) {
+            eprintln!(
+                "rls-report: LANE WIDTH REGRESSION: the compiled default \
+                 (soa, {} lanes x{} patterns) is slower than the legacy 64-lane baseline",
+                stats.default_lanes, stats.default_pattern_lanes
+            );
+            return ExitCode::from(1);
         }
+        if gate {
+            match soa_speedup_at_default(&stats) {
+                Some(s) if s >= SOA_SPEEDUP_FLOOR => {
+                    println!(
+                        "soa kernel gate: {s:.2}x legacy at {} lanes x{} patterns \
+                         (floor {SOA_SPEEDUP_FLOOR:.1}x) — ok",
+                        stats.default_lanes, stats.default_pattern_lanes
+                    );
+                }
+                Some(s) => {
+                    eprintln!(
+                        "rls-report: SOA KERNEL REGRESSION: {s:.2}x legacy at the \
+                         default shape, below the {SOA_SPEEDUP_FLOOR:.1}x floor"
+                    );
+                    return ExitCode::from(1);
+                }
+                None => {
+                    eprintln!(
+                        "rls-report: SOA KERNEL GATE: the record is missing the \
+                         default soa or legacy row; regenerate BENCH_fsim_lanes.json"
+                    );
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
     let [base_path, cand_path] = args.as_slice() else {
         eprintln!(
             "usage: rls-report <baseline.jsonl> <candidate.jsonl>\n       \
-             rls-report --lanes <BENCH_fsim_lanes.json>\n       \
+             rls-report --lanes <BENCH_fsim_lanes.json> [--gate]\n       \
              rls-report --flamegraph <obs.jsonl> [--svg <out.svg>]\n       \
              rls-report --trace <obs.jsonl|rec-dump.jsonl>\n       \
              rls-report --gate <obs.jsonl> <BENCH_phase_profile.json>\n       \

@@ -148,6 +148,12 @@ pub struct RlsConfig {
     /// Every width is bit-identical to the sequential oracle; the default
     /// is chosen from measured throughput (see `BENCH_fsim_lanes.json`).
     pub lane_width: LaneWidth,
+    /// Tile height for the SoA kernel: how many shape-compatible
+    /// consecutive tests share one `faults × patterns` kernel pass. `1`
+    /// disables tiling; every setting is bit-identical (the tile merge is
+    /// order-preserving). The default is chosen from measured throughput
+    /// (see `BENCH_fsim_lanes.json`).
+    pub pattern_lanes: usize,
 }
 
 impl RlsConfig {
@@ -201,6 +207,7 @@ impl RlsConfig {
             threads: 1,
             campaign_dir: None,
             lane_width: LaneWidth::DEFAULT,
+            pattern_lanes: rls_fsim::PATTERN_LANES_DEFAULT,
         })
     }
 
@@ -247,6 +254,13 @@ impl RlsConfig {
         self.lane_width = width;
         self
     }
+
+    /// Builder-style: set the SoA tile height (`1` disables tiling).
+    /// Zero is coerced to one.
+    pub fn with_pattern_lanes(mut self, pattern_lanes: usize) -> Self {
+        self.pattern_lanes = pattern_lanes.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +294,18 @@ mod tests {
     #[should_panic(expected = "L_A <= L_B")]
     fn la_above_lb_rejected() {
         RlsConfig::new(32, 16, 64);
+    }
+
+    #[test]
+    fn pattern_lanes_default_and_builder() {
+        let cfg = RlsConfig::new(8, 16, 64);
+        assert_eq!(cfg.pattern_lanes, rls_fsim::PATTERN_LANES_DEFAULT);
+        assert_eq!(cfg.clone().with_pattern_lanes(8).pattern_lanes, 8);
+        assert_eq!(
+            cfg.with_pattern_lanes(0).pattern_lanes,
+            1,
+            "zero coerces to one"
+        );
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct ExecProfile {
     /// `u64` words (`1`/`2`/`4`/`8`). `None` keeps the measured default
     /// ([`rls_fsim::LaneWidth::DEFAULT`]); every width is bit-identical.
     pub lane_width: Option<rls_fsim::LaneWidth>,
+    /// SoA tile height (`RLS_PATTERN_LANES`): how many shape-compatible
+    /// consecutive tests share one `faults × patterns` kernel pass.
+    /// Accepts `1`/`2`/`4`/`8`; `None` keeps the measured default
+    /// ([`rls_fsim::PATTERN_LANES_DEFAULT`]); every setting is
+    /// bit-identical.
+    pub pattern_lanes: Option<usize>,
     /// Flight-recorder ring capacity in events per thread (`RLS_RECORD`):
     /// `0` disables (the default), `1` arms with the default capacity,
     /// larger values size the per-thread rings. Recording is independent
@@ -52,10 +58,12 @@ impl ExecProfile {
     /// count; `0` coerces to `1`), `RLS_CAMPAIGN_DIR` (a directory path),
     /// `RLS_RESUME` (a campaign JSONL file with a checkpoint), `RLS_OBS`
     /// (`1`/`true`/`on` enables tracing and metrics), and `RLS_OBS_SINK`
-    /// (`stderr`, `jsonl`, or `both`), and `RLS_LANE_WIDTH` (a kernel
-    /// width in lanes `64`–`512` or words `1`–`8`). Unset variables fall
-    /// back to the sequential default; set-but-unusable values are an
-    /// error with an actionable message, not a silent fallback.
+    /// (`stderr`, `jsonl`, or `both`), `RLS_LANE_WIDTH` (a kernel
+    /// width in lanes `64`–`512` or words `1`–`8`), and
+    /// `RLS_PATTERN_LANES` (an SoA tile height `1`/`2`/`4`/`8`). Unset
+    /// variables fall back to the sequential default; set-but-unusable
+    /// values are an error with an actionable message, not a silent
+    /// fallback.
     pub fn from_env() -> Result<Self, ConfigError> {
         let threads = match env_value("RLS_THREADS")? {
             None => 1,
@@ -144,6 +152,19 @@ impl ExecProfile {
                 }
             },
         };
+        let pattern_lanes = match env_value("RLS_PATTERN_LANES")? {
+            None => None,
+            Some(v) => match rls_fsim::parse_pattern_lanes(&v) {
+                Some(p) => Some(p),
+                None => {
+                    return Err(ConfigError::InvalidEnv {
+                        var: "RLS_PATTERN_LANES",
+                        value: v,
+                        expected: "an SoA tile height (`1`, `2`, `4`, `8`)",
+                    })
+                }
+            },
+        };
         Ok(ExecProfile {
             threads,
             campaign_dir,
@@ -151,6 +172,7 @@ impl ExecProfile {
             obs,
             obs_sink,
             lane_width,
+            pattern_lanes,
             record,
         })
     }
@@ -161,6 +183,9 @@ impl ExecProfile {
         cfg.campaign_dir = self.campaign_dir.clone();
         if let Some(width) = self.lane_width {
             cfg.lane_width = width;
+        }
+        if let Some(p) = self.pattern_lanes {
+            cfg.pattern_lanes = p;
         }
         cfg
     }

@@ -232,6 +232,7 @@ impl<'c> Procedure2<'c> {
         let mut sim = FaultSimulator::new(self.circuit);
         sim.set_options(self.cfg.observe);
         sim.set_lane_width(self.cfg.lane_width);
+        sim.set_pattern_lanes(self.cfg.pattern_lanes);
         if let CoverageTarget::Faults(targets) = &self.cfg.target {
             sim.set_targets(targets);
         }
@@ -244,8 +245,9 @@ impl<'c> Procedure2<'c> {
         campaign: Option<&mut Campaign>,
         resume: Option<ResumeState>,
     ) -> Procedure2Outcome {
-        let ctx =
-            SimContext::new(self.circuit, self.cfg.observe).with_lane_width(self.cfg.lane_width);
+        let ctx = SimContext::new(self.circuit, self.cfg.observe)
+            .with_lane_width(self.cfg.lane_width)
+            .with_pattern_lanes(self.cfg.pattern_lanes);
         WorkerPool::new(threads).scope(|dispatcher| {
             let mut runner = SetRunner::new(&ctx, dispatcher);
             if let CoverageTarget::Faults(targets) = &self.cfg.target {
@@ -591,6 +593,7 @@ impl TrialExecutor for PoolExecutor<'_, '_> {
                 let mut sim = FaultSimulator::new(ctx.circuit());
                 sim.set_options(ctx.options());
                 sim.set_lane_width(ctx.lane_width());
+                sim.set_pattern_lanes(ctx.pattern_lanes());
                 sim.set_targets(self.runner.live());
                 let newly = sim.run_tests(tests);
                 self.fallback = Some(sim);

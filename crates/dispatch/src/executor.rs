@@ -9,14 +9,17 @@
 //!
 //! 1. **Traces** — one job per test computes the fault-free
 //!    [`TestTrace`];
-//! 2. **Batches** — one job per `(test, fault chunk)` of the live list
-//!    simulates the chunk against the test, publishing detections into
-//!    the shared [`AtomicBitset`]. Chunks are sized adaptively by
-//!    [`chunk_size`] (live-list length over `threads × 8`, floor 16) so
-//!    big circuits do not drown the queues in per-job overhead; a chunk
-//!    wider than the kernel word ([`SimContext::lane_width`], 64–512
-//!    lanes) is simulated as consecutive full-width sub-batches inside
-//!    the job.
+//! 2. **Batches** — one job per `(tile, fault chunk)` of the live list
+//!    simulates the chunk against a *tile* of shape-compatible
+//!    consecutive tests (see [`plan_tiles`]; height one when
+//!    [`SimContext::pattern_lanes`] is `1`), publishing detections into
+//!    the shared [`AtomicBitset`]. The levelized SoA kernel
+//!    (`rls_fsim::soa`) packs `tests × faults` into one word pass.
+//!    Chunks are sized adaptively by [`chunk_size`] (live-list length
+//!    over `threads × 8`, floor 16) so big circuits do not drown the
+//!    queues in per-job overhead; a chunk wider than a tile row
+//!    ([`SimContext::lane_width`] lanes over the tile height) is
+//!    simulated as consecutive full-width sub-batches inside the job.
 //!
 //! Workers consult the bitset *before* simulating a chunk, so a fault
 //! detected by any worker is dropped by every other worker mid-set — the
@@ -27,8 +30,8 @@
 //!
 //! The reduction at the set barrier is order-independent: detection of a
 //! fault by a test depends only on `(test, fault)` — lanes of a batch
-//! are independent at every width, and the bitset is monotone within a
-//! set — so the
+//! are independent at every width and tile height, and the bitset is
+//! monotone within a set — so the
 //! set of detected faults equals the union a sequential run produces, no
 //! matter how jobs interleave. The runner then merges in live-list order
 //! (ascending fault id for the default target), giving results that are
@@ -57,10 +60,10 @@ use std::time::Instant;
 
 use rls_fsim::parallel::activated_in_trace;
 use rls_fsim::{
-    simulate_chunk_at, CollapsedFaults, Fault, FaultId, FaultUniverse, GoodSim, LaneWidth,
-    ScanTest, SimOptions, TestTrace,
+    simulate_tile_at, tile_compatible, CollapsedFaults, Fault, FaultId, FaultUniverse, GoodSim,
+    LaneWidth, ScanTest, SimOptions, TestTrace, PATTERN_LANES_DEFAULT,
 };
-use rls_netlist::Circuit;
+use rls_netlist::{Circuit, LevelizedCircuit};
 
 use crate::bitset::AtomicBitset;
 use crate::pool::{Dispatcher, JobFailure};
@@ -76,9 +79,30 @@ pub(crate) fn trace_tag(t: usize) -> u64 {
     TRACE_TAG_BIT | t as u64
 }
 
-/// Tag of the phase-2 job simulating live-list chunk `chunk` of test `t`.
+/// Tag of the phase-2 job simulating live-list chunk `chunk` of tile `t`
+/// (a tile is a run of shape-compatible consecutive tests; height one
+/// when pattern lanes are disabled).
 pub(crate) fn batch_tag(t: usize, chunk: usize) -> u64 {
     ((t as u64) << 32) | chunk as u64
+}
+
+/// Greedy tiling of a test set for the 2-D kernel: consecutive runs of
+/// [`tile_compatible`] tests, each run at most `pattern_lanes` tall.
+/// Height-one tiles degrade to the classic one-test batch, so the same
+/// wave protocol covers both shapes.
+pub(crate) fn plan_tiles(tests: &[ScanTest], pattern_lanes: usize) -> Vec<(usize, usize)> {
+    let cap = pattern_lanes.max(1);
+    let mut tiles = Vec::new();
+    let mut i = 0;
+    while i < tests.len() {
+        let mut j = i + 1;
+        while j < tests.len() && j - i < cap && tile_compatible(&tests[i], &tests[j]) { // lint: panic-ok(i < j < tests.len() by the loop conditions)
+            j += 1;
+        }
+        tiles.push((i, j));
+        i = j;
+    }
+    tiles
 }
 
 /// Adaptive batch-chunk size for one set: `max(16, live_faults / (threads × 8))`.
@@ -136,10 +160,12 @@ impl std::error::Error for SetFailure {}
 pub struct SimContext<'c> {
     circuit: &'c Circuit,
     good: GoodSim<'c>,
+    soa: LevelizedCircuit,
     universe: FaultUniverse,
     collapsed: CollapsedFaults,
     options: SimOptions,
     lane_width: LaneWidth,
+    pattern_lanes: usize,
     detected_bits: AtomicBitset,
 }
 
@@ -153,13 +179,17 @@ impl<'c> SimContext<'c> {
         let universe = FaultUniverse::enumerate(circuit);
         let collapsed = CollapsedFaults::build(circuit, &universe);
         let detected_bits = AtomicBitset::new(universe.len());
+        let good = GoodSim::new(circuit);
+        let soa = LevelizedCircuit::build(circuit, good.levelization());
         SimContext {
             circuit,
-            good: GoodSim::new(circuit),
+            good,
+            soa,
             universe,
             collapsed,
             options,
             lane_width: LaneWidth::DEFAULT,
+            pattern_lanes: PATTERN_LANES_DEFAULT,
             detected_bits,
         }
     }
@@ -171,9 +201,36 @@ impl<'c> SimContext<'c> {
         self
     }
 
+    /// Sets the tile height: how many shape-compatible consecutive tests
+    /// one kernel pass simulates (`1` disables tiling). Detections are
+    /// bit-identical at every height; only throughput changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lanes <= 64` (the narrowest kernel word must
+    /// still fit at least one fault per pattern).
+    pub fn with_pattern_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            (1..=64).contains(&lanes),
+            "pattern lanes must be within 1..=64, got {lanes}"
+        );
+        self.pattern_lanes = lanes;
+        self
+    }
+
     /// The kernel word width batch jobs simulate at.
     pub fn lane_width(&self) -> LaneWidth {
         self.lane_width
+    }
+
+    /// The tile height batch jobs simulate at (tests per kernel pass).
+    pub fn pattern_lanes(&self) -> usize {
+        self.pattern_lanes
+    }
+
+    /// The levelized SoA lowering shared by every batch job.
+    pub fn levelized(&self) -> &LevelizedCircuit {
+        &self.soa
     }
 
     /// The circuit under test (with the campaign's lifetime, so a
@@ -300,47 +357,68 @@ impl<'d, 'env> SetRunner<'d, 'env> {
         tags: &[u64],
         tests: &Arc<Vec<ScanTest>>,
         traces: &Arc<Vec<OnceLock<TestTrace>>>,
+        tiles: &Arc<Vec<(usize, usize)>>,
         chunks: &Arc<Vec<Vec<FaultId>>>,
         live_left: &Arc<AtomicUsize>,
     ) {
         let ctx = self.ctx;
         for &tag in tags {
-            let t = (tag >> 32) as usize;
+            let ti = (tag >> 32) as usize;
             let c = (tag & 0xffff_ffff) as usize;
             let tests = Arc::clone(tests);
             let traces = Arc::clone(traces);
+            let tiles = Arc::clone(tiles);
             let chunks = Arc::clone(chunks);
             let live_left = Arc::clone(live_left);
             self.disp.submit_tagged(tag, move |counters| {
                 if live_left.load(Ordering::Relaxed) == 0 { // lint: ordering-ok(early-exit hint only; a stale read just simulates a batch whose hits are already in the bitset)
                     return;
                 }
-                // lint: panic-ok(the trace wave idles before any batch wave is submitted, so the OnceLock is populated)
-                let trace = traces[t].get().expect("trace barrier passed");
+                let (lo, hi) = tiles[ti]; // lint: panic-ok(ti decodes from a tag minted over 0..tiles.len())
+                let tile_tests: Vec<&ScanTest> = tests[lo..hi].iter().collect(); // lint: panic-ok(tiles partition 0..tests.len(), so lo..hi is in range)
+                let tile_traces: Vec<&TestTrace> = (lo..hi)
+                    // lint: panic-ok(the trace wave idles before any batch wave is submitted, so the OnceLocks are populated)
+                    .map(|t| traces[t].get().expect("trace barrier passed"))
+                    .collect();
                 let circuit = ctx.good.circuit();
-                // Shared-bitset fault dropping + activation prefilter.
+                // Shared-bitset fault dropping + activation prefilter: a
+                // fault activated by none of the tile's traces cannot be
+                // detected by any of its patterns.
                 // lint: panic-ok(c decodes from a tag minted over 0..chunks.len())
                 let candidates: Vec<(FaultId, Fault)> = chunks[c]
                     .iter()
                     .filter(|&&id| !ctx.detected_bits.get(id))
                     .map(|&id| (id, ctx.universe.fault(id)))
-                    .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
+                    .filter(|&(_, f)| {
+                        tile_traces.iter().any(|tr| activated_in_trace(circuit, tr, f))
+                    })
                     .collect();
                 if candidates.is_empty() {
                     return;
                 }
                 // An adaptive chunk may exceed the kernel width; simulate
-                // it as consecutive full-width sub-batches, timing each
-                // kernel invocation separately so `batches` keeps meaning
-                // "one kernel call at the configured width".
+                // it as consecutive full-width sub-batches (each holding
+                // `height` patterns x `cap` faults), timing each kernel
+                // invocation separately so `batches` keeps meaning "one
+                // kernel call at the configured width".
                 let width = ctx.lane_width;
+                let height = hi - lo;
+                let cap = width.lanes() / height;
                 let mut newly = 0u64;
-                for sub in candidates.chunks(width.lanes()) {
+                for sub in candidates.chunks(cap) {
                     let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
-                    let hits = simulate_chunk_at(width, &ctx.good, &tests[t], trace, sub, ctx.options); // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
+                    let per_pattern = simulate_tile_at(
+                        width,
+                        &ctx.soa,
+                        &ctx.good,
+                        &tile_tests,
+                        &tile_traces,
+                        sub,
+                        ctx.options,
+                    );
                     counters.add_batch(start.elapsed());
-                    counters.add_lanes(sub.len() as u64, width.lanes() as u64);
-                    for id in hits {
+                    counters.add_lanes((sub.len() * height) as u64, width.lanes() as u64);
+                    for id in per_pattern.into_iter().flatten() {
                         if ctx.detected_bits.set(id) {
                             newly += 1;
                         }
@@ -413,7 +491,7 @@ impl<'d, 'env> SetRunner<'d, 'env> {
         self.run_waves("trace", trace_tags, |tags| {
             self.submit_trace_wave(tags, &tests, &traces)
         })?;
-        // Phase 2: (test, chunk) jobs over the set-start live list. Once
+        // Phase 2: (tile, chunk) jobs over the set-start live list. Once
         // every live fault is marked, remaining jobs see empty candidate
         // lists and fall through (`live_left` makes that exit cheap).
         let size = chunk_size(self.live.len(), self.disp.threads());
@@ -421,12 +499,16 @@ impl<'d, 'env> SetRunner<'d, 'env> {
             Arc::new(self.live.chunks(size).map(<[FaultId]>::to_vec).collect());
         rls_obs::gauge!("dispatch.chunk_size", size as u64);
         rls_obs::counter!("dispatch.chunks", chunks.len() as u64);
+        let tiles: Arc<Vec<(usize, usize)>> =
+            Arc::new(plan_tiles(&tests, self.ctx.pattern_lanes));
+        rls_obs::counter!("fsim.tiles", tiles.len() as u64);
+        rls_obs::gauge!("fsim.pattern_lanes", self.ctx.pattern_lanes as u64);
         let live_left = Arc::new(AtomicUsize::new(self.live.len()));
-        let batch_tags: Vec<u64> = (0..tests.len())
+        let batch_tags: Vec<u64> = (0..tiles.len())
             .flat_map(|t| (0..chunks.len()).map(move |c| batch_tag(t, c)))
             .collect();
         self.run_waves("batch", batch_tags, |tags| {
-            self.submit_batch_wave(tags, &tests, &traces, &chunks, &live_left)
+            self.submit_batch_wave(tags, &tests, &traces, &tiles, &chunks, &live_left)
         })?;
         // Deterministic reduction: merge in live-list order. Reached only
         // when both phases fully succeeded, so the bookkeeping below is
@@ -659,6 +741,87 @@ mod tests {
                 "width {width}"
             );
         }
+    }
+
+    /// A set of six tests sharing one shape (length + shift schedule) so
+    /// tiling has real runs to pack, plus a schedule-breaking straggler.
+    fn tileable_set() -> Vec<ScanTest> {
+        let shifts = vec![rls_fsim::ShiftOp {
+            at: 2,
+            amount: 1,
+            fill: vec![true],
+        }];
+        let vecs: [[&str; 4]; 6] = [
+            ["0111", "1001", "0111", "1001"],
+            ["1011", "0001", "1110", "0101"],
+            ["0000", "1111", "0011", "1100"],
+            ["1010", "0101", "1010", "0101"],
+            ["1101", "0010", "1000", "0111"],
+            ["0110", "1001", "0110", "1001"],
+        ];
+        let mut tests: Vec<ScanTest> = ["001", "110", "010", "101", "011", "100"]
+            .iter()
+            .zip(vecs.iter())
+            .map(|(si, vs)| {
+                ScanTest::from_strings(si, vs)
+                    .unwrap()
+                    .with_shifts(shifts.clone())
+                    .unwrap()
+            })
+            .collect();
+        tests.push(ScanTest::from_strings("111", &["1001", "0110"]).unwrap());
+        tests
+    }
+
+    #[test]
+    fn plan_tiles_groups_compatible_runs_up_to_the_cap() {
+        let tests = tileable_set();
+        assert_eq!(plan_tiles(&tests, 4), vec![(0, 4), (4, 6), (6, 7)]);
+        assert_eq!(plan_tiles(&tests, 8), vec![(0, 6), (6, 7)]);
+        assert_eq!(
+            plan_tiles(&tests, 1),
+            (0..7).map(|t| (t, t + 1)).collect::<Vec<_>>(),
+            "height one degrades to one tile per test"
+        );
+        assert_eq!(plan_tiles(&[], 4), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn pattern_tiles_match_the_sequential_oracle() {
+        // Tiled execution (tests × faults in one kernel pass) must stay
+        // bit-identical to the sequential oracle at every tile height and
+        // word width, and keep the lane-accounting invariant.
+        let c = rls_benchmarks::s27();
+        let sets = vec![tileable_set(), s27_sets()[0].clone()];
+        let (seq_counts, seq_live) = sequential(&c, &sets);
+        for pl in [1, 2, 4, 8] {
+            for width in [LaneWidth::W64, LaneWidth::W256] {
+                let ctx = SimContext::new(&c, SimOptions::default())
+                    .with_lane_width(width)
+                    .with_pattern_lanes(pl);
+                assert_eq!(ctx.pattern_lanes(), pl);
+                let (par_counts, par_live, snap) = WorkerPool::new(2).scope(|d| {
+                    let mut runner = SetRunner::new(&ctx, d);
+                    let counts: Vec<usize> =
+                        sets.iter().map(|set| runner.run_set(set).len()).collect();
+                    (counts, runner.live().to_vec(), d.snapshot())
+                });
+                assert_eq!(par_counts, seq_counts, "pattern lanes {pl}, width {width}");
+                assert_eq!(par_live, seq_live, "pattern lanes {pl}, width {width}");
+                assert_eq!(
+                    snap.total_lanes_capacity(),
+                    snap.total_batches() * width.lanes() as u64,
+                    "pattern lanes {pl}, width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern lanes must be within 1..=64")]
+    fn oversized_pattern_lanes_are_rejected() {
+        let c = rls_benchmarks::s27();
+        let _ = SimContext::new(&c, SimOptions::default()).with_pattern_lanes(65);
     }
 
     #[test]

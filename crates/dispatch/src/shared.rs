@@ -45,7 +45,7 @@
 //! parsed netlist, levelization, fault universe, collapsed fault list —
 //! behind an `Arc`, so a server can compile once and share across
 //! concurrent campaigns; [`SharedSimContext`] adds the per-campaign
-//! mutable state (options, lane width, detection bitset).
+//! mutable state (options, lane width, tile height, detection bitset).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -56,13 +56,15 @@ use std::time::Instant;
 
 use rls_fsim::parallel::activated_in_trace;
 use rls_fsim::{
-    simulate_chunk_at, CollapsedFaults, Fault, FaultId, FaultUniverse, GoodSim, LaneWidth,
-    ScanTest, SimOptions, TestTrace,
+    simulate_tile_at, CollapsedFaults, Fault, FaultId, FaultUniverse, GoodSim, LaneWidth,
+    ScanTest, SimOptions, TestTrace, PATTERN_LANES_DEFAULT,
 };
-use rls_netlist::{Circuit, Levelization, NetlistError};
+use rls_netlist::{Circuit, Levelization, LevelizedCircuit, NetlistError};
 
 use crate::bitset::AtomicBitset;
-use crate::executor::{batch_tag, chunk_size, trace_tag, SetFailure, RETRY_ROUNDS, TRACE_TAG_BIT};
+use crate::executor::{
+    batch_tag, chunk_size, plan_tiles, trace_tag, SetFailure, RETRY_ROUNDS, TRACE_TAG_BIT,
+};
 use crate::inject;
 use crate::pool::{classify, payload_message, JobFailure, PoolSnapshot, WorkerCounters};
 
@@ -482,19 +484,23 @@ impl Drop for CampaignHandle {
 pub struct CompiledCircuit {
     circuit: Circuit,
     lev: Arc<Levelization>,
+    soa: LevelizedCircuit,
     universe: FaultUniverse,
     collapsed: CollapsedFaults,
 }
 
 impl CompiledCircuit {
-    /// Levelizes, enumerates, and collapses `circuit`.
+    /// Levelizes, lowers to the SoA kernel layout, enumerates, and
+    /// collapses `circuit`.
     pub fn compile(circuit: Circuit) -> Result<Self, NetlistError> {
         let lev = Arc::new(circuit.levelize()?);
+        let soa = LevelizedCircuit::build(&circuit, &lev);
         let universe = FaultUniverse::enumerate(&circuit);
         let collapsed = CollapsedFaults::build(&circuit, &universe);
         Ok(CompiledCircuit {
             circuit,
             lev,
+            soa,
             universe,
             collapsed,
         })
@@ -520,6 +526,11 @@ impl CompiledCircuit {
     pub fn universe(&self) -> &FaultUniverse {
         &self.universe
     }
+
+    /// The levelized SoA lowering shared by every batch job.
+    pub fn levelized(&self) -> &LevelizedCircuit {
+        &self.soa
+    }
 }
 
 /// Per-campaign simulation state over a shared [`CompiledCircuit`] — the
@@ -530,6 +541,7 @@ pub struct SharedSimContext {
     compiled: Arc<CompiledCircuit>,
     options: SimOptions,
     lane_width: LaneWidth,
+    pattern_lanes: usize,
     detected_bits: AtomicBitset,
 }
 
@@ -543,6 +555,7 @@ impl SharedSimContext {
             compiled,
             options,
             lane_width: LaneWidth::DEFAULT,
+            pattern_lanes: PATTERN_LANES_DEFAULT,
             detected_bits,
         }
     }
@@ -553,9 +566,30 @@ impl SharedSimContext {
         self
     }
 
+    /// Sets the tile height (tests per SoA kernel pass; `1` disables
+    /// tiling). Bit-identical at every height; only throughput changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= lanes <= 64` (the narrowest kernel word must
+    /// still fit at least one fault per pattern).
+    pub fn with_pattern_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            (1..=64).contains(&lanes),
+            "pattern lanes must be within 1..=64, got {lanes}"
+        );
+        self.pattern_lanes = lanes;
+        self
+    }
+
     /// The kernel word width batch jobs simulate at.
     pub fn lane_width(&self) -> LaneWidth {
         self.lane_width
+    }
+
+    /// The tile height batch jobs simulate at (tests per kernel pass).
+    pub fn pattern_lanes(&self) -> usize {
+        self.pattern_lanes
     }
 
     /// The simulation options the context was built with.
@@ -669,44 +703,64 @@ impl SharedSetRunner {
         tags: &[u64],
         tests: &Arc<Vec<ScanTest>>,
         traces: &Arc<Vec<OnceLock<TestTrace>>>,
+        tiles: &Arc<Vec<(usize, usize)>>,
         chunks: &Arc<Vec<Vec<FaultId>>>,
         live_left: &Arc<AtomicUsize>,
     ) {
         for &tag in tags {
-            let t = (tag >> 32) as usize;
+            let ti = (tag >> 32) as usize;
             let c = (tag & 0xffff_ffff) as usize;
             let ctx = Arc::clone(&self.ctx);
             let tests = Arc::clone(tests);
             let traces = Arc::clone(traces);
+            let tiles = Arc::clone(tiles);
             let chunks = Arc::clone(chunks);
             let live_left = Arc::clone(live_left);
             self.handle.submit_tagged(tag, move |counters| {
                 if live_left.load(Ordering::Relaxed) == 0 { // lint: ordering-ok(early-exit hint only; a stale read just simulates a batch whose hits are already in the bitset)
                     return;
                 }
-                // lint: panic-ok(the trace wave idles before any batch wave is submitted, so the OnceLock is populated)
-                let trace = traces[t].get().expect("trace barrier passed");
+                let (lo, hi) = tiles[ti]; // lint: panic-ok(ti decodes from a tag minted over 0..tiles.len())
+                let tile_tests: Vec<&ScanTest> = tests[lo..hi].iter().collect(); // lint: panic-ok(tiles partition 0..tests.len(), so lo..hi is in range)
+                let tile_traces: Vec<&TestTrace> = (lo..hi)
+                    // lint: panic-ok(the trace wave idles before any batch wave is submitted, so the OnceLocks are populated)
+                    .map(|t| traces[t].get().expect("trace barrier passed"))
+                    .collect();
                 let good = ctx.compiled.good();
                 let circuit = ctx.compiled.circuit();
-                // Shared-bitset fault dropping + activation prefilter.
+                // Shared-bitset fault dropping + activation prefilter: a
+                // fault activated by none of the tile's traces cannot be
+                // detected by any of its patterns.
                 // lint: panic-ok(c decodes from a tag minted over 0..chunks.len())
                 let candidates: Vec<(FaultId, Fault)> = chunks[c]
                     .iter()
                     .filter(|&&id| !ctx.detected_bits.get(id))
                     .map(|&id| (id, ctx.compiled.universe.fault(id)))
-                    .filter(|&(_, f)| activated_in_trace(circuit, trace, f))
+                    .filter(|&(_, f)| {
+                        tile_traces.iter().any(|tr| activated_in_trace(circuit, tr, f))
+                    })
                     .collect();
                 if candidates.is_empty() {
                     return;
                 }
                 let width = ctx.lane_width;
+                let height = hi - lo;
+                let cap = width.lanes() / height;
                 let mut newly = 0u64;
-                for sub in candidates.chunks(width.lanes()) {
+                for sub in candidates.chunks(cap) {
                     let start = Instant::now(); // lint: det-ok(wall time feeds observability counters only, never the reduced result)
-                    let hits = simulate_chunk_at(width, &good, &tests[t], trace, sub, ctx.options); // lint: panic-ok(t decodes from a tag minted over 0..tests.len())
+                    let per_pattern = simulate_tile_at(
+                        width,
+                        ctx.compiled.levelized(),
+                        &good,
+                        &tile_tests,
+                        &tile_traces,
+                        sub,
+                        ctx.options,
+                    );
                     counters.add_batch(start.elapsed());
-                    counters.add_lanes(sub.len() as u64, width.lanes() as u64);
-                    for id in hits {
+                    counters.add_lanes((sub.len() * height) as u64, width.lanes() as u64);
+                    for id in per_pattern.into_iter().flatten() {
                         if ctx.detected_bits.set(id) {
                             newly += 1;
                         }
@@ -799,7 +853,7 @@ impl SharedSetRunner {
         self.run_waves("trace", trace_tags, |tags| {
             self.submit_trace_wave(tags, &tests, &traces)
         })?;
-        // Phase 2: (test, chunk) jobs over the set-start live list,
+        // Phase 2: (tile, chunk) jobs over the set-start live list,
         // chunk-sized by the campaign's budget exactly as a direct run
         // with `threads = budget` would size them.
         let size = chunk_size(self.live.len(), self.handle.threads());
@@ -807,12 +861,16 @@ impl SharedSetRunner {
             Arc::new(self.live.chunks(size).map(<[FaultId]>::to_vec).collect());
         rls_obs::gauge!("dispatch.chunk_size", size as u64);
         rls_obs::counter!("dispatch.chunks", chunks.len() as u64);
+        let tiles: Arc<Vec<(usize, usize)>> =
+            Arc::new(plan_tiles(&tests, self.ctx.pattern_lanes));
+        rls_obs::counter!("fsim.tiles", tiles.len() as u64);
+        rls_obs::gauge!("fsim.pattern_lanes", self.ctx.pattern_lanes as u64);
         let live_left = Arc::new(AtomicUsize::new(self.live.len()));
-        let batch_tags: Vec<u64> = (0..tests.len())
+        let batch_tags: Vec<u64> = (0..tiles.len())
             .flat_map(|t| (0..chunks.len()).map(move |c| batch_tag(t, c)))
             .collect();
         self.run_waves("batch", batch_tags, |tags| {
-            self.submit_batch_wave(tags, &tests, &traces, &chunks, &live_left)
+            self.submit_batch_wave(tags, &tests, &traces, &tiles, &chunks, &live_left)
         })?;
         // Deterministic reduction: merge in live-list order.
         let newly: Vec<FaultId> = self
@@ -919,6 +977,57 @@ mod tests {
                 "width {width}"
             );
         }
+    }
+
+    #[test]
+    fn pattern_tiles_match_the_oracle_on_the_shared_pool() {
+        // The tiled SoA path must stay bit-identical on the shared pool
+        // too, at every tile height.
+        let c = rls_benchmarks::s27();
+        let shifts = vec![rls_fsim::ShiftOp {
+            at: 2,
+            amount: 1,
+            fill: vec![false],
+        }];
+        let tileable: Vec<ScanTest> = [
+            ("001", ["0111", "1001", "0111", "1001"]),
+            ("110", ["1011", "0001", "1110", "0101"]),
+            ("010", ["0000", "1111", "0011", "1100"]),
+            ("101", ["1010", "0101", "1010", "0101"]),
+        ]
+        .iter()
+        .map(|(si, vs)| {
+            ScanTest::from_strings(si, vs)
+                .unwrap()
+                .with_shifts(shifts.clone())
+                .unwrap()
+        })
+        .collect();
+        let sets = vec![tileable, s27_sets()[0].clone()];
+        let (seq_counts, seq_live) = sequential(&c, &sets);
+        let compiled = compiled_s27();
+        let pool = SharedPool::new(2);
+        for pl in [1, 2, 4] {
+            let ctx = Arc::new(
+                SharedSimContext::new(Arc::clone(&compiled), SimOptions::default())
+                    .with_pattern_lanes(pl),
+            );
+            assert_eq!(ctx.pattern_lanes(), pl);
+            let mut runner = SharedSetRunner::new(ctx, pool.register(2));
+            let counts: Vec<usize> = sets
+                .iter()
+                .map(|set| runner.try_run_set(set).unwrap().len())
+                .collect();
+            assert_eq!(counts, seq_counts, "pattern lanes {pl}");
+            assert_eq!(runner.live(), &seq_live[..], "pattern lanes {pl}");
+            let snap = runner.handle().snapshot();
+            assert_eq!(
+                snap.total_lanes_capacity(),
+                snap.total_batches() * LaneWidth::DEFAULT.lanes() as u64,
+                "pattern lanes {pl}"
+            );
+        }
+        pool.shutdown();
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The fault-simulation driver: collapsed fault list, fault dropping,
 //! activation prefiltering.
 
-use rls_netlist::Circuit;
+use rls_netlist::{Circuit, LevelizedCircuit};
 
 use crate::collapse::CollapsedFaults;
 use crate::coverage::Coverage;
 use crate::fault::{Fault, FaultId, FaultUniverse};
 use crate::good::{GoodSim, TestTrace};
 use crate::parallel::{activated_in_trace, simulate_chunk_at, LaneWidth, SimOptions};
+use crate::soa::{
+    simulate_chunk_soa, simulate_tile_at, tile_compatible, SimKernel, PATTERN_LANES_DEFAULT,
+};
 use crate::test::ScanTest;
 
 /// Cumulative kernel-lane accounting of one simulator.
@@ -57,6 +60,8 @@ impl LaneStats {
 #[derive(Debug)]
 pub struct FaultSimulator<'c> {
     good: GoodSim<'c>,
+    /// The levelized SoA lowering, built once per simulator.
+    soa: LevelizedCircuit,
     universe: FaultUniverse,
     collapsed: CollapsedFaults,
     /// Live (undetected) representative faults.
@@ -64,6 +69,10 @@ pub struct FaultSimulator<'c> {
     detected: Vec<FaultId>,
     options: SimOptions,
     lane_width: LaneWidth,
+    kernel: SimKernel,
+    /// Tile height for [`FaultSimulator::run_tests`] under the SoA kernel:
+    /// up to this many shape-compatible consecutive tests share one pass.
+    pattern_lanes: usize,
     lane_stats: LaneStats,
 }
 
@@ -77,14 +86,19 @@ impl<'c> FaultSimulator<'c> {
         let universe = FaultUniverse::enumerate(circuit);
         let collapsed = CollapsedFaults::build(circuit, &universe);
         let live = collapsed.representatives().to_vec();
+        let good = GoodSim::new(circuit);
+        let soa = LevelizedCircuit::build(circuit, good.levelization());
         FaultSimulator {
-            good: GoodSim::new(circuit),
+            good,
+            soa,
             universe,
             collapsed,
             live,
             detected: Vec::new(),
             options: SimOptions::default(),
             lane_width: LaneWidth::DEFAULT,
+            kernel: SimKernel::DEFAULT,
+            pattern_lanes: PATTERN_LANES_DEFAULT,
             lane_stats: LaneStats::default(),
         }
     }
@@ -110,6 +124,44 @@ impl<'c> FaultSimulator<'c> {
     /// The current kernel word width.
     pub fn lane_width(&self) -> LaneWidth {
         self.lane_width
+    }
+
+    /// Selects the simulation kernel. The default is [`SimKernel::DEFAULT`]
+    /// (the levelized SoA tiles); detections are bit-identical either way —
+    /// the legacy kernel stays in-tree as the differential reference.
+    pub fn set_kernel(&mut self, kernel: SimKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The current simulation kernel.
+    pub fn kernel(&self) -> SimKernel {
+        self.kernel
+    }
+
+    /// Sets the tile height: how many shape-compatible consecutive tests
+    /// [`FaultSimulator::run_tests`] packs into one SoA pass. `1` disables
+    /// tiling; the legacy kernel ignores this knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= pattern_lanes <= 64` (the tile must fit the
+    /// narrowest kernel word).
+    pub fn set_pattern_lanes(&mut self, pattern_lanes: usize) {
+        assert!(
+            (1..=64).contains(&pattern_lanes),
+            "pattern lanes must be within 1..=64, got {pattern_lanes}"
+        );
+        self.pattern_lanes = pattern_lanes;
+    }
+
+    /// The current tile height.
+    pub fn pattern_lanes(&self) -> usize {
+        self.pattern_lanes
+    }
+
+    /// The levelized SoA lowering of the circuit under test.
+    pub fn levelized(&self) -> &LevelizedCircuit {
+        &self.soa
     }
 
     /// Cumulative kernel-lane accounting over this simulator's lifetime
@@ -210,14 +262,25 @@ impl<'c> FaultSimulator<'c> {
             // batch lets the flight recorder attribute time to bands of
             // the candidate list, not just whole tests.
             rls_obs::mark!("fsim.batch", chunk.len());
-            newly.extend(simulate_chunk_at(
-                self.lane_width,
-                &self.good,
-                test,
-                trace,
-                chunk,
-                self.options,
-            ));
+            newly.extend(match self.kernel {
+                SimKernel::Legacy => simulate_chunk_at(
+                    self.lane_width,
+                    &self.good,
+                    test,
+                    trace,
+                    chunk,
+                    self.options,
+                ),
+                SimKernel::Soa => simulate_chunk_soa(
+                    self.lane_width,
+                    &self.soa,
+                    &self.good,
+                    test,
+                    trace,
+                    chunk,
+                    self.options,
+                ),
+            });
         }
         // Lane utilization of the sequential path: each chunk is one
         // kernel call at the configured width whose occupied lanes are its
@@ -263,18 +326,119 @@ impl<'c> FaultSimulator<'c> {
 
     /// Simulates a sequence of tests, dropping as it goes; returns the
     /// number of newly detected faults.
+    ///
+    /// Under the SoA kernel with `pattern_lanes > 1`, consecutive
+    /// shape-compatible tests are packed into `faults × patterns` tiles so
+    /// one kernel pass covers several tests. The detections (set *and*
+    /// order) are identical to the sequential per-test run: per-(test,
+    /// fault) detection does not depend on the other faults in the word,
+    /// and the tile merge walks patterns in test order, dropping
+    /// already-detected ids exactly as sequential dropping would.
     pub fn run_tests<'a, I>(&mut self, tests: I) -> usize
     where
         I: IntoIterator<Item = &'a ScanTest>,
     {
         let mut count = 0;
-        for t in tests {
-            if self.live.is_empty() {
-                break;
+        if self.kernel == SimKernel::Soa && self.pattern_lanes > 1 {
+            let all: Vec<&ScanTest> = tests.into_iter().collect();
+            let mut i = 0;
+            while i < all.len() {
+                if self.live.is_empty() {
+                    break;
+                }
+                let mut j = i + 1;
+                while j < all.len()
+                    && j - i < self.pattern_lanes
+                    && tile_compatible(all[i], all[j]) // lint: panic-ok(i < j < all.len() by the loop conditions)
+                {
+                    j += 1;
+                }
+                count += self.run_tile(&all[i..j]); // lint: panic-ok(i < j <= all.len(): j starts at i + 1 and only advances while in range)
+                i = j;
             }
-            count += self.run_test(t).len();
+        } else {
+            for t in tests {
+                if self.live.is_empty() {
+                    break;
+                }
+                count += self.run_test(t).len();
+            }
         }
         count
+    }
+
+    /// Simulates a tile of shape-compatible tests in one SoA pass and
+    /// merges the per-pattern detections in test order.
+    fn run_tile(&mut self, tests: &[&ScanTest]) -> usize {
+        let t = tests.len();
+        if t == 1 {
+            return self.run_test(tests[0]).len(); // lint: panic-ok(t == tests.len() == 1 on this branch)
+        }
+        let _span = rls_obs::span!("fsim.test", live = self.live.len());
+        let traces: Vec<TestTrace> = tests.iter().map(|x| self.good.simulate_test(x)).collect();
+        let circuit = self.good.circuit();
+        // Union activation prefilter: a fault inactive in every trace of
+        // the tile cannot be detected by any of its tests.
+        let candidates: Vec<(FaultId, Fault)> = self
+            .live
+            .iter()
+            .map(|&id| (id, self.universe.fault(id)))
+            .filter(|&(_, f)| traces.iter().any(|tr| activated_in_trace(circuit, tr, f)))
+            .collect();
+        let sw = rls_obs::Stopwatch::start();
+        let lanes = self.lane_width.lanes();
+        let cap = lanes / t;
+        let trace_refs: Vec<&TestTrace> = traces.iter().collect();
+        let mut per_pattern: Vec<Vec<FaultId>> = vec![Vec::new(); t];
+        for chunk in candidates.chunks(cap) {
+            rls_obs::mark!("fsim.batch", chunk.len());
+            let dets = simulate_tile_at(
+                self.lane_width,
+                &self.soa,
+                &self.good,
+                tests,
+                &trace_refs,
+                chunk,
+                self.options,
+            );
+            for (p, d) in dets.into_iter().enumerate() {
+                per_pattern[p].extend(d); // lint: panic-ok(the kernel returns one list per tile pattern)
+            }
+        }
+        // Each kernel call occupies `chunk × t` lanes of a `lanes`-wide
+        // word, so the capacity invariant (`capacity == batches * lanes`)
+        // is preserved under tiling.
+        let batches = candidates.len().div_ceil(cap) as u64;
+        self.lane_stats.batches += batches;
+        self.lane_stats.lanes_used += (candidates.len() * t) as u64;
+        self.lane_stats.lanes_capacity += batches * lanes as u64;
+        if sw.running() {
+            rls_obs::histogram!("fsim.test_nanos", sw.elapsed_nanos());
+            rls_obs::counter!("fsim.faults_simulated", (candidates.len() * t) as u64);
+            rls_obs::counter!("fsim.batches", batches);
+            rls_obs::counter!("fsim.lanes_used", (candidates.len() * t) as u64);
+            rls_obs::counter!("fsim.lanes_capacity", batches * lanes as u64);
+            rls_obs::gauge!("fsim.lane_width", lanes as u64);
+            rls_obs::counter!("fsim.tiles", 1);
+            rls_obs::gauge!("fsim.pattern_lanes", t as u64);
+        }
+        // Order-preserving merge: walk patterns in test order, each in
+        // candidate order, dropping ids already claimed by an earlier
+        // pattern — exactly what sequential per-test dropping produces.
+        let mut seen: std::collections::HashSet<FaultId> = std::collections::HashSet::new();
+        let mut merged: Vec<FaultId> = Vec::new();
+        for dets in per_pattern {
+            for id in dets {
+                if seen.insert(id) {
+                    merged.push(id);
+                }
+            }
+        }
+        if !merged.is_empty() {
+            self.live.retain(|id| !seen.contains(id));
+            self.detected.extend(merged.iter().copied());
+        }
+        merged.len()
     }
 }
 
@@ -399,6 +563,120 @@ mod tests {
             sim.run_test(&s27_test());
             assert_eq!(sim.detected(), &expect[..], "width {width}");
         }
+    }
+
+    fn s27_tile_tests() -> Vec<ScanTest> {
+        // Six tests: the first four shape-compatible (tileable), then two
+        // with a different shift schedule (forcing a tile break).
+        let mut out: Vec<ScanTest> = [
+            ("001", ["0111", "1001", "0111", "1001", "0100"]),
+            ("110", ["1010", "0101", "1110", "0001", "1000"]),
+            ("010", ["0000", "1111", "0011", "1100", "0110"]),
+            ("101", ["1001", "0110", "1010", "0101", "1111"]),
+        ]
+        .iter()
+        .map(|&(si, ref vs)| {
+            ScanTest::from_strings(si, vs)
+                .unwrap()
+                .with_shifts(vec![crate::test::ShiftOp {
+                    at: 2,
+                    amount: 1,
+                    fill: vec![false],
+                }])
+                .unwrap()
+        })
+        .collect();
+        out.push(
+            ScanTest::from_strings("011", &["1100", "0011", "1010", "0101", "1001"])
+                .unwrap()
+                .with_shifts(vec![crate::test::ShiftOp {
+                    at: 3,
+                    amount: 2,
+                    fill: vec![true, false],
+                }])
+                .unwrap(),
+        );
+        out.push(ScanTest::from_strings("111", &["0001", "0010", "0100", "1000", "0110"]).unwrap());
+        out
+    }
+
+    #[test]
+    fn soa_kernel_matches_legacy_detection_order() {
+        // Kernel invariance at the engine level: the SoA kernel (default)
+        // and the legacy reference produce the same detection sequence at
+        // every width.
+        let c = rls_benchmarks::s27();
+        let mut reference = FaultSimulator::new(&c);
+        assert_eq!(reference.kernel(), crate::soa::SimKernel::Soa);
+        reference.set_kernel(crate::soa::SimKernel::Legacy);
+        reference.run_test(&s27_test());
+        let expect = reference.detected().to_vec();
+        assert!(!expect.is_empty());
+        for width in LaneWidth::ALL {
+            let mut sim = FaultSimulator::new(&c);
+            sim.set_lane_width(width);
+            sim.run_test(&s27_test());
+            assert_eq!(sim.detected(), &expect[..], "soa width {width}");
+        }
+    }
+
+    #[test]
+    fn tiled_run_tests_matches_sequential_legacy() {
+        // The crown invariant of the tile scheduler: for every width and
+        // tile height, run_tests over a mixed (tileable + non-tileable)
+        // sequence yields the legacy sequential detection order exactly.
+        let c = rls_benchmarks::s27();
+        let tests = s27_tile_tests();
+        let mut reference = FaultSimulator::new(&c);
+        reference.set_kernel(crate::soa::SimKernel::Legacy);
+        reference.run_tests(&tests);
+        let expect = reference.detected().to_vec();
+        assert!(!expect.is_empty());
+        for width in LaneWidth::ALL {
+            for p in crate::soa::PATTERN_LANES_ALL {
+                let mut sim = FaultSimulator::new(&c);
+                sim.set_lane_width(width);
+                sim.set_pattern_lanes(p);
+                sim.run_tests(&tests);
+                assert_eq!(
+                    sim.detected(),
+                    &expect[..],
+                    "width {width}, pattern lanes {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_capacity_invariant_holds_under_tiles() {
+        let c = rls_benchmarks::s27();
+        let tests = s27_tile_tests();
+        for width in LaneWidth::ALL {
+            for p in crate::soa::PATTERN_LANES_ALL {
+                let mut sim = FaultSimulator::new(&c);
+                sim.set_lane_width(width);
+                sim.set_pattern_lanes(p);
+                sim.run_tests(&tests);
+                let stats = sim.lane_stats();
+                assert_eq!(
+                    stats.lanes_capacity,
+                    stats.batches * width.lanes() as u64,
+                    "width {width}, pattern lanes {p}"
+                );
+                assert!(
+                    stats.lanes_used <= stats.lanes_capacity,
+                    "width {width}, pattern lanes {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern lanes must be within 1..=64")]
+    fn pattern_lane_bounds_are_guarded() {
+        let c = rls_benchmarks::s27();
+        let mut sim = FaultSimulator::new(&c);
+        sim.set_pattern_lanes(65);
     }
 
     #[test]

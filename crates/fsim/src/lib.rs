@@ -21,7 +21,10 @@
 //!   trace that reproduces the paper's Table 1/Table 2 worked example;
 //! - [`parallel`]: wide-word bit-parallel fault simulation (one fault per
 //!   lane, 64–512 lanes per batch via [`LaneWidth`], fault-free reference
-//!   from [`good`]);
+//!   from [`good`]) — kept as the differential reference kernel;
+//! - [`soa`]: the levelized SoA tile kernel — flat-array evaluation over
+//!   [`rls_netlist::LevelizedCircuit`] with a second (pattern) lane axis,
+//!   proven bit-identical to [`parallel`] by the oracle suite;
 //! - [`engine`]: the [`FaultSimulator`] driver with fault dropping and
 //!   activation prefiltering;
 //! - [`coverage`]: fault-coverage bookkeeping.
@@ -54,6 +57,7 @@ pub mod good;
 pub mod multichain_sim;
 pub mod parallel;
 pub mod partial_sim;
+pub mod soa;
 pub mod test;
 pub mod transition;
 
@@ -72,6 +76,10 @@ pub use parallel::{
 };
 pub use partial_sim::{
     run_tests_partial, simulate_batch_partial, simulate_good_partial, PartialTrace,
+};
+pub use soa::{
+    parse_pattern_lanes, simulate_chunk_soa, simulate_tile_at, simulate_tile_lanes,
+    tile_compatible, SimKernel, SoaBatch, PATTERN_LANES_ALL, PATTERN_LANES_DEFAULT,
 };
 pub use test::{ScanTest, ShiftOp, TestError};
 pub use transition::{

@@ -1,0 +1,930 @@
+//! Levelized SoA fault-simulation kernel with (fault × pattern) tiles.
+//!
+//! This is the flat-array rewrite of [`crate::parallel`]: instead of
+//! walking [`rls_netlist::Node`] objects per gate, it sweeps the dense
+//! slot arrays of a [`LevelizedCircuit`] — one contiguous `Vec<W>` of
+//! values, an opcode table and a CSR fanin table — so the hot loop is
+//! branch-light and pointer-chase-free.
+//!
+//! # Two lane axes
+//!
+//! A lane word still carries [`LaneWord::LANES`] machines, but the lanes
+//! are split across *two* axes: a tile of `T` tests (patterns) times `C`
+//! faults, with `T * C <= W::LANES`. Lane `p * C + j` simulates fault `j`
+//! of the batch under test `p` of the tile. Pattern `p` owns the
+//! contiguous lane range `[p*C, (p+1)*C)`, so per-pattern masks and the
+//! occupied mask are cheap `low_mask` arithmetic. With `T = 1` the kernel
+//! degenerates to the legacy single-test layout.
+//!
+//! Tests sharing one tile must be *shape-compatible* ([`tile_compatible`]):
+//! same length and the same `(at, amount)` shift schedule. Scan-in states,
+//! vectors and shift fills may all differ per pattern — they are mixed
+//! into lane words per pattern range.
+//!
+//! # Fault injection as sorted patch lists
+//!
+//! The legacy kernel keeps dense per-net force tables and a pin-force hash
+//! map. Here forces become sorted patch lists applied at level-run
+//! boundaries: every consumer of a gate sits at a strictly higher level,
+//! so patching a run's outputs after bulk-evaluating the run is
+//! indistinguishable from patching each gate as it is computed. Within a
+//! run, pin re-evaluations are applied before stem patches, matching the
+//! legacy per-gate order (fanin forces feed the gate function, stem forces
+//! override its output).
+//!
+//! # Verification
+//!
+//! The legacy kernel stays in-tree as the reference implementation; the
+//! differential oracle (`tests/soa_oracle.rs` plus the in-crate tests
+//! below) proves this kernel bit-identical across every lane width,
+//! pattern-lane count and thread count. The `kernel-mutate` feature
+//! compiles in seeded single-site corruptions ([`mutate`]) used by the
+//! mutation self-tests to prove the oracle actually turns red.
+
+use rls_netlist::{Circuit, GateKind, LevelizedCircuit};
+use rls_scan::lanes::LaneWord;
+use rls_scan::ops;
+use rls_scan::{W128, W256, W512};
+
+use crate::fault::{Fault, FaultId, FaultSite};
+use crate::good::{GoodSim, TestTrace};
+use crate::parallel::{Force, LaneWidth, SimOptions};
+use crate::test::ScanTest;
+
+/// Which fault-simulation kernel the engine drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimKernel {
+    /// The original gate-walking kernel ([`crate::parallel`]), kept as the
+    /// differential reference.
+    Legacy,
+    /// The levelized SoA tile kernel (this module).
+    Soa,
+}
+
+impl SimKernel {
+    /// The default kernel: the SoA tiles, proven bit-identical to the
+    /// legacy kernel by the oracle suite and ≥2× faster on s953 (see
+    /// `BENCH_fsim_lanes.json`).
+    pub const DEFAULT: SimKernel = SimKernel::Soa;
+
+    /// Parses a kernel name (`legacy`/`gate` or `soa`/`levelized`).
+    pub fn parse(s: &str) -> Option<SimKernel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "legacy" | "gate" | "gatewalk" => Some(SimKernel::Legacy),
+            "soa" | "levelized" => Some(SimKernel::Soa),
+            _ => None,
+        }
+    }
+}
+
+impl Default for SimKernel {
+    fn default() -> Self {
+        SimKernel::DEFAULT
+    }
+}
+
+impl std::fmt::Display for SimKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimKernel::Legacy => write!(f, "legacy"),
+            SimKernel::Soa => write!(f, "soa"),
+        }
+    }
+}
+
+/// Supported pattern-lane (tile height) settings, smallest first.
+pub const PATTERN_LANES_ALL: [usize; 4] = [1, 2, 4, 8];
+
+/// The default tile height, chosen from measured `fsim.test_nanos` on the
+/// s953 TS0 campaign (see `BENCH_fsim_lanes.json`): packing 4 tests per
+/// word keeps the fault axis wide enough for early exits while filling
+/// lanes that a thin fault tail would waste.
+pub const PATTERN_LANES_DEFAULT: usize = 4;
+
+/// Parses a pattern-lane count (`1`/`2`/`4`/`8`).
+pub fn parse_pattern_lanes(s: &str) -> Option<usize> {
+    match s.trim() {
+        "1" => Some(1),
+        "2" => Some(2),
+        "4" => Some(4),
+        "8" => Some(8),
+        _ => None,
+    }
+}
+
+/// Whether two tests may share one tile: same length and the same
+/// `(at, amount)` shift schedule (fills and scan-ins may differ — they
+/// are per-pattern data, not shape).
+pub fn tile_compatible(a: &ScanTest, b: &ScanTest) -> bool {
+    a.len() == b.len()
+        && a.shifts.len() == b.shifts.len()
+        && a.shifts
+            .iter()
+            .zip(b.shifts.iter())
+            .all(|(x, y)| x.at == y.at && x.amount == y.amount)
+}
+
+/// Pin patches of one gate: `(pin, force)` pairs in ascending pin order.
+#[derive(Debug)]
+struct PinPatch<W> {
+    gate: u32,
+    pins: Vec<(u32, Force<W>)>,
+}
+
+/// A prepared `patterns × faults` tile of at most `W::LANES` lanes.
+///
+/// All patch lists are sorted by their application key so the kernel can
+/// walk them with a cursor as it sweeps the level runs.
+#[derive(Debug)]
+pub struct SoaBatch<W = u64> {
+    ids: Vec<FaultId>,
+    patterns: usize,
+    /// Stem forces on source slots (inputs/constants), by ascending slot.
+    source_stem: Vec<(u32, Force<W>)>,
+    /// Stem forces on gate outputs, by ascending gate index (eval order).
+    gate_stem: Vec<(u32, Force<W>)>,
+    /// Branch forces on gate fanin pins, grouped per gate, ascending.
+    pin_gates: Vec<PinPatch<W>>,
+    /// Stuck register outputs by chain position, re-applied after every
+    /// state mutation.
+    ff_pos: Vec<(usize, Force<W>)>,
+    /// Branch forces on flip-flop data pins by chain position, applied to
+    /// the captured word.
+    ff_capture: Vec<(usize, Force<W>)>,
+}
+
+/// Sorts raw `(key, fault-lane, stuck)` entries and folds equal keys into
+/// one [`Force`] covering the fault's lane in every pattern.
+fn fold_forces<K: Ord + Copy, W: LaneWord>(
+    mut raw: Vec<(K, usize, bool)>,
+    patterns: usize,
+    chunk: usize,
+) -> Vec<(K, Force<W>)> {
+    raw.sort_by_key(|&(k, _, _)| k);
+    let mut out: Vec<(K, Force<W>)> = Vec::new();
+    for (k, j, stuck) in raw {
+        if out.last().map(|&(lk, _)| lk) != Some(k) {
+            out.push((k, Force::NONE));
+        }
+        let f = &mut out.last_mut().expect("pushed on the previous line").1; // lint: panic-ok(out is nonempty here by construction)
+        for p in 0..patterns {
+            f.add(p * chunk + j, stuck);
+        }
+    }
+    out
+}
+
+impl<W: LaneWord> SoaBatch<W> {
+    /// Prepares a tile of `faults` × `patterns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns * faults.len()` exceeds `W::LANES`.
+    pub fn new(
+        circuit: &Circuit,
+        lc: &LevelizedCircuit,
+        faults: &[(FaultId, Fault)],
+        patterns: usize,
+    ) -> Self {
+        assert!(patterns > 0, "a tile must hold at least one pattern");
+        assert!(
+            patterns * faults.len() <= W::LANES,
+            "tile of {} patterns x {} faults exceeds {} lanes",
+            patterns,
+            faults.len(),
+            W::LANES
+        );
+        let chunk = faults.len();
+        let num_sources = lc.num_sources();
+        let mut src: Vec<(u32, usize, bool)> = Vec::new();
+        let mut gstem: Vec<(u32, usize, bool)> = Vec::new();
+        let mut pins: Vec<((u32, u32), usize, bool)> = Vec::new();
+        let mut ffp: Vec<(usize, usize, bool)> = Vec::new();
+        let mut ffc: Vec<(usize, usize, bool)> = Vec::new();
+        for (j, &(_, fault)) in faults.iter().enumerate() {
+            match fault.site {
+                FaultSite::Stem(net) => {
+                    if let Some(pos) = circuit.dff_position(net) {
+                        ffp.push((pos, j, fault.stuck));
+                    } else {
+                        let slot = lc.slot(net);
+                        if (slot as usize) < num_sources {
+                            src.push((slot, j, fault.stuck));
+                        } else {
+                            gstem.push((slot - num_sources as u32, j, fault.stuck));
+                        }
+                    }
+                }
+                FaultSite::Branch { node, pin } => {
+                    if let Some(pos) = circuit.dff_position(node) {
+                        ffc.push((pos, j, fault.stuck));
+                    } else {
+                        pins.push(((lc.slot(node) - num_sources as u32, pin), j, fault.stuck));
+                    }
+                }
+            }
+        }
+        let pin_forces = fold_forces::<(u32, u32), W>(pins, patterns, chunk);
+        let mut pin_gates: Vec<PinPatch<W>> = Vec::new();
+        for ((gate, pin), f) in pin_forces {
+            match pin_gates.last_mut() {
+                Some(pp) if pp.gate == gate => pp.pins.push((pin, f)),
+                _ => pin_gates.push(PinPatch {
+                    gate,
+                    pins: vec![(pin, f)],
+                }),
+            }
+        }
+        SoaBatch {
+            ids: faults.iter().map(|&(id, _)| id).collect(),
+            patterns,
+            source_stem: fold_forces(src, patterns, chunk),
+            gate_stem: fold_forces(gstem, patterns, chunk),
+            pin_gates,
+            ff_pos: fold_forces(ffp, patterns, chunk),
+            ff_capture: fold_forces(ffc, patterns, chunk),
+        }
+    }
+
+    /// Number of occupied lanes (`patterns × faults`).
+    pub fn lanes(&self) -> usize {
+        self.patterns * self.ids.len()
+    }
+
+    /// The tile's fault ids, in candidate order.
+    pub fn ids(&self) -> &[FaultId] {
+        &self.ids
+    }
+
+    #[inline]
+    fn force_state(&self, state: &mut [W]) {
+        for &(pos, f) in &self.ff_pos {
+            state[pos] = f.apply(state[pos]); // lint: panic-ok(ff positions index the dense state vector)
+        }
+    }
+}
+
+/// Mixes per-pattern bits into one lane word: pattern `p`'s contiguous
+/// lane range is filled with `bit(p)`.
+#[inline]
+fn mix<W: LaneWord, F: FnMut(usize) -> bool>(pmask: &[W], mut bit: F) -> W {
+    let mut w = W::ZERO;
+    for (p, &m) in pmask.iter().enumerate() {
+        if bit(p) {
+            w |= m;
+        }
+    }
+    w
+}
+
+/// Evaluates one gate from its fanin slots — the branch-light heart of the
+/// kernel, with dedicated unary/binary fast paths.
+#[inline]
+fn eval_gate<W: LaneWord>(op: GateKind, fanins: &[u32], values: &[W]) -> W {
+    match fanins {
+        [a] => {
+            let x = values[*a as usize]; // lint: panic-ok(fanin slots index the dense value array)
+            match op {
+                GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor => !x,
+                _ => x,
+            }
+        }
+        [a, b] => {
+            let x = values[*a as usize]; // lint: panic-ok(fanin slots index the dense value array)
+            let y = values[*b as usize]; // lint: panic-ok(fanin slots index the dense value array)
+            match op {
+                GateKind::And => x & y,
+                GateKind::Nand => !(x & y),
+                GateKind::Or => x | y,
+                GateKind::Nor => !(x | y),
+                GateKind::Xor => x ^ y,
+                GateKind::Xnor => !(x ^ y),
+                GateKind::Buf => x,
+                GateKind::Not => !x,
+            }
+        }
+        _ => {
+            let Some(&a0) = fanins.first() else {
+                panic!("gate must have at least one fanin"); // lint: panic-ok(validated circuits have no fanin-less gates, mirrors GateKind::eval_lanes)
+            };
+            let first = values[a0 as usize]; // lint: panic-ok(fanin slots index the dense value array)
+            let rest = fanins[1..].iter().map(|&f| values[f as usize]); // lint: panic-ok(fanin slots index the dense value array)
+            match op {
+                GateKind::And => rest.fold(first, |acc, w| acc & w),
+                GateKind::Nand => !rest.fold(first, |acc, w| acc & w),
+                GateKind::Or => rest.fold(first, |acc, w| acc | w),
+                GateKind::Nor => !rest.fold(first, |acc, w| acc | w),
+                GateKind::Xor => rest.fold(first, |acc, w| acc ^ w),
+                GateKind::Xnor => !rest.fold(first, |acc, w| acc ^ w),
+                GateKind::Buf => first,
+                GateKind::Not => !first,
+            }
+        }
+    }
+}
+
+/// One combinational sweep over the levelized arrays: loads sources,
+/// bulk-evaluates each level run, and applies the tile's fault patches at
+/// run boundaries (sound because all fanout crosses to higher levels).
+fn eval_tile<W: LaneWord>(
+    lc: &LevelizedCircuit,
+    batch: &SoaBatch<W>,
+    pi_words: &[W],
+    state: &[W],
+    values: &mut [W],
+    fanin_buf: &mut Vec<W>,
+) {
+    for (k, &s) in lc.input_slots().iter().enumerate() {
+        values[s as usize] = pi_words[k]; // lint: panic-ok(one PI word per input slot, values dense over slots)
+    }
+    for (i, &s) in lc.dff_slots().iter().enumerate() {
+        // State words already carry flip-flop stem forces.
+        values[s as usize] = state[i]; // lint: panic-ok(one state word per dff slot, values dense over slots)
+    }
+    for &(s, v) in lc.const_slots() {
+        values[s as usize] = W::splat(v); // lint: panic-ok(const slots index the dense value array)
+    }
+    for &(s, f) in &batch.source_stem {
+        values[s as usize] = f.apply(values[s as usize]); // lint: panic-ok(source slots index the dense value array)
+    }
+    let ops = lc.ops();
+    let bounds = lc.fanin_bounds();
+    let fanins = lc.fanin_slots();
+    let base = lc.num_sources();
+    let mut stem_i = 0usize;
+    let mut pin_i = 0usize;
+    for &(gs, ge) in lc.level_runs() {
+        for g in gs as usize..ge as usize {
+            let s = bounds[g] as usize; // lint: panic-ok(fanin_bounds has num_gates + 1 entries)
+            let e = bounds[g + 1] as usize; // lint: panic-ok(fanin_bounds has num_gates + 1 entries)
+            let (s, e) = mutated_fanin_window(g, s, e, fanins.len());
+            let w = eval_gate(mutated_op(g, ops[g]), &fanins[s..e], values); // lint: panic-ok(CSR offsets index the fanin array by construction)
+            values[base + g] = w; // lint: panic-ok(gate g writes slot num_sources + g, in range)
+        }
+        // Patch this run's outputs before any higher level reads them:
+        // pin re-evaluations first, then stem overrides, matching the
+        // legacy per-gate order.
+        let barrier = mutated_patch_barrier(ge);
+        while pin_i < batch.pin_gates.len() && batch.pin_gates[pin_i].gate < barrier { // lint: panic-ok(pin_i bounded by the loop condition)
+            let pp = &batch.pin_gates[pin_i]; // lint: panic-ok(pin_i bounded by the loop condition)
+            let g = pp.gate as usize;
+            let s = bounds[g] as usize; // lint: panic-ok(fanin_bounds has num_gates + 1 entries)
+            let e = bounds[g + 1] as usize; // lint: panic-ok(fanin_bounds has num_gates + 1 entries)
+            fanin_buf.clear();
+            for (pin, &fs) in fanins[s..e].iter().enumerate() { // lint: panic-ok(s..e is a CSR window of fanin_slots)
+                let mut w = values[fs as usize]; // lint: panic-ok(fanin slots index the dense value array)
+                for &(fp, f) in &pp.pins {
+                    if fp as usize == pin {
+                        w = f.apply(w);
+                    }
+                }
+                fanin_buf.push(w);
+            }
+            values[base + g] = mutated_op(g, ops[g]).eval_lanes(fanin_buf); // lint: panic-ok(gate g writes slot num_sources + g, in range)
+            pin_i += 1;
+        }
+        while stem_i < batch.gate_stem.len() && batch.gate_stem[stem_i].0 < barrier { // lint: panic-ok(stem_i bounded by the loop condition)
+            let (g, f) = batch.gate_stem[stem_i]; // lint: panic-ok(stem_i bounded by the loop condition)
+            let s = base + g as usize;
+            values[s] = f.apply(values[s]); // lint: panic-ok(gate indices write slots below num_slots)
+            stem_i += 1;
+        }
+    }
+}
+
+/// Collects per-pattern detections in candidate (batch) order.
+fn collect_detections<W: LaneWord>(batch: &SoaBatch<W>, detected: W) -> Vec<Vec<FaultId>> {
+    let chunk = batch.ids.len();
+    (0..batch.patterns)
+        .map(|p| {
+            batch
+                .ids
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| detected.lane(p * chunk + j))
+                .map(|(_, &id)| id)
+                .collect()
+        })
+        .collect()
+}
+
+/// Width-generic tile simulation: runs a shape-compatible tile of tests
+/// against one fault batch and returns, per test, the detected faults in
+/// candidate order.
+///
+/// `traces[p]` must be the good trace of exactly `tests[p]` on this
+/// circuit, and `lc` the lowering of the same circuit as `sim`.
+///
+/// # Panics
+///
+/// Panics if the tile is empty, the tests are not shape-compatible, the
+/// traces don't pair up with the tests, or `tests.len() * faults.len()`
+/// exceeds `W::LANES`.
+pub fn simulate_tile_lanes<W: LaneWord>(
+    lc: &LevelizedCircuit,
+    sim: &GoodSim<'_>,
+    tests: &[&ScanTest],
+    traces: &[&TestTrace],
+    faults: &[(FaultId, Fault)],
+    opts: SimOptions,
+) -> Vec<Vec<FaultId>> {
+    let t = tests.len();
+    assert!(t > 0, "a tile must hold at least one test");
+    assert_eq!(t, traces.len(), "one good trace per tile test");
+    assert!(
+        tests.iter().all(|x| tile_compatible(tests[0], x)), // lint: panic-ok(t > 0 asserted just above)
+        "tile tests must share length and shift schedule"
+    );
+    let circuit = sim.circuit();
+    let chunk = faults.len();
+    let batch: SoaBatch<W> = SoaBatch::new(circuit, lc, faults, t);
+    let full = mutated_full_mask::<W>(t * chunk);
+    let pmask: Vec<W> = (0..t)
+        .map(|p| W::low_mask((p + 1) * chunk) ^ W::low_mask(p * chunk))
+        .collect();
+    let mut detected = W::ZERO;
+    let nff = circuit.num_dffs();
+    let mut state: Vec<W> = (0..nff)
+        .map(|i| mix(&pmask, |p| tests[p].scan_in[i])) // lint: panic-ok(scan-in widths match the chain, as in the legacy kernel)
+        .collect();
+    batch.force_state(&mut state);
+    let mut values: Vec<W> = vec![W::ZERO; lc.num_slots()];
+    let mut pi_words: Vec<W> = vec![W::ZERO; circuit.num_inputs()];
+    let mut fill_words: Vec<W> = Vec::new();
+    let mut fanin_buf: Vec<W> = Vec::with_capacity(8);
+    let mut scan_out_idx = 0usize;
+    for u in 0..tests[0].len() { // lint: panic-ok(t > 0 asserted at entry)
+        if let Some(op) = tests[0].shift_at(u) { // lint: panic-ok(t > 0 asserted at entry)
+            fill_words.clear();
+            for cyc in 0..op.amount {
+                fill_words.push(mix(&pmask, |p| {
+                    tests[p] // lint: panic-ok(mix calls back with p < pmask.len() == tests.len())
+                        .shift_at(u)
+                        .expect("tile shapes agree") // lint: panic-ok(tile_compatible guarantees a matching shift per pattern)
+                        .fill[cyc] // lint: panic-ok(ScanTest validates fill length == amount)
+                }));
+            }
+            let outs = ops::limited_scan_fill_lanes(&mut state, op.amount, &fill_words);
+            if opts.observe_limited_scan_out {
+                for (cyc, &w) in outs.iter().enumerate() {
+                    let gw = mix(&pmask, |p| traces[p].scan_outs[scan_out_idx].1[cyc]); // lint: panic-ok(trace has one scan_out row per shift, one bit per cycle)
+                    detected |= w ^ gw;
+                }
+            }
+            scan_out_idx += 1;
+            batch.force_state(&mut state);
+            if detected & full == full {
+                return collect_detections(&batch, full);
+            }
+        }
+        for (k, w) in pi_words.iter_mut().enumerate() {
+            *w = mix(&pmask, |p| tests[p].vectors[u][k]); // lint: panic-ok(vector widths match num_inputs, as asserted by the legacy kernel)
+        }
+        eval_tile(lc, &batch, &pi_words, &state, &mut values, &mut fanin_buf);
+        if opts.observe_outputs {
+            for (k, &oslot) in lc.output_slots().iter().enumerate() {
+                let gw = mix(&pmask, |p| traces[p].outputs[u][k]); // lint: panic-ok(trace holds one PO row per vector of this very test)
+                detected |= values[oslot as usize] ^ gw; // lint: panic-ok(output slots index the dense value array)
+            }
+        }
+        if detected & full == full {
+            return collect_detections(&batch, full);
+        }
+        // Capture next state.
+        for (i, &dslot) in lc.dff_data_slots().iter().enumerate() {
+            state[i] = values[dslot as usize]; // lint: panic-ok(state is dense over dffs, values over slots)
+        }
+        for &(pos, f) in &batch.ff_capture {
+            state[pos] = f.apply(state[pos]); // lint: panic-ok(ff positions index the dense state vector)
+        }
+        batch.force_state(&mut state);
+    }
+    // Final complete scan-out observes the whole state.
+    if opts.observe_final_scan_out {
+        for (i, &sw) in state.iter().enumerate() {
+            let gw = mix(&pmask, |p| traces[p].final_state()[i]); // lint: panic-ok(the trace final state is dense over dffs)
+            detected |= sw ^ gw;
+        }
+    }
+    detected &= full;
+    collect_detections(&batch, detected)
+}
+
+/// Dispatches one tile to the kernel monomorphisation for `width`.
+///
+/// The tile-aware analogue of [`crate::parallel::simulate_chunk_at`]: the
+/// chunkers size fault chunks by `width.lanes() / tests.len()` and this
+/// guard catches any disagreement.
+///
+/// # Panics
+///
+/// Panics if `tests.len() * faults.len()` exceeds `width.lanes()`.
+pub fn simulate_tile_at(
+    width: LaneWidth,
+    lc: &LevelizedCircuit,
+    sim: &GoodSim<'_>,
+    tests: &[&ScanTest],
+    traces: &[&TestTrace],
+    faults: &[(FaultId, Fault)],
+    opts: SimOptions,
+) -> Vec<Vec<FaultId>> {
+    assert!(
+        tests.len() * faults.len() <= width.lanes(),
+        "tile of {} patterns x {} faults exceeds the {}-lane kernel width",
+        tests.len(),
+        faults.len(),
+        width.lanes()
+    );
+    match width {
+        LaneWidth::W64 => simulate_tile_lanes::<u64>(lc, sim, tests, traces, faults, opts),
+        LaneWidth::W128 => simulate_tile_lanes::<W128>(lc, sim, tests, traces, faults, opts),
+        LaneWidth::W256 => simulate_tile_lanes::<W256>(lc, sim, tests, traces, faults, opts),
+        LaneWidth::W512 => simulate_tile_lanes::<W512>(lc, sim, tests, traces, faults, opts),
+    }
+}
+
+/// Single-test convenience: a 1-pattern tile, drop-in compatible with
+/// [`crate::parallel::simulate_chunk_at`].
+pub fn simulate_chunk_soa(
+    width: LaneWidth,
+    lc: &LevelizedCircuit,
+    sim: &GoodSim<'_>,
+    test: &ScanTest,
+    trace: &TestTrace,
+    faults: &[(FaultId, Fault)],
+    opts: SimOptions,
+) -> Vec<FaultId> {
+    simulate_tile_at(width, lc, sim, &[test], &[trace], faults, opts)
+        .pop()
+        .unwrap_or_default()
+}
+
+/// Seeded single-site kernel corruptions for mutation self-tests.
+///
+/// Compiled only under the `kernel-mutate` feature; the production build
+/// replaces every hook with an inlined identity. A mutation is *armed*
+/// per-thread, runs every kernel call on that thread until disarmed, and
+/// must turn the differential oracle red — that is the whole point: the
+/// self-tests prove the oracle catches real kernel bugs.
+#[cfg(feature = "kernel-mutate")]
+pub mod mutate {
+    use std::cell::Cell;
+
+    /// A single-site corruption of the SoA evaluator.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum KernelMutation {
+        /// Gate `g` evaluates with its opcode swapped against its dual
+        /// (And↔Or, Nand↔Nor, Xor↔Xnor, Not↔Buf).
+        WrongOpcode(usize),
+        /// Gate `g` reads a CSR fanin window shifted off by one slot.
+        SwappedFaninWindow(usize),
+        /// The level barrier is skewed: the last gate of every run gets
+        /// its fault patches one run too late (i.e. never, for the
+        /// final run).
+        LevelBarrierSkew,
+        /// The occupied-lane mask is one lane short, silently dropping
+        /// the last fault × pattern lane from detection.
+        DetectMaskShort,
+    }
+
+    thread_local! {
+        static ARMED: Cell<Option<KernelMutation>> = const { Cell::new(None) };
+    }
+
+    /// Arms a mutation (or disarms with `None`) for this thread.
+    pub fn arm(m: Option<KernelMutation>) {
+        ARMED.with(|a| a.set(m));
+    }
+
+    /// The currently armed mutation, if any.
+    pub fn armed() -> Option<KernelMutation> {
+        ARMED.with(|a| a.get())
+    }
+
+    pub(super) fn dual(op: rls_netlist::GateKind) -> rls_netlist::GateKind {
+        use rls_netlist::GateKind::*;
+        match op {
+            And => Or,
+            Or => And,
+            Nand => Nor,
+            Nor => Nand,
+            Xor => Xnor,
+            Xnor => Xor,
+            Not => Buf,
+            Buf => Not,
+        }
+    }
+}
+
+#[cfg(feature = "kernel-mutate")]
+#[inline]
+fn mutated_op(g: usize, op: GateKind) -> GateKind {
+    match mutate::armed() {
+        Some(mutate::KernelMutation::WrongOpcode(mg)) if mg == g => mutate::dual(op),
+        _ => op,
+    }
+}
+
+#[cfg(not(feature = "kernel-mutate"))]
+#[inline(always)]
+fn mutated_op(_g: usize, op: GateKind) -> GateKind {
+    op
+}
+
+#[cfg(feature = "kernel-mutate")]
+#[inline]
+fn mutated_fanin_window(g: usize, s: usize, e: usize, max: usize) -> (usize, usize) {
+    match mutate::armed() {
+        Some(mutate::KernelMutation::SwappedFaninWindow(mg)) if mg == g => {
+            if e < max {
+                (s + 1, e + 1)
+            } else if s > 0 {
+                (s - 1, e - 1)
+            } else {
+                (s, e)
+            }
+        }
+        _ => (s, e),
+    }
+}
+
+#[cfg(not(feature = "kernel-mutate"))]
+#[inline(always)]
+fn mutated_fanin_window(_g: usize, s: usize, e: usize, _max: usize) -> (usize, usize) {
+    (s, e)
+}
+
+#[cfg(feature = "kernel-mutate")]
+#[inline]
+fn mutated_patch_barrier(run_end: u32) -> u32 {
+    match mutate::armed() {
+        Some(mutate::KernelMutation::LevelBarrierSkew) => run_end.saturating_sub(1),
+        _ => run_end,
+    }
+}
+
+#[cfg(not(feature = "kernel-mutate"))]
+#[inline(always)]
+fn mutated_patch_barrier(run_end: u32) -> u32 {
+    run_end
+}
+
+#[cfg(feature = "kernel-mutate")]
+#[inline]
+fn mutated_full_mask<W: LaneWord>(occupied: usize) -> W {
+    match mutate::armed() {
+        Some(mutate::KernelMutation::DetectMaskShort) => W::low_mask(occupied.saturating_sub(1)),
+        _ => W::low_mask(occupied),
+    }
+}
+
+#[cfg(not(feature = "kernel-mutate"))]
+#[inline(always)]
+fn mutated_full_mask<W: LaneWord>(occupied: usize) -> W {
+    W::low_mask(occupied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultUniverse;
+    use crate::parallel::simulate_chunk_at;
+    use crate::test::ShiftOp;
+    use rls_netlist::Levelization;
+
+    fn lower(c: &Circuit) -> (LevelizedCircuit, Levelization) {
+        let lev = c.levelize().unwrap();
+        (LevelizedCircuit::build(c, &lev), lev)
+    }
+
+    fn all_pairs(u: &FaultUniverse) -> Vec<(FaultId, Fault)> {
+        u.faults()
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (FaultId(i as u32), f))
+            .collect()
+    }
+
+    fn s27_tests() -> Vec<ScanTest> {
+        // Four shape-compatible tests (same length, same shift schedule,
+        // different scan-ins / vectors / fills).
+        let base = [
+            ("001", ["0111", "1001", "0111", "1001", "0100"], true),
+            ("110", ["1010", "0101", "1110", "0001", "1000"], false),
+            ("010", ["0000", "1111", "0011", "1100", "0110"], true),
+            ("101", ["1001", "0110", "1010", "0101", "1111"], false),
+        ];
+        base.iter()
+            .map(|&(si, ref vs, fill)| {
+                ScanTest::from_strings(si, vs)
+                    .unwrap()
+                    .with_shifts(vec![ShiftOp {
+                        at: 2,
+                        amount: 2,
+                        fill: vec![fill, !fill],
+                    }])
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn soa_matches_legacy_on_s27_exhaustive_at_every_width() {
+        // The in-crate differential oracle: for every width the SoA
+        // detections equal the legacy kernel's, in order, chunk by chunk.
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let (lc, _) = lower(&c);
+        let u = FaultUniverse::enumerate(&c);
+        let pairs = all_pairs(&u);
+        for test in s27_tests() {
+            let trace = sim.simulate_test(&test);
+            for width in LaneWidth::ALL {
+                for chunk in pairs.chunks(width.lanes()) {
+                    let legacy =
+                        simulate_chunk_at(width, &sim, &test, &trace, chunk, SimOptions::default());
+                    let soa = simulate_chunk_soa(
+                        width,
+                        &lc,
+                        &sim,
+                        &test,
+                        &trace,
+                        chunk,
+                        SimOptions::default(),
+                    );
+                    assert_eq!(legacy, soa, "width {width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_matches_legacy_under_every_observation_mix() {
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let (lc, _) = lower(&c);
+        let u = FaultUniverse::enumerate(&c);
+        let pairs = all_pairs(&u);
+        let test = &s27_tests()[0];
+        let trace = sim.simulate_test(test);
+        for mask in 0..8u32 {
+            let opts = SimOptions {
+                observe_outputs: mask & 1 != 0,
+                observe_limited_scan_out: mask & 2 != 0,
+                observe_final_scan_out: mask & 4 != 0,
+            };
+            for chunk in pairs.chunks(64) {
+                let legacy = simulate_chunk_at(LaneWidth::W64, &sim, test, &trace, chunk, opts);
+                let soa = simulate_chunk_soa(LaneWidth::W64, &lc, &sim, test, &trace, chunk, opts);
+                assert_eq!(legacy, soa, "opts {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_equals_single_test_runs() {
+        // A T-pattern tile must report exactly what T single-test calls
+        // report, per pattern and in order — pattern lanes don't interact.
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let (lc, _) = lower(&c);
+        let u = FaultUniverse::enumerate(&c);
+        let pairs = all_pairs(&u);
+        let tests = s27_tests();
+        let traces: Vec<TestTrace> = tests.iter().map(|t| sim.simulate_test(t)).collect();
+        for t in [1usize, 2, 4] {
+            let tile_tests: Vec<&ScanTest> = tests[..t].iter().collect();
+            let tile_traces: Vec<&TestTrace> = traces[..t].iter().collect();
+            let cap = LaneWidth::W256.lanes() / t;
+            for chunk in pairs.chunks(cap) {
+                let tiled = simulate_tile_at(
+                    LaneWidth::W256,
+                    &lc,
+                    &sim,
+                    &tile_tests,
+                    &tile_traces,
+                    chunk,
+                    SimOptions::default(),
+                );
+                for p in 0..t {
+                    let single = simulate_chunk_soa(
+                        LaneWidth::W256,
+                        &lc,
+                        &sim,
+                        tile_tests[p],
+                        tile_traces[p],
+                        chunk,
+                        SimOptions::default(),
+                    );
+                    assert_eq!(tiled[p], single, "tile height {t}, pattern {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_chunk_detects_nothing() {
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let (lc, _) = lower(&c);
+        let tests = s27_tests();
+        let traces: Vec<TestTrace> = tests.iter().map(|t| sim.simulate_test(t)).collect();
+        let tile_tests: Vec<&ScanTest> = tests.iter().collect();
+        let tile_traces: Vec<&TestTrace> = traces.iter().collect();
+        let per = simulate_tile_at(
+            LaneWidth::W64,
+            &lc,
+            &sim,
+            &tile_tests,
+            &tile_traces,
+            &[],
+            SimOptions::default(),
+        );
+        assert_eq!(per.len(), tests.len());
+        assert!(per.iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 64-lane kernel width")]
+    fn oversized_tile_is_guarded() {
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let (lc, _) = lower(&c);
+        let u = FaultUniverse::enumerate(&c);
+        let pairs = all_pairs(&u);
+        let tests = s27_tests();
+        let traces: Vec<TestTrace> = tests.iter().map(|t| sim.simulate_test(t)).collect();
+        let tile_tests: Vec<&ScanTest> = tests.iter().collect();
+        let tile_traces: Vec<&TestTrace> = traces.iter().collect();
+        // 4 patterns × 17 faults = 68 lanes > 64.
+        simulate_tile_at(
+            LaneWidth::W64,
+            &lc,
+            &sim,
+            &tile_tests,
+            &tile_traces,
+            &pairs[..17],
+            SimOptions::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share length and shift schedule")]
+    fn incompatible_tile_is_rejected() {
+        let c = rls_benchmarks::s27();
+        let sim = GoodSim::new(&c);
+        let (lc, _) = lower(&c);
+        let a = ScanTest::from_strings("001", &["0111", "1001"]).unwrap();
+        let b = ScanTest::from_strings("001", &["0111", "1001", "0100"]).unwrap();
+        let ta = sim.simulate_test(&a);
+        let tb = sim.simulate_test(&b);
+        simulate_tile_at(
+            LaneWidth::W64,
+            &lc,
+            &sim,
+            &[&a, &b],
+            &[&ta, &tb],
+            &[],
+            SimOptions::default(),
+        );
+    }
+
+    #[test]
+    fn tile_compatibility_ignores_fills_and_scan_ins() {
+        let mk = |si: &str, fill: bool| {
+            ScanTest::from_strings(si, &["0111", "1001", "0100"])
+                .unwrap()
+                .with_shifts(vec![ShiftOp {
+                    at: 1,
+                    amount: 1,
+                    fill: vec![fill],
+                }])
+                .unwrap()
+        };
+        assert!(tile_compatible(&mk("001", true), &mk("110", false)));
+        let other_schedule = ScanTest::from_strings("001", &["0111", "1001", "0100"])
+            .unwrap()
+            .with_shifts(vec![ShiftOp {
+                at: 2,
+                amount: 1,
+                fill: vec![true],
+            }])
+            .unwrap();
+        assert!(!tile_compatible(&mk("001", true), &other_schedule));
+    }
+
+    #[test]
+    fn kernel_and_pattern_lane_parsing() {
+        assert_eq!(SimKernel::parse("soa"), Some(SimKernel::Soa));
+        assert_eq!(SimKernel::parse(" LEGACY "), Some(SimKernel::Legacy));
+        assert_eq!(SimKernel::parse("levelized"), Some(SimKernel::Soa));
+        assert_eq!(SimKernel::parse("fast"), None);
+        assert_eq!(SimKernel::DEFAULT.to_string(), "soa");
+        for p in PATTERN_LANES_ALL {
+            assert_eq!(parse_pattern_lanes(&p.to_string()), Some(p));
+        }
+        assert_eq!(parse_pattern_lanes("3"), None);
+        assert_eq!(parse_pattern_lanes(""), None);
+        assert!(PATTERN_LANES_ALL.contains(&PATTERN_LANES_DEFAULT));
+    }
+}

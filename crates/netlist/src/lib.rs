@@ -40,6 +40,7 @@ pub mod error;
 pub mod expand;
 pub mod gate;
 pub mod levelize;
+pub mod soa;
 pub mod stats;
 
 pub use bench_format::{parse_bench, write_bench};
@@ -48,4 +49,5 @@ pub use error::NetlistError;
 pub use expand::{CombView, ExpandedPort};
 pub use gate::GateKind;
 pub use levelize::Levelization;
+pub use soa::LevelizedCircuit;
 pub use stats::CircuitStats;

@@ -34,6 +34,7 @@ pub const COUNTERS: &[&str] = &[
     "fsim.batches",           // wide-word kernel invocations
     "fsim.lanes_used",        // occupied lanes across those batches
     "fsim.lanes_capacity",    // available lanes across those batches
+    "fsim.tiles",             // multi-test SoA tile passes
     "dispatch.chunks",        // fault chunks fanned out for one set
     "dispatch.retry_waves",   // re-submission waves after job failures
     "dispatch.respawns",      // supervised worker replacements
@@ -66,6 +67,7 @@ pub const COUNTERS: &[&str] = &[
 pub const GAUGES: &[&str] = &[
     "procedure2.coverage",   // detected-fault count after a kept pair
     "fsim.lane_width",       // kernel lanes per batch (64/128/256/512)
+    "fsim.pattern_lanes",    // tile height (tests per SoA pass, 1/2/4/8)
     "dispatch.chunk_size",   // adaptive chunk size chosen for a set
     "dispatch.queue_depth",  // jobs pending right after a submission wave
     "pool.worker.busy_nanos", // per-worker time inside simulate calls

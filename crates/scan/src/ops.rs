@@ -92,6 +92,36 @@ pub fn limited_scan_lanes<W: LaneWord>(state: &mut [W], k: usize, fill: &[bool])
     out
 }
 
+/// [`limited_scan_lanes`] with per-lane fill words instead of broadcast
+/// fill bits: `fill[i]` enters the head on the `i`-th shift cycle as-is.
+///
+/// This is the tile kernel's shift primitive — when one word carries
+/// several *patterns* (tests) besides several faults, the scanned-in fill
+/// bits differ per pattern and the caller mixes them into full words with
+/// its pattern masks. `limited_scan_lanes` is exactly this function with
+/// `fill[i] = W::splat(f_i)`.
+///
+/// # Panics
+///
+/// Panics if `k > state.len()` or `fill.len() != k`.
+pub fn limited_scan_fill_lanes<W: LaneWord>(state: &mut [W], k: usize, fill: &[W]) -> Vec<W> {
+    assert!(
+        k <= state.len(),
+        "cannot shift by more than the chain length"
+    );
+    assert_eq!(fill.len(), k, "need exactly one fill word per shift");
+    let n = state.len();
+    let mut out = Vec::with_capacity(k);
+    for &f in fill.iter() {
+        out.push(state[n - 1]); // lint: panic-ok(one fill word implies k >= 1, so n >= k >= 1)
+        for i in (1..n).rev() {
+            state[i] = state[i - 1]; // lint: panic-ok(1 <= i < n indexes within the chain)
+        }
+        state[0] = f; // lint: panic-ok(state is non-empty: k <= state.len() and one shift implies len >= 1)
+    }
+    out
+}
+
 /// A complete scan operation: scans in `new` while the old state shifts out.
 ///
 /// Returns the observed bits in shift order (original tail first), exactly
@@ -286,6 +316,32 @@ mod tests {
         let mut state: Vec<bool> = vec![];
         let out = full_scan_bools(&mut state, &[]);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fill_words_generalize_broadcast_fill_bits() {
+        // With splat fill words the two variants must agree exactly.
+        let seed = [0xDEAD_BEEF_u64, 0x0123_4567, !0, 0, 0xA5A5];
+        let mut a: Vec<u64> = seed.to_vec();
+        let mut b: Vec<u64> = seed.to_vec();
+        let fill_bits = [true, false];
+        let fill_words: Vec<u64> = fill_bits.iter().map(|&f| u64::splat(f)).collect();
+        let out_a = limited_scan_lanes(&mut a, 2, &fill_bits);
+        let out_b = limited_scan_fill_lanes(&mut b, 2, &fill_words);
+        assert_eq!(a, b);
+        assert_eq!(out_a, out_b);
+        // And a genuinely per-lane fill lands verbatim at the head.
+        let mut c = vec![0u64; 3];
+        let out = limited_scan_fill_lanes(&mut c, 1, &[0b101]);
+        assert_eq!(c[0], 0b101);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one fill word per shift")]
+    fn fill_words_length_mismatch_panics() {
+        let mut state = vec![0u64; 3];
+        limited_scan_fill_lanes(&mut state, 2, &[0u64]);
     }
 
     #[test]

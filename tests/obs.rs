@@ -41,9 +41,12 @@ fn adaptive_chunks_cut_submit_overhead_on_large_circuits() {
     });
     let jobs: u64 = snap.workers.iter().map(|w| w.jobs).sum();
     let batch_jobs = jobs - tests.len() as u64; // phase 1 is one trace job per test
-    let adaptive = (tests.len() * live.div_ceil(size)) as u64;
-    let fixed = (tests.len() * live.div_ceil(LANES)) as u64;
-    assert_eq!(batch_jobs, adaptive, "one job per (test, adaptive chunk)");
+    // TS0 tests all share one shape (same length, no shifts), so tiling
+    // packs them `pattern_lanes` tall and batch jobs are (tile, chunk).
+    let tiles = tests.len().div_ceil(ctx.pattern_lanes());
+    let adaptive = (tiles * live.div_ceil(size)) as u64;
+    let fixed = (tiles * live.div_ceil(LANES)) as u64;
+    assert_eq!(batch_jobs, adaptive, "one job per (tile, adaptive chunk)");
     assert!(
         batch_jobs < fixed,
         "adaptive chunks must submit fewer jobs than fixed 64-wide ones \

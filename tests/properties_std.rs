@@ -8,7 +8,10 @@
 //! the covered invariants are the cross-crate ones the wide-word kernel
 //! leans on: serial/batched agreement at every lane width, lane
 //! independence, the `N_cyc0` closed formula, `.bench` round-tripping,
-//! and limited-scan composition.
+//! limited-scan composition, and the SoA tile kernel — levelization
+//! round-trip against the gate-walking reference, pattern-lane
+//! independence, and ragged tile boundaries (`faults % W`,
+//! `patterns % P`).
 
 #[path = "support/quickprop.rs"]
 mod quickprop;
@@ -19,10 +22,10 @@ use random_limited_scan::core::cycles::measured_cycles;
 use random_limited_scan::core::{generate_ts0, ncyc0, RlsConfig};
 use random_limited_scan::fsim::good::traces_differ;
 use random_limited_scan::fsim::{
-    simulate_batch, simulate_chunk_at, FaultId, FaultUniverse, GoodSim, LaneWidth, ScanTest,
-    ShiftOp, SimOptions,
+    simulate_batch, simulate_chunk_at, simulate_chunk_soa, simulate_tile_at, Fault, FaultId,
+    FaultUniverse, GoodSim, LaneWidth, ScanTest, ShiftOp, SimOptions,
 };
-use random_limited_scan::netlist::{parse_bench, write_bench, Circuit};
+use random_limited_scan::netlist::{parse_bench, write_bench, Circuit, LevelizedCircuit};
 use random_limited_scan::scan::ops;
 
 /// A small, valid synthetic sequential circuit description.
@@ -265,6 +268,210 @@ fn prop_ncyc0_formula_matches_measurement() {
             let formula = ncyc0(nsv, la, lb, n);
             if measured != formula {
                 return Err(format!("measured {measured} != formula {formula}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// All stuck-at faults of a circuit, in enumeration order.
+fn all_faults(c: &Circuit) -> Vec<(FaultId, Fault)> {
+    FaultUniverse::enumerate(c)
+        .faults()
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (FaultId(i as u32), f))
+        .collect()
+}
+
+/// `count` shape-compatible random tests: one shared (length, shift
+/// schedule) drawn first, then independent scan-ins, vectors, and fills
+/// per test — exactly the freedom `tile_compatible` allows.
+fn compatible_random_tests(c: &Circuit, g: &mut Gen, len: usize, count: usize) -> Vec<ScanTest> {
+    let mut schedule = Vec::new();
+    if c.num_dffs() > 0 && len > 2 {
+        for u in 1..len {
+            if g.usize_in(0, 3) == 0 {
+                schedule.push((u, g.usize_in(1, c.num_dffs() + 1)));
+            }
+        }
+    }
+    (0..count)
+        .map(|_| {
+            let scan_in = g.bools(c.num_dffs());
+            let vectors = (0..len).map(|_| g.bools(c.num_inputs())).collect();
+            let shifts = schedule
+                .iter()
+                .map(|&(at, amount)| ShiftOp { at, amount, fill: g.bools(amount) })
+                .collect();
+            ScanTest::new(scan_in, vectors)
+                .with_shifts(shifts)
+                .expect("interior units are valid")
+        })
+        .collect()
+}
+
+#[test]
+fn prop_soa_kernel_matches_gate_walk_on_random_netlists() {
+    // The levelized lowering round-trips: on any random netlist the SoA
+    // kernel detects exactly what the legacy gate-walking kernel does,
+    // order-exact, at every lane width.
+    check(
+        "soa_matches_gate_walk",
+        0x5eed_0006,
+        24,
+        |g| (small_synth(g), g.word()),
+        |(cfg, seed)| shrink_synth(cfg).into_iter().map(|c| (c, *seed)).collect(),
+        |(cfg, seed)| {
+            let c = cfg.build();
+            let sim = GoodSim::new(&c);
+            let lc = LevelizedCircuit::build(&c, sim.levelization());
+            let test = random_test(&c, &mut Gen::new(*seed), 4);
+            let good = sim.simulate_test(&test);
+            let pairs = all_faults(&c);
+            for width in LaneWidth::ALL {
+                for chunk in pairs.chunks(width.lanes()) {
+                    let legacy =
+                        simulate_chunk_at(width, &sim, &test, &good, chunk, SimOptions::default());
+                    let soa = simulate_chunk_soa(
+                        width,
+                        &lc,
+                        &sim,
+                        &test,
+                        &good,
+                        chunk,
+                        SimOptions::default(),
+                    );
+                    if soa != legacy {
+                        return Err(format!(
+                            "width {width}: soa {soa:?} != gate-walk {legacy:?}"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_pattern_lanes_are_independent() {
+    // Packing shape-compatible tests into one tile never changes any
+    // per-test verdict: a height-P tile detects, for each test, exactly
+    // what a height-1 tile over the same faults detects.
+    check(
+        "pattern_lane_independence",
+        0x5eed_0007,
+        16,
+        |g| (small_synth(g), g.word(), g.usize_in(2, 5)),
+        |(cfg, seed, p)| {
+            shrink_synth(cfg).into_iter().map(|c| (c, *seed, *p)).collect()
+        },
+        |(cfg, seed, p)| {
+            let c = cfg.build();
+            let sim = GoodSim::new(&c);
+            let lc = LevelizedCircuit::build(&c, sim.levelization());
+            let tests = compatible_random_tests(&c, &mut Gen::new(*seed), 4, *p);
+            let traces: Vec<_> = tests.iter().map(|t| sim.simulate_test(t)).collect();
+            let tile_tests: Vec<&ScanTest> = tests.iter().collect();
+            let tile_traces: Vec<_> = traces.iter().collect();
+            let pairs = all_faults(&c);
+            for width in [LaneWidth::W64, LaneWidth::W512] {
+                for chunk in pairs.chunks(width.lanes() / p) {
+                    let tiled = simulate_tile_at(
+                        width,
+                        &lc,
+                        &sim,
+                        &tile_tests,
+                        &tile_traces,
+                        chunk,
+                        SimOptions::default(),
+                    );
+                    for (i, (test, trace)) in tests.iter().zip(&traces).enumerate() {
+                        let alone = simulate_chunk_soa(
+                            width,
+                            &lc,
+                            &sim,
+                            test,
+                            trace,
+                            chunk,
+                            SimOptions::default(),
+                        );
+                        if tiled[i] != alone {
+                            return Err(format!(
+                                "width {width}, test {i}/{p}: tiled {:?} != alone {alone:?}",
+                                tiled[i]
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_ragged_tile_boundaries_agree() {
+    // Tile-boundary edge cases: fault chunks that don't divide the word
+    // (`faults % W != 0`) under tile heights that don't divide the test
+    // count (`patterns % P != 0`) still agree with the serial reference.
+    check(
+        "ragged_tile_boundaries",
+        0x5eed_0008,
+        16,
+        |g| (small_synth(g), g.word(), g.usize_in(2, 5)),
+        |(cfg, seed, p)| {
+            shrink_synth(cfg).into_iter().map(|c| (c, *seed, *p)).collect()
+        },
+        |(cfg, seed, p)| {
+            let c = cfg.build();
+            let sim = GoodSim::new(&c);
+            let lc = LevelizedCircuit::build(&c, sim.levelization());
+            let mut g = Gen::new(*seed);
+            // p + 1 compatible tests under a height-p cap: runs of p and 1.
+            let tests = compatible_random_tests(&c, &mut g, 4, *p + 1);
+            let traces: Vec<_> = tests.iter().map(|t| sim.simulate_test(t)).collect();
+            let pairs = all_faults(&c);
+            let reference: Vec<Vec<FaultId>> = tests
+                .iter()
+                .zip(&traces)
+                .map(|(t, tr)| {
+                    pairs
+                        .iter()
+                        .flat_map(|&(id, f)| simulate_batch(&sim, t, tr, &[(id, f)]))
+                        .collect()
+                })
+                .collect();
+            for width in [LaneWidth::W64, LaneWidth::W512] {
+                // A chunk size that leaves a ragged tail with high
+                // probability, capped so the tall run still fits.
+                let cap = width.lanes() / p;
+                let chunk_len = g.usize_in(1, cap + 1);
+                let mut per_test: Vec<Vec<FaultId>> = vec![Vec::new(); tests.len()];
+                for (lo, hi) in [(0, *p), (*p, *p + 1)] {
+                    let tile_tests: Vec<&ScanTest> = tests[lo..hi].iter().collect();
+                    let tile_traces: Vec<_> = traces[lo..hi].iter().collect();
+                    for chunk in pairs.chunks(chunk_len) {
+                        let tiled = simulate_tile_at(
+                            width,
+                            &lc,
+                            &sim,
+                            &tile_tests,
+                            &tile_traces,
+                            chunk,
+                            SimOptions::default(),
+                        );
+                        for (i, det) in tiled.into_iter().enumerate() {
+                            per_test[lo + i].extend(det);
+                        }
+                    }
+                }
+                if per_test != reference {
+                    return Err(format!(
+                        "width {width}, chunk {chunk_len}: ragged tiles diverge from serial"
+                    ));
+                }
             }
             Ok(())
         },
